@@ -1,0 +1,464 @@
+// Package bench is the benchmark harness of the reproduction: one
+// benchmark per experiment of DESIGN.md (the paper's figures and
+// quantitative claims), plus substrate micro-benchmarks. Custom metrics
+// carry the quantities the paper argues about (states, traces, nodes),
+// while ns/op carries wall-clock cost.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"reclose/internal/cfg"
+	"reclose/internal/codegen"
+	"reclose/internal/core"
+	"reclose/internal/explore"
+	"reclose/internal/fiveess"
+	"reclose/internal/mgenv"
+	"reclose/internal/parser"
+	"reclose/internal/progs"
+	"reclose/internal/synth"
+)
+
+func mustCloseB(b *testing.B, src string) *cfg.Unit {
+	b.Helper()
+	u, _, err := core.CloseSource(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return u
+}
+
+func exploreB(b *testing.B, u *cfg.Unit, opt explore.Options) *explore.Report {
+	b.Helper()
+	rep, err := explore.Explore(u, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rep
+}
+
+// --- E1/E2: the worked figures -------------------------------------------
+
+// BenchmarkFig2Transform measures closing the paper's Figure 2 procedure
+// (parse + analyze + transform).
+func BenchmarkFig2Transform(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.CloseSource(progs.FigureP); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3Transform measures closing Figure 3's q.
+func BenchmarkFig3Transform(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.CloseSource(progs.FigureQ); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2Explore enumerates all 2^10 behaviors of the closed p and
+// reports the trace count (the strict-upper-approximation blowup).
+func BenchmarkFig2Explore(b *testing.B) {
+	closed := mustCloseB(b, progs.FigureP)
+	var paths int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := exploreB(b, closed, explore.Options{})
+		paths = rep.Paths
+	}
+	b.ReportMetric(float64(paths), "paths")
+}
+
+// --- E3: linear-time closing ----------------------------------------------
+
+// BenchmarkClosingScaling measures the transformation alone (front end
+// excluded) against program size, per shape. The us/node metric staying
+// flat as N grows is the paper's linearity claim.
+func BenchmarkClosingScaling(b *testing.B) {
+	for _, shape := range []synth.Shape{synth.StraightLine, synth.Branchy, synth.Loopy, synth.ManyProcs} {
+		for _, n := range []int{200, 1000, 5000} {
+			b.Run(fmt.Sprintf("%s/N=%d", shape, n), func(b *testing.B) {
+				unit, err := core.CompileSource(synth.Program(shape, n))
+				if err != nil {
+					b.Fatal(err)
+				}
+				nodes, _ := unit.Size()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := core.Close(unit); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(nodes), "nodes")
+				perNode := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(nodes)
+				b.ReportMetric(perNode, "ns/node")
+			})
+		}
+	}
+}
+
+// --- E4: naive environment vs transformation ------------------------------
+
+// BenchmarkNaiveVsClosed explores the router workload naively closed at
+// several domain sizes, and transformed. The states metric is the row
+// the experiment reports: naive grows with D, closed does not.
+func BenchmarkNaiveVsClosed(b *testing.B) {
+	src := progs.RouterScaled(2, 2)
+	const depth = 40
+	for _, d := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("naive/D=%d", d), func(b *testing.B) {
+			naive, _, err := mgenv.ComposeSource(src, d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var states int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Capped: the naive space at D >= 8 exceeds 2M states
+				// (the experiment's point); the metric bottoms out at
+				// the cap.
+				rep := exploreB(b, naive, explore.Options{MaxDepth: depth, MaxStates: 2000000})
+				states = rep.States
+			}
+			b.ReportMetric(float64(states), "states")
+		})
+	}
+	b.Run("closed", func(b *testing.B) {
+		closed := mustCloseB(b, src)
+		var states int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep := exploreB(b, closed, explore.Options{MaxDepth: depth})
+			states = rep.States
+		}
+		b.ReportMetric(float64(states), "states")
+	})
+}
+
+// --- E5: Theorem 7 preservation --------------------------------------------
+
+// BenchmarkPreservation measures how many states each side visits before
+// the first incident (deadlock / violation) is found.
+func BenchmarkPreservation(b *testing.B) {
+	cases := []struct {
+		name   string
+		src    string
+		domain int
+	}{
+		{"deadlock", progs.DeadlockProne, 4},
+		{"assert", progs.AssertViolation, 4},
+	}
+	for _, c := range cases {
+		b.Run(c.name+"/naive", func(b *testing.B) {
+			naive, _, err := mgenv.ComposeSource(c.src, c.domain)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var first int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep := exploreB(b, naive, explore.Options{MaxDepth: 200})
+				first = rep.StatesAtFirstIncident
+			}
+			b.ReportMetric(float64(first), "states-to-incident")
+		})
+		b.Run(c.name+"/closed", func(b *testing.B) {
+			closed := mustCloseB(b, c.src)
+			var first int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep := exploreB(b, closed, explore.Options{MaxDepth: 200})
+				first = rep.StatesAtFirstIncident
+			}
+			b.ReportMetric(float64(first), "states-to-incident")
+		})
+	}
+}
+
+// --- E6: the 5ESS-like case study ------------------------------------------
+
+// BenchmarkFiveESSClose measures automatic closing of the synthetic
+// switch application at each scale.
+func BenchmarkFiveESSClose(b *testing.B) {
+	for _, scale := range []string{"small", "medium", "large", "xlarge"} {
+		b.Run(scale, func(b *testing.B) {
+			src := fiveess.Source(fiveess.Scale(scale))
+			var eliminated int
+			for i := 0; i < b.N; i++ {
+				_, st, err := core.CloseSource(src)
+				if err != nil {
+					b.Fatal(err)
+				}
+				eliminated = st.NodesEliminated
+			}
+			b.ReportMetric(float64(eliminated), "nodes-eliminated")
+		})
+	}
+}
+
+// BenchmarkFiveESSExplore measures bounded exploration throughput on the
+// closed application.
+func BenchmarkFiveESSExplore(b *testing.B) {
+	for _, scale := range []string{"small", "medium"} {
+		b.Run(scale, func(b *testing.B) {
+			closed := mustCloseB(b, fiveess.Source(fiveess.Scale(scale)))
+			var trans int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep := exploreB(b, closed, explore.Options{MaxDepth: 500, MaxStates: 20000})
+				trans = rep.Transitions
+			}
+			b.ReportMetric(float64(trans), "transitions")
+		})
+	}
+}
+
+// --- E7: partial-order reduction ablation ----------------------------------
+
+// BenchmarkPORAblation explores dining philosophers with and without the
+// reductions; the states metric shows the pruning.
+func BenchmarkPORAblation(b *testing.B) {
+	for _, n := range []int{3, 4} {
+		src := progs.Philosophers(n)
+		for _, mode := range []struct {
+			name string
+			opt  explore.Options
+		}{
+			{"full", explore.Options{NoPOR: true, NoSleep: true}},
+			{"persistent", explore.Options{NoSleep: true}},
+			{"persistent+sleep", explore.Options{}},
+		} {
+			b.Run(fmt.Sprintf("phil-%d/%s", n, mode.name), func(b *testing.B) {
+				closed := mustCloseB(b, src)
+				var states int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rep := exploreB(b, closed, mode.opt)
+					states = rep.States
+				}
+				b.ReportMetric(float64(states), "states")
+			})
+		}
+	}
+}
+
+// --- E8: temporal-independence redundancy -----------------------------------
+
+// BenchmarkTossRedundancy reports the closed Figure 2 path count against
+// the two genuine behaviors of the open program.
+func BenchmarkTossRedundancy(b *testing.B) {
+	closed := mustCloseB(b, progs.FigureP)
+	var redundancy float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := exploreB(b, closed, explore.Options{})
+		redundancy = float64(rep.Paths) / 2 // two real behaviors: all-even, all-odd
+	}
+	b.ReportMetric(redundancy, "x-redundancy")
+}
+
+// --- substrate micro-benchmarks ---------------------------------------------
+
+// BenchmarkParse measures front-end throughput on the large switch app.
+func BenchmarkParse(b *testing.B) {
+	src := []byte(fiveess.Source(fiveess.Scale("large")))
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		if _, err := parser.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpreter measures raw interpretation speed: one full
+// exploration of a deterministic recursive workload.
+func BenchmarkInterpreter(b *testing.B) {
+	src := `
+chan out[2];
+proc fib(n, r) {
+    if (n < 2) {
+        *r = n;
+        return;
+    }
+    var a;
+    var b;
+    fib(n - 1, &a);
+    fib(n - 2, &b);
+    *r = a + b;
+}
+proc main() {
+    var r;
+    fib(15, &r);
+    send(out, r);
+}
+process main;
+`
+	unit, err := core.CompileSource(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := exploreB(b, unit, explore.Options{})
+		if rep.Traps != 0 {
+			b.Fatal("trap")
+		}
+	}
+}
+
+// BenchmarkAnalyze measures the dataflow analysis alone.
+func BenchmarkAnalyze(b *testing.B) {
+	for _, n := range []int{1000, 5000} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			unit, err := core.CompileSource(synth.Program(synth.Branchy, n))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Close(unit); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStateCacheAblation compares the default stateless search with
+// the state-hashing ablation on a system with many converging paths.
+func BenchmarkStateCacheAblation(b *testing.B) {
+	src := progs.Pipeline(3, 2)
+	for _, mode := range []struct {
+		name  string
+		cache bool
+	}{
+		{"stateless", false},
+		{"hashed", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			closed := mustCloseB(b, src)
+			var states int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep := exploreB(b, closed, explore.Options{StateCache: mode.cache})
+				states = rep.States
+			}
+			b.ReportMetric(float64(states), "states")
+		})
+	}
+}
+
+// --- extension and post-pass benchmarks -------------------------------------
+
+// BenchmarkPartitionedClose measures the §7 partitioning extension
+// against plain closing on the resource-manager shape, reporting the
+// behavior counts (partitioned closing is exact).
+func BenchmarkPartitionedClose(b *testing.B) {
+	src := `
+chan a[1];
+chan c[1];
+env chan a;
+env chan c;
+env p.t;
+proc p(t) {
+    if (t < 10) {
+        send(a, 1);
+    }
+    if (t < 10) {
+        send(c, 1);
+    }
+}
+process p;
+`
+	b.Run("plain", func(b *testing.B) {
+		var behaviors int
+		for i := 0; i < b.N; i++ {
+			closed := mustCloseB(b, src)
+			set, _, err := explore.TraceSet(closed, explore.Options{}, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			behaviors = len(set)
+		}
+		b.ReportMetric(float64(behaviors), "behaviors")
+	})
+	b.Run("partitioned", func(b *testing.B) {
+		var behaviors int
+		for i := 0; i < b.N; i++ {
+			unit, err := core.CompileSource(src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			closed, _, _, err := core.ClosePartitioned(unit)
+			if err != nil {
+				b.Fatal(err)
+			}
+			set, _, err := explore.TraceSet(closed, explore.Options{}, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			behaviors = len(set)
+		}
+		b.ReportMetric(float64(behaviors), "behaviors")
+	})
+}
+
+// BenchmarkCodegenRoundTrip measures emitting + re-compiling the closed
+// 5ESS application.
+func BenchmarkCodegenRoundTrip(b *testing.B) {
+	closed := mustCloseB(b, fiveess.Source(fiveess.Scale("medium")))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src, err := codegen.Emit(closed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := core.CloseSource(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEliminateDead measures the liveness-driven cleanup pass on
+// the closed large application.
+func BenchmarkEliminateDead(b *testing.B) {
+	src := fiveess.Source(fiveess.Scale("large"))
+	var removed int
+	for i := 0; i < b.N; i++ {
+		closed := mustCloseB(b, src)
+		removed = core.EliminateDead(closed)
+	}
+	b.ReportMetric(float64(removed), "nodes-removed")
+}
+
+// BenchmarkShortestWitness measures iterative-deepening witness search
+// against plain DFS witness depth on the philosophers deadlock.
+func BenchmarkShortestWitness(b *testing.B) {
+	unit := mustCloseB(b, progs.Philosophers(4))
+	b.Run("dfs-first", func(b *testing.B) {
+		var depth int
+		for i := 0; i < b.N; i++ {
+			rep := exploreB(b, unit, explore.Options{StopOnIncident: true})
+			depth = rep.Samples[0].Depth
+		}
+		b.ReportMetric(float64(depth), "witness-depth")
+	})
+	b.Run("iddfs", func(b *testing.B) {
+		var depth int
+		for i := 0; i < b.N; i++ {
+			in, _, err := explore.ShortestWitness(unit, explore.Options{})
+			if err != nil || in == nil {
+				b.Fatal(err)
+			}
+			depth = in.Depth
+		}
+		b.ReportMetric(float64(depth), "witness-depth")
+	})
+}

@@ -1,0 +1,57 @@
+// Command experiments regenerates every experiment of the reproduction
+// (E1–E8 in DESIGN.md): the worked figures of the paper, the complexity
+// and state-space claims, the Theorem 7 preservation checks, the 5ESS
+// case study, and the partial-order-reduction ablation.
+//
+// Usage:
+//
+//	experiments [-quick] [-only E4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"reclose/internal/experiments"
+)
+
+var (
+	quick = flag.Bool("quick", false, "reduced scales for a fast run")
+	only  = flag.String("only", "", "run a single experiment (E1..E10)")
+)
+
+func main() {
+	flag.Parse()
+	cfg := experiments.Config{Quick: *quick}
+	start := time.Now()
+	w := os.Stdout
+
+	fmt.Fprintf(w, "Reproduction harness: Colby, Godefroid, Jagadeesan,\n")
+	fmt.Fprintf(w, "\"Automatically Closing Open Reactive Programs\" (PLDI 1998)\n")
+
+	runners := map[string]func(){
+		"E1":  func() { experiments.E1Fig2(w, cfg) },
+		"E2":  func() { experiments.E2Fig3(w, cfg) },
+		"E3":  func() { experiments.E3Linear(w, cfg) },
+		"E4":  func() { experiments.E4Domain(w, cfg) },
+		"E5":  func() { experiments.E5Preservation(w, cfg) },
+		"E6":  func() { experiments.E6CaseStudy(w, cfg) },
+		"E7":  func() { experiments.E7POR(w, cfg) },
+		"E8":  func() { experiments.E8Redundancy(w, cfg) },
+		"E9":  func() { experiments.E9Partitioning(w, cfg) },
+		"E10": func() { experiments.E10Optimizations(w, cfg) },
+	}
+	if *only != "" {
+		run, ok := runners[*only]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (want E1..E10)\n", *only)
+			os.Exit(2)
+		}
+		run()
+	} else {
+		experiments.RunAll(w, cfg)
+	}
+	fmt.Fprintf(w, "\ntotal: %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,187 @@
+// Command simulate steps through a MiniC system interactively: at every
+// global state it lists the enabled transitions and lets you pick which
+// process runs and which VS_toss outcomes its transition takes — a
+// hands-on version of the scheduler the explorer automates.
+//
+// Usage:
+//
+//	simulate [flags] file.mc
+//
+// Commands (one per line on stdin):
+//
+//	<n>      run process n's pending transition
+//	t <k>    preselect k as the next VS_toss outcome (repeatable, FIFO)
+//	s        show the full state (objects and process positions)
+//	r        reset to the initial state
+//	q        quit
+//
+// Open programs are closed automatically first.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"reclose/internal/core"
+	"reclose/internal/interp"
+)
+
+var partition = flag.Bool("partition", false, "partition comparison-only env inputs before closing")
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: simulate [flags] file.mc (use - for stdin source; commands on stdin afterwards)\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "simulate: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type session struct {
+	sys       *interp.System
+	tossQueue []int
+	out       io.Writer
+}
+
+// choose pops a preselected toss outcome, defaulting to 0.
+func (s *session) choose(bound int) (int, bool) {
+	if len(s.tossQueue) > 0 {
+		k := s.tossQueue[0]
+		s.tossQueue = s.tossQueue[1:]
+		if k > bound {
+			fmt.Fprintf(s.out, "  (toss %d out of range [0,%d], clamped)\n", k, bound)
+			k = bound
+		}
+		return k, true
+	}
+	fmt.Fprintf(s.out, "  (VS_toss(%d): no preselected outcome, taking 0 — use 't <k>' first)\n", bound)
+	return 0, true
+}
+
+func run() error {
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	srcBytes, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+
+	unit, err := core.CompileSource(string(srcBytes))
+	if err != nil {
+		return err
+	}
+	if unit.IsOpen() {
+		if *partition {
+			core.Partition(unit)
+		}
+		closed, st, err := core.Close(unit)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("closed automatically: %s\n", st)
+		unit = closed
+	}
+
+	sys, err := interp.NewSystem(unit)
+	if err != nil {
+		return err
+	}
+	s := &session{sys: sys, out: os.Stdout}
+	chooser := interp.ChooserFunc(s.choose)
+
+	if out := sys.Init(chooser); out != nil {
+		return fmt.Errorf("initialization: %s", out)
+	}
+	s.prompt()
+
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			// ignore
+		case line == "q":
+			return nil
+		case line == "s":
+			s.showState()
+		case line == "r":
+			sys.Reset()
+			s.tossQueue = nil
+			if out := sys.Init(chooser); out != nil {
+				return fmt.Errorf("initialization: %s", out)
+			}
+			fmt.Println("reset to the initial state")
+		case strings.HasPrefix(line, "t "):
+			k, err := strconv.Atoi(strings.TrimSpace(line[2:]))
+			if err != nil || k < 0 {
+				fmt.Println("usage: t <non-negative outcome>")
+				break
+			}
+			s.tossQueue = append(s.tossQueue, k)
+			fmt.Printf("preselected toss outcomes: %v\n", s.tossQueue)
+		default:
+			n, err := strconv.Atoi(line)
+			if err != nil {
+				fmt.Println("commands: <n> | t <k> | s | r | q")
+				break
+			}
+			s.step(n, chooser)
+		}
+		s.prompt()
+	}
+	return sc.Err()
+}
+
+func (s *session) step(n int, chooser interp.Chooser) {
+	if n < 0 || n >= len(s.sys.Procs) {
+		fmt.Printf("no process %d\n", n)
+		return
+	}
+	if !s.sys.Enabled(n) {
+		fmt.Printf("P%d is not enabled\n", n)
+		return
+	}
+	ev, out := s.sys.Step(n, chooser)
+	fmt.Printf("  executed %s\n", ev)
+	if out != nil {
+		fmt.Printf("  !! %s\n", out)
+	}
+}
+
+func (s *session) prompt() {
+	switch {
+	case s.sys.AllTerminated():
+		fmt.Println("-- all processes terminated ('r' to reset, 'q' to quit) --")
+	case s.sys.Deadlocked():
+		fmt.Println("-- DEADLOCK ('r' to reset, 'q' to quit) --")
+	default:
+		fmt.Println("enabled transitions:")
+		for i, p := range s.sys.Procs {
+			if p.Status() != interp.Running {
+				fmt.Printf("  P%d (%s): terminated\n", i, p.TopProc)
+				continue
+			}
+			op, obj, _ := p.PendingOp()
+			state := "ENABLED"
+			if !s.sys.Enabled(i) {
+				state = "blocked"
+			}
+			fmt.Printf("  P%d (%s): %s(%s) [%s]\n", i, p.TopProc, op, obj, state)
+		}
+	}
+	fmt.Print("> ")
+}
+
+func (s *session) showState() {
+	fmt.Println(strings.ReplaceAll(s.sys.Fingerprint(), "|", "\n  "))
+}

@@ -1,0 +1,170 @@
+// Command verisoft systematically explores the state space of a MiniC
+// program, in the style of the VeriSoft tool the paper builds on: a
+// stateless depth-first search with partial-order reduction that detects
+// deadlocks, assertion violations, run-time errors, and divergences.
+//
+// Usage:
+//
+//	verisoft [flags] file.mc
+//
+// Open programs are closed first: automatically with the paper's
+// transformation (default), or naively by composing an explicit most
+// general environment over a finite domain (-naive D).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"reclose/internal/cfg"
+	"reclose/internal/core"
+	"reclose/internal/explore"
+	"reclose/internal/mgenv"
+)
+
+var (
+	depth      = flag.Int("depth", 0, "depth bound on explored paths (0 = default 1e6)")
+	maxStates  = flag.Int64("max-states", 0, "abort after visiting this many global states (0 = unlimited)")
+	naive      = flag.Int("naive", 0, "close naively with an explicit most general environment over domain [0,D) instead of transforming")
+	noPOR      = flag.Bool("no-por", false, "disable persistent-set reduction")
+	noSleep    = flag.Bool("no-sleep", false, "disable sleep sets")
+	stateCache = flag.Bool("state-cache", false, "enable the state-hashing ablation")
+	stopFirst  = flag.Bool("stop-on-violation", false, "stop at the first assertion violation or runtime error")
+	samples    = flag.Int("samples", 4, "incident samples to print")
+	replay     = flag.Bool("replay", false, "replay the first incident step by step after the search")
+	shortest   = flag.Bool("shortest", false, "find a minimal-depth incident by iterative deepening instead of a full search")
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: verisoft [flags] file.mc (use - for stdin)\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "verisoft: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := readSource(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+
+	unit, how, err := prepare(string(src))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("prepared system: %s\n", how)
+
+	opt := explore.Options{
+		MaxDepth:        *depth,
+		MaxStates:       *maxStates,
+		NoPOR:           *noPOR,
+		NoSleep:         *noSleep,
+		StateCache:      *stateCache,
+		StopOnViolation: *stopFirst,
+		MaxIncidents:    *samples,
+	}
+	start := time.Now()
+	var rep *explore.Report
+	if *shortest {
+		in, r, err := explore.ShortestWitness(unit, opt)
+		if err != nil {
+			return err
+		}
+		rep = r
+		if in != nil {
+			fmt.Printf("shortest incident: %s at depth %d (minimal)\n", in.Kind, in.Depth)
+		} else {
+			fmt.Println("no incident within the depth limit")
+		}
+	} else {
+		r, err := explore.Explore(unit, opt)
+		if err != nil {
+			return err
+		}
+		rep = r
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("search: %s\n", rep)
+	fmt.Printf("elapsed: %v (%.0f transitions/s)\n", elapsed.Round(time.Millisecond),
+		float64(rep.Transitions)/elapsed.Seconds())
+	verdict := "no deadlocks, violations, or errors found"
+	if rep.Deadlocks+rep.Violations+rep.Traps+rep.Divergences > 0 {
+		verdict = fmt.Sprintf("FOUND: %d deadlock(s), %d violation(s), %d error(s), %d divergence(s)",
+			rep.Deadlocks, rep.Violations, rep.Traps, rep.Divergences)
+	}
+	fmt.Printf("coverage: %d/%d visible operations exercised\n", rep.OpsCovered, rep.OpsTotal)
+	fmt.Println(verdict)
+	for i, in := range rep.Samples {
+		if i >= *samples {
+			break
+		}
+		fmt.Printf("--- sample %d ---\n%s", i+1, in)
+	}
+	if *replay && len(rep.Samples) > 0 {
+		in := rep.Samples[0]
+		fmt.Printf("--- replaying sample 1 (%d decisions) ---\n", len(in.Decisions))
+		_, out, err := explore.Replay(unit, in.Decisions, func(st explore.ReplayStep) {
+			if st.HasEvent {
+				fmt.Printf("  %-10s -> %s\n", st.Decision, st.Event)
+			} else {
+				fmt.Printf("  %-10s\n", st.Decision)
+			}
+		})
+		if err != nil {
+			return fmt.Errorf("replay: %w", err)
+		}
+		if out != nil {
+			fmt.Printf("  outcome: %s\n", out)
+		} else {
+			fmt.Println("  outcome: final state reached (see incident kind)")
+		}
+	}
+	if rep.Deadlocks+rep.Violations+rep.Traps > 0 {
+		os.Exit(3)
+	}
+	return nil
+}
+
+// prepare closes the program if it is open.
+func prepare(src string) (*cfg.Unit, string, error) {
+	unit, err := core.CompileSource(src)
+	if err != nil {
+		return nil, "", err
+	}
+	if !unit.IsOpen() {
+		return unit, "already closed", nil
+	}
+	if *naive > 0 {
+		composed, info, err := mgenv.ComposeSource(src, *naive)
+		if err != nil {
+			return nil, "", err
+		}
+		return composed, fmt.Sprintf("naively closed with most general environment, domain %d (%d env processes)",
+			*naive, len(info.EnvProcs)), nil
+	}
+	closed, st, err := core.Close(unit)
+	if err != nil {
+		return nil, "", err
+	}
+	return closed, fmt.Sprintf("automatically closed (%s)", st), nil
+}
+
+func readSource(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}

@@ -1,0 +1,3 @@
+module reclose
+
+go 1.22

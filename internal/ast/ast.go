@@ -1,0 +1,383 @@
+// Package ast declares the abstract syntax tree of MiniC.
+//
+// MiniC is deliberately shaped after the abstract imperative language of
+// §4 of "Automatically Closing Open Reactive Programs" (PLDI 1998): a
+// program is a collection of procedures built from assignment statements,
+// conditional statements (if/while/for), procedure-call statements, and
+// termination statements (return/exit). Processes communicate exclusively
+// through communication objects (FIFO channels, semaphores, shared
+// variables) via visible builtin operations. Environment inputs are
+// declared with env declarations and may also flow in through env-facing
+// channels.
+package ast
+
+import (
+	"reclose/internal/token"
+)
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() token.Pos
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Ident is a reference to a variable.
+type Ident struct {
+	NamePos token.Pos
+	Name    string
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	ValuePos token.Pos
+	Value    int64
+}
+
+// BoolLit is a boolean literal (true or false).
+type BoolLit struct {
+	ValuePos token.Pos
+	Value    bool
+}
+
+// UndefLit is the distinguished "unknown value" literal. It never appears
+// in source programs; the closing transformation introduces it in place of
+// expressions whose value depended on the eliminated environment.
+type UndefLit struct {
+	ValuePos token.Pos
+}
+
+// UnaryExpr is -x, !x, *p (pointer dereference), or &x (address-of).
+type UnaryExpr struct {
+	OpPos token.Pos
+	Op    token.Kind // SUB, NOT, MUL, AND
+	X     Expr
+}
+
+// BinaryExpr is a binary operation x op y.
+type BinaryExpr struct {
+	X     Expr
+	OpPos token.Pos
+	Op    token.Kind
+	Y     Expr
+}
+
+// IndexExpr is an array element reference a[i].
+type IndexExpr struct {
+	X      *Ident
+	Lbrack token.Pos
+	Index  Expr
+}
+
+// TossExpr is the nondeterministic VS_toss(n) expression. It returns an
+// integer in [0, n]. Per the paper it is treated as an invisible
+// operation.
+type TossExpr struct {
+	TossPos token.Pos
+	Bound   Expr
+}
+
+func (x *Ident) Pos() token.Pos      { return x.NamePos }
+func (x *IntLit) Pos() token.Pos     { return x.ValuePos }
+func (x *BoolLit) Pos() token.Pos    { return x.ValuePos }
+func (x *UndefLit) Pos() token.Pos   { return x.ValuePos }
+func (x *UnaryExpr) Pos() token.Pos  { return x.OpPos }
+func (x *BinaryExpr) Pos() token.Pos { return x.X.Pos() }
+func (x *IndexExpr) Pos() token.Pos  { return x.X.Pos() }
+func (x *TossExpr) Pos() token.Pos   { return x.TossPos }
+
+func (*Ident) exprNode()      {}
+func (*IntLit) exprNode()     {}
+func (*BoolLit) exprNode()    {}
+func (*UndefLit) exprNode()   {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*IndexExpr) exprNode()  {}
+func (*TossExpr) exprNode()   {}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// VarStmt declares a local variable, optionally with an array size or an
+// initializer: "var x;", "var x = e;", "var a[10];".
+type VarStmt struct {
+	VarPos token.Pos
+	Name   *Ident
+	Size   Expr // non-nil for array declarations
+	Init   Expr // non-nil when initialized
+}
+
+// AssignStmt assigns RHS to the location named by LHS. LHS is an *Ident,
+// a *UnaryExpr with Op==MUL (pointer store), or an *IndexExpr (array
+// store). Per the paper, every execution of an assignment defines exactly
+// one variable (pointer and array stores are weak updates over the
+// may-alias set).
+type AssignStmt struct {
+	LHS Expr
+	RHS Expr
+}
+
+// IfStmt is a conditional with an optional else branch.
+type IfStmt struct {
+	IfPos token.Pos
+	Cond  Expr
+	Then  *BlockStmt
+	Else  *BlockStmt // nil if absent
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	WhilePos token.Pos
+	Cond     Expr
+	Body     *BlockStmt
+}
+
+// ForStmt is a C-style for loop. Init and Post are optional assignments.
+type ForStmt struct {
+	ForPos token.Pos
+	Init   *AssignStmt // nil if absent
+	Cond   Expr        // nil means true
+	Post   *AssignStmt // nil if absent
+	Body   *BlockStmt
+}
+
+// SwitchStmt is a C-style switch on an integer expression, restricted
+// to Go-like semantics: cases do not fall through (each case body ends
+// the switch unless it breaks out of an enclosing loop), and a break
+// directly inside a case exits the switch.
+type SwitchStmt struct {
+	SwitchPos token.Pos
+	Tag       Expr
+	Cases     []*CaseClause
+}
+
+// CaseClause is one arm of a switch. An empty Values list is the
+// default clause.
+type CaseClause struct {
+	CasePos token.Pos
+	Values  []Expr // compared to the tag with ==; empty means default
+	Body    *BlockStmt
+}
+
+// BreakStmt exits the innermost enclosing loop or switch.
+type BreakStmt struct {
+	BreakPos token.Pos
+}
+
+// ContinueStmt jumps to the next iteration of the innermost enclosing
+// loop.
+type ContinueStmt struct {
+	ContinuePos token.Pos
+}
+
+// CallStmt invokes a user procedure or a builtin visible operation.
+type CallStmt struct {
+	Name *Ident
+	Args []Expr
+}
+
+// ReturnStmt terminates the current procedure.
+type ReturnStmt struct {
+	ReturnPos token.Pos
+}
+
+// ExitStmt terminates the current process (blocks forever in the
+// top-level procedure, per the paper's assumption that termination
+// statements in top-level procedures are always blocking).
+type ExitStmt struct {
+	ExitPos token.Pos
+}
+
+// BlockStmt is a brace-delimited statement sequence.
+type BlockStmt struct {
+	Lbrace token.Pos
+	Stmts  []Stmt
+}
+
+func (s *VarStmt) Pos() token.Pos      { return s.VarPos }
+func (s *AssignStmt) Pos() token.Pos   { return s.LHS.Pos() }
+func (s *IfStmt) Pos() token.Pos       { return s.IfPos }
+func (s *WhileStmt) Pos() token.Pos    { return s.WhilePos }
+func (s *ForStmt) Pos() token.Pos      { return s.ForPos }
+func (s *SwitchStmt) Pos() token.Pos   { return s.SwitchPos }
+func (s *CaseClause) Pos() token.Pos   { return s.CasePos }
+func (s *BreakStmt) Pos() token.Pos    { return s.BreakPos }
+func (s *ContinueStmt) Pos() token.Pos { return s.ContinuePos }
+func (s *CallStmt) Pos() token.Pos     { return s.Name.Pos() }
+func (s *ReturnStmt) Pos() token.Pos   { return s.ReturnPos }
+func (s *ExitStmt) Pos() token.Pos     { return s.ExitPos }
+func (s *BlockStmt) Pos() token.Pos    { return s.Lbrace }
+
+func (*VarStmt) stmtNode()      {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*SwitchStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*CallStmt) stmtNode()     {}
+func (*ReturnStmt) stmtNode()   {}
+func (*ExitStmt) stmtNode()     {}
+func (*BlockStmt) stmtNode()    {}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+// Decl is implemented by all top-level declarations.
+type Decl interface {
+	Node
+	declNode()
+}
+
+// ObjectKind classifies communication objects.
+type ObjectKind int
+
+// Communication-object kinds.
+const (
+	ChanObject   ObjectKind = iota // bounded FIFO buffer
+	SemObject                      // counting semaphore
+	SharedObject                   // shared variable
+)
+
+// String names the object kind.
+func (k ObjectKind) String() string {
+	switch k {
+	case ChanObject:
+		return "chan"
+	case SemObject:
+		return "sem"
+	case SharedObject:
+		return "shared"
+	}
+	return "object"
+}
+
+// ObjectDecl declares a communication object:
+//
+//	chan c[4];     (FIFO buffer of capacity 4)
+//	sem s = 1;     (semaphore with initial count 1)
+//	shared g = 0;  (shared variable with initial value 0)
+type ObjectDecl struct {
+	KindPos token.Pos
+	Kind    ObjectKind
+	Name    *Ident
+	Arg     int64 // capacity, initial count, or initial value
+}
+
+// ProcDecl declares a procedure.
+type ProcDecl struct {
+	ProcPos token.Pos
+	Name    *Ident
+	Params  []*Ident
+	Body    *BlockStmt
+}
+
+// ProcessDecl instantiates a process whose top-level procedure is Proc.
+// Repeating a declaration creates multiple process instances.
+type ProcessDecl struct {
+	ProcessPos token.Pos
+	Proc       *Ident
+}
+
+// EnvDecl declares an environment input:
+//
+//	env f.x;    (parameter x of procedure f is provided by the environment)
+//	env chan c; (channel c is env-facing: recv(c, v) yields env values,
+//	             send(c, v) delivers output to the environment)
+type EnvDecl struct {
+	EnvPos token.Pos
+	Proc   *Ident // nil for env-facing objects
+	Name   *Ident
+	IsChan bool
+}
+
+func (d *ObjectDecl) Pos() token.Pos  { return d.KindPos }
+func (d *ProcDecl) Pos() token.Pos    { return d.ProcPos }
+func (d *ProcessDecl) Pos() token.Pos { return d.ProcessPos }
+func (d *EnvDecl) Pos() token.Pos     { return d.EnvPos }
+
+func (*ObjectDecl) declNode()  {}
+func (*ProcDecl) declNode()    {}
+func (*ProcessDecl) declNode() {}
+func (*EnvDecl) declNode()     {}
+
+// Program is a complete MiniC compilation unit.
+type Program struct {
+	Decls []Decl
+}
+
+// Pos returns the position of the first declaration.
+func (p *Program) Pos() token.Pos {
+	if len(p.Decls) > 0 {
+		return p.Decls[0].Pos()
+	}
+	return token.Pos{}
+}
+
+// Procs returns the program's procedure declarations in order.
+func (p *Program) Procs() []*ProcDecl {
+	var out []*ProcDecl
+	for _, d := range p.Decls {
+		if pd, ok := d.(*ProcDecl); ok {
+			out = append(out, pd)
+		}
+	}
+	return out
+}
+
+// Proc returns the procedure named name, or nil.
+func (p *Program) Proc(name string) *ProcDecl {
+	for _, d := range p.Decls {
+		if pd, ok := d.(*ProcDecl); ok && pd.Name.Name == name {
+			return pd
+		}
+	}
+	return nil
+}
+
+// Objects returns the program's communication-object declarations.
+func (p *Program) Objects() []*ObjectDecl {
+	var out []*ObjectDecl
+	for _, d := range p.Decls {
+		if od, ok := d.(*ObjectDecl); ok {
+			out = append(out, od)
+		}
+	}
+	return out
+}
+
+// Processes returns the program's process instantiations in order.
+func (p *Program) Processes() []*ProcessDecl {
+	var out []*ProcessDecl
+	for _, d := range p.Decls {
+		if pd, ok := d.(*ProcessDecl); ok {
+			out = append(out, pd)
+		}
+	}
+	return out
+}
+
+// EnvDecls returns the program's environment-input declarations.
+func (p *Program) EnvDecls() []*EnvDecl {
+	var out []*EnvDecl
+	for _, d := range p.Decls {
+		if ed, ok := d.(*EnvDecl); ok {
+			out = append(out, ed)
+		}
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package ast_test
+
+import (
+	"strings"
+	"testing"
+
+	"reclose/internal/ast"
+	"reclose/internal/parser"
+	"reclose/internal/token"
+)
+
+func TestInspectVisitsEverything(t *testing.T) {
+	prog := parser.MustParse(`
+chan c[2];
+sem s = 1;
+shared g = 0;
+env chan c;
+env f.x;
+proc f(x) {
+    var a[3];
+    var y = x + 1;
+    a[y] = *&y;
+    if (y > 0) { send(c, y); } else { wait(s); }
+    while (y < 3) { y = y + 1; }
+    for (y = 0; y < 2; y = y + 1) { vread(g, y); }
+    g2(&y);
+    return;
+}
+proc g2(p) { exit; }
+process f;
+`)
+	counts := map[string]int{}
+	ast.Inspect(prog, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.Ident:
+			counts["ident"]++
+		case *ast.IntLit:
+			counts["int"]++
+		case *ast.BinaryExpr:
+			counts["binary"]++
+		case *ast.UnaryExpr:
+			counts["unary"]++
+		case *ast.IndexExpr:
+			counts["index"]++
+		case *ast.IfStmt:
+			counts["if"]++
+		case *ast.WhileStmt:
+			counts["while"]++
+		case *ast.ForStmt:
+			counts["for"]++
+		case *ast.CallStmt:
+			counts["call"]++
+		case *ast.ReturnStmt:
+			counts["return"]++
+		case *ast.ExitStmt:
+			counts["exit"]++
+		case *ast.VarStmt:
+			counts["var"]++
+		case *ast.ObjectDecl:
+			counts["object"]++
+		case *ast.EnvDecl:
+			counts["env"]++
+		case *ast.ProcDecl:
+			counts["proc"]++
+		case *ast.ProcessDecl:
+			counts["process"]++
+		}
+		return true
+	})
+	want := map[string]int{
+		"object": 3, "env": 2, "proc": 2, "process": 1,
+		"if": 1, "while": 1, "for": 1, "return": 1, "exit": 1,
+		"var": 2, "call": 4, "index": 1,
+	}
+	for k, v := range want {
+		if counts[k] != v {
+			t.Errorf("%s nodes = %d, want %d", k, counts[k], v)
+		}
+	}
+	if counts["ident"] == 0 || counts["binary"] == 0 || counts["unary"] == 0 {
+		t.Errorf("expression nodes not visited: %v", counts)
+	}
+}
+
+func TestInspectPrune(t *testing.T) {
+	prog := parser.MustParse(`proc f(x) { if (x > 0) { x = 1; } }`)
+	sawAssign := false
+	ast.Inspect(prog, func(n ast.Node) bool {
+		if _, ok := n.(*ast.IfStmt); ok {
+			return false // prune
+		}
+		if _, ok := n.(*ast.AssignStmt); ok {
+			sawAssign = true
+		}
+		return true
+	})
+	if sawAssign {
+		t.Error("Inspect descended into a pruned subtree")
+	}
+}
+
+func TestExprVars(t *testing.T) {
+	prog := parser.MustParse(`proc f(a, b, i, p) { var z = a + b * a - *p + VS_toss(2) + i; }`)
+	vs := prog.Proc("f").Body.Stmts[0].(*ast.VarStmt)
+	got := ast.ExprVars(vs.Init, nil)
+	counts := map[string]int{}
+	for _, v := range got {
+		counts[v]++
+	}
+	if counts["a"] != 2 || counts["b"] != 1 || counts["p"] != 1 || counts["i"] != 1 {
+		t.Errorf("ExprVars = %v", got)
+	}
+}
+
+func TestHasToss(t *testing.T) {
+	prog := parser.MustParse(`proc f(x) { var a = x + 1; var b = VS_toss(3) + x; }`)
+	a := prog.Proc("f").Body.Stmts[0].(*ast.VarStmt)
+	b := prog.Proc("f").Body.Stmts[1].(*ast.VarStmt)
+	if ast.HasToss(a.Init) {
+		t.Error("HasToss(x+1) = true")
+	}
+	if !ast.HasToss(b.Init) {
+		t.Error("HasToss(VS_toss(3)+x) = false")
+	}
+}
+
+func TestProgramAccessors(t *testing.T) {
+	prog := parser.MustParse(`
+chan c[1];
+proc a() { return; }
+proc b() { return; }
+process b;
+process a;
+`)
+	if prog.Proc("a") == nil || prog.Proc("b") == nil || prog.Proc("zz") != nil {
+		t.Error("Proc lookup wrong")
+	}
+	procs := prog.Procs()
+	if len(procs) != 2 || procs[0].Name.Name != "a" {
+		t.Errorf("Procs = %v", procs)
+	}
+	ps := prog.Processes()
+	if len(ps) != 2 || ps[0].Proc.Name != "b" || ps[1].Proc.Name != "a" {
+		t.Errorf("Processes order wrong")
+	}
+	if len(prog.Objects()) != 1 {
+		t.Error("Objects wrong")
+	}
+}
+
+func TestFormatStmtIndent(t *testing.T) {
+	prog := parser.MustParse(`proc f(x) { if (x > 0) { x = 1; } }`)
+	s := ast.FormatStmt(prog.Proc("f").Body.Stmts[0], 1)
+	if !strings.HasPrefix(s, "    if (x > 0) {") {
+		t.Errorf("FormatStmt indent wrong: %q", s)
+	}
+	if !strings.Contains(s, "        x = 1;") {
+		t.Errorf("nested statement indent wrong: %q", s)
+	}
+}
+
+func TestFormatParenthesization(t *testing.T) {
+	// Build (a - b) - c and a - (b - c) manually and check they format
+	// distinctly and re-parse to the same trees.
+	a := &ast.Ident{Name: "a"}
+	bb := &ast.Ident{Name: "b"}
+	c := &ast.Ident{Name: "c"}
+	left := &ast.BinaryExpr{
+		X:  &ast.BinaryExpr{X: a, Op: token.SUB, Y: bb},
+		Op: token.SUB, Y: c,
+	}
+	right := &ast.BinaryExpr{
+		X:  a,
+		Op: token.SUB,
+		Y:  &ast.BinaryExpr{X: bb, Op: token.SUB, Y: c},
+	}
+	ls, rs := ast.FormatExpr(left), ast.FormatExpr(right)
+	if ls == rs {
+		t.Errorf("left/right associations format identically: %q", ls)
+	}
+	if ls != "a - b - c" {
+		t.Errorf("left assoc = %q", ls)
+	}
+	if rs != "a - (b - c)" {
+		t.Errorf("right assoc = %q", rs)
+	}
+}
+
+func TestObjectKindString(t *testing.T) {
+	if ast.ChanObject.String() != "chan" || ast.SemObject.String() != "sem" || ast.SharedObject.String() != "shared" {
+		t.Error("ObjectKind strings wrong")
+	}
+}
+
+func TestFormatUndefAndToss(t *testing.T) {
+	e := &ast.BinaryExpr{
+		X:  &ast.UndefLit{},
+		Op: token.ADD,
+		Y:  &ast.TossExpr{Bound: &ast.IntLit{Value: 2}},
+	}
+	if got := ast.FormatExpr(e); got != "undef + VS_toss(2)" {
+		t.Errorf("formatted = %q", got)
+	}
+}

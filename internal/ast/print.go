@@ -1,0 +1,235 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"reclose/internal/token"
+)
+
+// Format renders a program back to MiniC source text. The output is
+// re-parseable and normalized (canonical spacing, one statement per
+// line).
+func Format(p *Program) string {
+	var b strings.Builder
+	pr := printer{w: &b}
+	pr.program(p)
+	return b.String()
+}
+
+// FormatStmt renders a single statement at the given indent level.
+func FormatStmt(s Stmt, indent int) string {
+	var b strings.Builder
+	pr := printer{w: &b, indent: indent}
+	pr.stmt(s)
+	return b.String()
+}
+
+// FormatExpr renders a single expression.
+func FormatExpr(e Expr) string {
+	var b strings.Builder
+	pr := printer{w: &b}
+	pr.expr(&b, e, 0)
+	return b.String()
+}
+
+type printer struct {
+	w      *strings.Builder
+	indent int
+}
+
+func (p *printer) line(format string, args ...any) {
+	for i := 0; i < p.indent; i++ {
+		p.w.WriteString("    ")
+	}
+	fmt.Fprintf(p.w, format, args...)
+	p.w.WriteByte('\n')
+}
+
+func (p *printer) program(prog *Program) {
+	for _, d := range prog.Decls {
+		switch d := d.(type) {
+		case *ObjectDecl:
+			switch d.Kind {
+			case ChanObject:
+				p.line("chan %s[%d];", d.Name.Name, d.Arg)
+			case SemObject:
+				p.line("sem %s = %d;", d.Name.Name, d.Arg)
+			case SharedObject:
+				p.line("shared %s = %d;", d.Name.Name, d.Arg)
+			}
+		case *EnvDecl:
+			if d.IsChan {
+				p.line("env chan %s;", d.Name.Name)
+			} else {
+				p.line("env %s.%s;", d.Proc.Name, d.Name.Name)
+			}
+		case *ProcessDecl:
+			p.line("process %s;", d.Proc.Name)
+		case *ProcDecl:
+			params := make([]string, len(d.Params))
+			for i, prm := range d.Params {
+				params[i] = prm.Name
+			}
+			p.line("proc %s(%s) {", d.Name.Name, strings.Join(params, ", "))
+			p.indent++
+			for _, s := range d.Body.Stmts {
+				p.stmt(s)
+			}
+			p.indent--
+			p.line("}")
+		}
+	}
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *VarStmt:
+		switch {
+		case s.Size != nil:
+			p.line("var %s[%s];", s.Name.Name, FormatExpr(s.Size))
+		case s.Init != nil:
+			p.line("var %s = %s;", s.Name.Name, FormatExpr(s.Init))
+		default:
+			p.line("var %s;", s.Name.Name)
+		}
+	case *AssignStmt:
+		p.line("%s = %s;", FormatExpr(s.LHS), FormatExpr(s.RHS))
+	case *IfStmt:
+		p.line("if (%s) {", FormatExpr(s.Cond))
+		p.indent++
+		for _, st := range s.Then.Stmts {
+			p.stmt(st)
+		}
+		p.indent--
+		if s.Else != nil {
+			p.line("} else {")
+			p.indent++
+			for _, st := range s.Else.Stmts {
+				p.stmt(st)
+			}
+			p.indent--
+		}
+		p.line("}")
+	case *WhileStmt:
+		p.line("while (%s) {", FormatExpr(s.Cond))
+		p.indent++
+		for _, st := range s.Body.Stmts {
+			p.stmt(st)
+		}
+		p.indent--
+		p.line("}")
+	case *ForStmt:
+		init, post := "", ""
+		if s.Init != nil {
+			init = fmt.Sprintf("%s = %s", FormatExpr(s.Init.LHS), FormatExpr(s.Init.RHS))
+		}
+		cond := "true"
+		if s.Cond != nil {
+			cond = FormatExpr(s.Cond)
+		}
+		if s.Post != nil {
+			post = fmt.Sprintf("%s = %s", FormatExpr(s.Post.LHS), FormatExpr(s.Post.RHS))
+		}
+		p.line("for (%s; %s; %s) {", init, cond, post)
+		p.indent++
+		for _, st := range s.Body.Stmts {
+			p.stmt(st)
+		}
+		p.indent--
+		p.line("}")
+	case *CallStmt:
+		args := make([]string, len(s.Args))
+		for i, a := range s.Args {
+			args[i] = FormatExpr(a)
+		}
+		p.line("%s(%s);", s.Name.Name, strings.Join(args, ", "))
+	case *SwitchStmt:
+		p.line("switch (%s) {", FormatExpr(s.Tag))
+		for _, c := range s.Cases {
+			if len(c.Values) == 0 {
+				p.line("default:")
+			} else {
+				vals := make([]string, len(c.Values))
+				for i, v := range c.Values {
+					vals[i] = FormatExpr(v)
+				}
+				p.line("case %s:", strings.Join(vals, ", "))
+			}
+			p.indent++
+			for _, st := range c.Body.Stmts {
+				p.stmt(st)
+			}
+			p.indent--
+		}
+		p.line("}")
+	case *BreakStmt:
+		p.line("break;")
+	case *ContinueStmt:
+		p.line("continue;")
+	case *ReturnStmt:
+		p.line("return;")
+	case *ExitStmt:
+		p.line("exit;")
+	case *BlockStmt:
+		p.line("{")
+		p.indent++
+		for _, st := range s.Stmts {
+			p.stmt(st)
+		}
+		p.indent--
+		p.line("}")
+	}
+}
+
+// expr prints e into b, parenthesizing according to the precedence of the
+// enclosing operator (prec).
+func (p *printer) expr(b *strings.Builder, e Expr, prec int) {
+	switch e := e.(type) {
+	case *Ident:
+		b.WriteString(e.Name)
+	case *IntLit:
+		fmt.Fprintf(b, "%d", e.Value)
+	case *BoolLit:
+		fmt.Fprintf(b, "%t", e.Value)
+	case *UndefLit:
+		b.WriteString("undef")
+	case *TossExpr:
+		b.WriteString("VS_toss(")
+		p.expr(b, e.Bound, 0)
+		b.WriteString(")")
+	case *UnaryExpr:
+		b.WriteString(unaryOpString(e.Op))
+		p.expr(b, e.X, 6) // unary binds tighter than any binary op
+	case *IndexExpr:
+		b.WriteString(e.X.Name)
+		b.WriteString("[")
+		p.expr(b, e.Index, 0)
+		b.WriteString("]")
+	case *BinaryExpr:
+		opPrec := e.Op.Precedence()
+		if opPrec < prec || opPrec == 0 {
+			b.WriteString("(")
+			defer b.WriteString(")")
+		}
+		p.expr(b, e.X, opPrec)
+		fmt.Fprintf(b, " %s ", e.Op)
+		// Right operand needs strictly higher precedence to avoid
+		// reassociating (a - b) - c as a - (b - c).
+		p.expr(b, e.Y, opPrec+1)
+	}
+}
+
+func unaryOpString(op token.Kind) string {
+	switch op {
+	case token.SUB:
+		return "-"
+	case token.NOT:
+		return "!"
+	case token.MUL:
+		return "*"
+	case token.AND:
+		return "&"
+	}
+	return op.String()
+}

@@ -1,0 +1,119 @@
+package ast
+
+// Inspect traverses the AST rooted at node in depth-first order, calling
+// f for each node. If f returns false, the children of the node are not
+// visited. Nil children are skipped.
+func Inspect(node Node, f func(Node) bool) {
+	if node == nil || !f(node) {
+		return
+	}
+	switch n := node.(type) {
+	case *Program:
+		for _, d := range n.Decls {
+			Inspect(d, f)
+		}
+	case *ObjectDecl:
+		Inspect(n.Name, f)
+	case *ProcDecl:
+		Inspect(n.Name, f)
+		for _, p := range n.Params {
+			Inspect(p, f)
+		}
+		Inspect(n.Body, f)
+	case *ProcessDecl:
+		Inspect(n.Proc, f)
+	case *EnvDecl:
+		if n.Proc != nil {
+			Inspect(n.Proc, f)
+		}
+		Inspect(n.Name, f)
+	case *BlockStmt:
+		for _, s := range n.Stmts {
+			Inspect(s, f)
+		}
+	case *VarStmt:
+		Inspect(n.Name, f)
+		if n.Size != nil {
+			Inspect(n.Size, f)
+		}
+		if n.Init != nil {
+			Inspect(n.Init, f)
+		}
+	case *AssignStmt:
+		Inspect(n.LHS, f)
+		Inspect(n.RHS, f)
+	case *IfStmt:
+		Inspect(n.Cond, f)
+		Inspect(n.Then, f)
+		if n.Else != nil {
+			Inspect(n.Else, f)
+		}
+	case *WhileStmt:
+		Inspect(n.Cond, f)
+		Inspect(n.Body, f)
+	case *ForStmt:
+		if n.Init != nil {
+			Inspect(n.Init, f)
+		}
+		if n.Cond != nil {
+			Inspect(n.Cond, f)
+		}
+		if n.Post != nil {
+			Inspect(n.Post, f)
+		}
+		Inspect(n.Body, f)
+	case *SwitchStmt:
+		Inspect(n.Tag, f)
+		for _, c := range n.Cases {
+			for _, v := range c.Values {
+				Inspect(v, f)
+			}
+			Inspect(c.Body, f)
+		}
+	case *CallStmt:
+		Inspect(n.Name, f)
+		for _, a := range n.Args {
+			Inspect(a, f)
+		}
+	case *UnaryExpr:
+		Inspect(n.X, f)
+	case *BinaryExpr:
+		Inspect(n.X, f)
+		Inspect(n.Y, f)
+	case *IndexExpr:
+		Inspect(n.X, f)
+		Inspect(n.Index, f)
+	case *TossExpr:
+		Inspect(n.Bound, f)
+	case *Ident, *IntLit, *BoolLit, *UndefLit, *ReturnStmt, *ExitStmt,
+		*BreakStmt, *ContinueStmt:
+		// leaves
+	}
+}
+
+// ExprVars appends to dst the names of all variables read by expression
+// e, and returns the extended slice. For &x the variable x itself is
+// considered read (its address is taken); for *p the pointer p is read
+// (the pointed-to locations are resolved separately by the alias
+// analysis).
+func ExprVars(e Expr, dst []string) []string {
+	Inspect(e, func(n Node) bool {
+		if id, ok := n.(*Ident); ok {
+			dst = append(dst, id.Name)
+		}
+		return true
+	})
+	return dst
+}
+
+// HasToss reports whether expression e contains a VS_toss.
+func HasToss(e Expr) bool {
+	found := false
+	Inspect(e, func(n Node) bool {
+		if _, ok := n.(*TossExpr); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

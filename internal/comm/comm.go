@@ -1,0 +1,221 @@
+// Package comm implements the communication objects of §2 of the paper:
+// bounded FIFO channels, counting semaphores, and shared variables.
+//
+// Per the paper's assumptions, the enabledness of any operation on an
+// object depends exclusively on the sequence of operations performed on
+// the object so far, never on the values stored in or passed through it.
+// The implementations preserve that property: CanSend/CanRecv/CanWait
+// inspect only occupancy/counters, which are functions of the operation
+// history.
+//
+// Payloads are opaque (any); the interpreter stores its own value
+// representation in them.
+package comm
+
+import (
+	"fmt"
+
+	"reclose/internal/ast"
+	"reclose/internal/cfg"
+)
+
+// Object is a communication object instance.
+type Object interface {
+	// Name returns the declared object name.
+	Name() string
+	// Kind returns the object kind (chan, sem, shared).
+	Kind() ast.ObjectKind
+	// Enabled reports whether the named builtin operation can execute
+	// now without blocking.
+	Enabled(op string) bool
+	// Reset restores the initial state.
+	Reset()
+	// Fingerprint returns a short string capturing the object state
+	// (used by the optional state-hashing mode of the explorer).
+	Fingerprint() string
+}
+
+// Chan is a bounded FIFO buffer. An env-facing stub channel (left behind
+// by the closing transformation) never blocks and carries no data.
+type Chan struct {
+	name      string
+	capacity  int
+	envFacing bool
+	q         []any
+}
+
+// NewChan returns a channel of the given capacity. If envFacing is true
+// the channel is a data-free stub.
+func NewChan(name string, capacity int, envFacing bool) *Chan {
+	return &Chan{name: name, capacity: capacity, envFacing: envFacing}
+}
+
+// Name implements Object.
+func (c *Chan) Name() string { return c.name }
+
+// Kind implements Object.
+func (c *Chan) Kind() ast.ObjectKind { return ast.ChanObject }
+
+// EnvFacing reports whether the channel is a stub.
+func (c *Chan) EnvFacing() bool { return c.envFacing }
+
+// CanSend reports whether a send would not block.
+func (c *Chan) CanSend() bool { return c.envFacing || len(c.q) < c.capacity }
+
+// CanRecv reports whether a receive would not block.
+func (c *Chan) CanRecv() bool { return c.envFacing || len(c.q) > 0 }
+
+// Enabled implements Object.
+func (c *Chan) Enabled(op string) bool {
+	switch op {
+	case "send":
+		return c.CanSend()
+	case "recv":
+		return c.CanRecv()
+	}
+	return false
+}
+
+// Send enqueues v. On a stub the value is discarded.
+func (c *Chan) Send(v any) error {
+	if c.envFacing {
+		return nil
+	}
+	if len(c.q) >= c.capacity {
+		return fmt.Errorf("chan %s: send on full channel", c.name)
+	}
+	c.q = append(c.q, v)
+	return nil
+}
+
+// Recv dequeues the oldest value. On a stub it returns (nil, true): the
+// caller substitutes the undefined value.
+func (c *Chan) Recv() (v any, stub bool, err error) {
+	if c.envFacing {
+		return nil, true, nil
+	}
+	if len(c.q) == 0 {
+		return nil, false, fmt.Errorf("chan %s: recv on empty channel", c.name)
+	}
+	v = c.q[0]
+	c.q = c.q[1:]
+	return v, false, nil
+}
+
+// Len returns the current queue length.
+func (c *Chan) Len() int { return len(c.q) }
+
+// Reset implements Object.
+func (c *Chan) Reset() { c.q = nil }
+
+// Fingerprint implements Object.
+func (c *Chan) Fingerprint() string {
+	if c.envFacing {
+		return c.name + ":stub"
+	}
+	return fmt.Sprintf("%s:%v", c.name, c.q)
+}
+
+// Sem is a counting semaphore.
+type Sem struct {
+	name    string
+	initial int64
+	count   int64
+}
+
+// NewSem returns a semaphore with the given initial count.
+func NewSem(name string, initial int64) *Sem {
+	return &Sem{name: name, initial: initial, count: initial}
+}
+
+// Name implements Object.
+func (s *Sem) Name() string { return s.name }
+
+// Kind implements Object.
+func (s *Sem) Kind() ast.ObjectKind { return ast.SemObject }
+
+// CanWait reports whether a wait would not block.
+func (s *Sem) CanWait() bool { return s.count > 0 }
+
+// Enabled implements Object.
+func (s *Sem) Enabled(op string) bool {
+	switch op {
+	case "wait":
+		return s.CanWait()
+	case "signal":
+		return true
+	}
+	return false
+}
+
+// Wait decrements the count.
+func (s *Sem) Wait() error {
+	if s.count <= 0 {
+		return fmt.Errorf("sem %s: wait on zero semaphore", s.name)
+	}
+	s.count--
+	return nil
+}
+
+// Signal increments the count.
+func (s *Sem) Signal() { s.count++ }
+
+// Count returns the current count.
+func (s *Sem) Count() int64 { return s.count }
+
+// Reset implements Object.
+func (s *Sem) Reset() { s.count = s.initial }
+
+// Fingerprint implements Object.
+func (s *Sem) Fingerprint() string { return fmt.Sprintf("%s:%d", s.name, s.count) }
+
+// Shared is a shared variable. Reads and writes never block.
+type Shared struct {
+	name    string
+	initial any
+	v       any
+}
+
+// NewShared returns a shared variable with the given initial value.
+func NewShared(name string, initial any) *Shared {
+	return &Shared{name: name, initial: initial, v: initial}
+}
+
+// Name implements Object.
+func (s *Shared) Name() string { return s.name }
+
+// Kind implements Object.
+func (s *Shared) Kind() ast.ObjectKind { return ast.SharedObject }
+
+// Enabled implements Object.
+func (s *Shared) Enabled(op string) bool { return op == "vread" || op == "vwrite" }
+
+// Read returns the current value.
+func (s *Shared) Read() any { return s.v }
+
+// Write replaces the current value.
+func (s *Shared) Write(v any) { s.v = v }
+
+// Reset implements Object.
+func (s *Shared) Reset() { s.v = s.initial }
+
+// Fingerprint implements Object.
+func (s *Shared) Fingerprint() string { return fmt.Sprintf("%s:%v", s.name, s.v) }
+
+// Build instantiates the objects of a compiled unit, keyed by name. The
+// initFn converts an ObjectSpec's initial argument into the payload
+// representation for shared variables.
+func Build(specs []cfg.ObjectSpec, initFn func(int64) any) map[string]Object {
+	objs := make(map[string]Object, len(specs))
+	for _, sp := range specs {
+		switch sp.Kind {
+		case ast.ChanObject:
+			objs[sp.Name] = NewChan(sp.Name, int(sp.Arg), sp.EnvFacing)
+		case ast.SemObject:
+			objs[sp.Name] = NewSem(sp.Name, sp.Arg)
+		case ast.SharedObject:
+			objs[sp.Name] = NewShared(sp.Name, initFn(sp.Arg))
+		}
+	}
+	return objs
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"reclose/internal/cfg"
+	"reclose/internal/dataflow"
+)
+
+// EliminateDead removes assignments whose value is never used — the
+// residue the closing transformation leaves behind when it eliminates
+// every *use* of a variable but a clean *definition* of it survives
+// (compare the paper's §7 discussion of slicing: closing is not a slice,
+// so dead definitions can remain). The pass runs a backward liveness
+// analysis per procedure and splices dead assignment nodes out of the
+// graph, iterating until no assignment is dead. It returns the number of
+// nodes removed.
+//
+// The unit is modified in place. Visible operations, conditionals, toss
+// switches, and assignments whose right-hand side contains VS_toss are
+// never removed, so the visible behavior is unchanged (tested by
+// trace-set equality).
+func EliminateDead(u *cfg.Unit) int {
+	removed := 0
+	for _, name := range u.Order {
+		removed += eliminateDeadProc(u.Procs[name], u.Arrays[name])
+	}
+	return removed
+}
+
+func eliminateDeadProc(g *cfg.Graph, arrays map[string]bool) int {
+	removed := 0
+	for {
+		lv := dataflow.AnalyzeLiveness(g, arrays)
+		dead := lv.DeadAssignments(arrays)
+		if len(dead) == 0 {
+			return removed
+		}
+		deadSet := make(map[int]bool, len(dead))
+		for _, id := range dead {
+			deadSet[id] = true
+		}
+		for _, id := range dead {
+			splice(g.Nodes[id])
+		}
+		// Rebuild the node list with sequential IDs.
+		var nodes []*cfg.Node
+		for _, n := range g.Nodes {
+			if deadSet[n.ID] {
+				removed++
+				continue
+			}
+			nodes = append(nodes, n)
+		}
+		for i, n := range nodes {
+			n.ID = i
+		}
+		g.Nodes = nodes
+	}
+}
+
+// splice removes a single-successor node from the control flow:
+// everything that entered n now enters n's successor directly.
+func splice(n *cfg.Node) {
+	succ := n.Succ()
+	// Detach n's outgoing arc from the successor's In list.
+	in := succ.In[:0]
+	for _, a := range succ.In {
+		if a.From != n {
+			in = append(in, a)
+		}
+	}
+	succ.In = in
+	// Redirect every predecessor arc.
+	for _, a := range n.In {
+		a.To = succ
+		succ.In = append(succ.In, a)
+	}
+	n.In = nil
+	n.Out = nil
+}

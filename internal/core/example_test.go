@@ -1,0 +1,97 @@
+package core_test
+
+import (
+	"fmt"
+
+	"reclose/internal/core"
+	"reclose/internal/explore"
+)
+
+// The canonical pipeline: compile an open program, close it with its
+// most general environment, and systematically explore the result.
+func Example() {
+	const open = `
+chan reply[1];
+env chan reply;
+env server.cmd;
+
+proc server(cmd) {
+    var handled = 0;
+    if (cmd > 0) {           // environment-dependent: becomes VS_toss
+        send(reply, 1);
+        handled = 1;
+    } else {
+        send(reply, 0);
+    }
+    VS_assert(handled == 1 || handled == 0);
+}
+process server;
+`
+	closed, stats, err := core.CloseSource(open)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("params removed:", stats.ParamsRemoved)
+	fmt.Println("toss switches:", stats.TossInserted)
+
+	report, err := explore.Explore(closed, explore.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("paths:", report.Paths)
+	fmt.Println("violations:", report.Violations)
+	// Output:
+	// params removed: 1
+	// toss switches: 1
+	// paths: 2
+	// violations: 0
+}
+
+// Partitioning (the §7 extension) keeps an input that is only compared
+// against constants, drawing it from one representative per range.
+func ExamplePartition() {
+	const open = `
+chan out[1];
+env chan out;
+env p.t;
+proc p(t) {
+    if (t < 100) {
+        send(out, 1);
+    } else {
+        send(out, 2);
+    }
+}
+process p;
+`
+	unit, err := core.CompileSource(open)
+	if err != nil {
+		panic(err)
+	}
+	_, stats := core.Partition(unit)
+	fmt.Println(stats)
+	// Output:
+	// partitioned=1 representatives=3 skipped=0
+}
+
+// VerifyClosed re-checks Lemma 5 on a transformed unit: no node may
+// still use an environment-dependent value.
+func ExampleVerifyClosed() {
+	closed, _, err := core.CloseSource(`
+chan c[1];
+env chan c;
+proc main() {
+    var x;
+    recv(c, x);
+    if (x > 0) {
+        send(c, 1);
+    }
+}
+process main;
+`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(core.VerifyClosed(closed))
+	// Output:
+	// <nil>
+}

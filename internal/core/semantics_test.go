@@ -1,0 +1,157 @@
+package core_test
+
+import (
+	"testing"
+
+	"reclose/internal/core"
+	"reclose/internal/explore"
+	"reclose/internal/mgenv"
+)
+
+// TestInvisibleCycleCollapse pins the §4 remark: "Step 4 of the
+// algorithm eliminates cyclic paths that traverse exclusively unmarked
+// nodes. Divergences due to such paths are therefore not preserved."
+// The env-dependent busy loop — which diverges in the open system for
+// x > 0 — collapses entirely: control flows straight from the start to
+// the send, and the closed system has exactly one (terminating) trace.
+// (With MiniC's structured statements every unmarked cycle has an exit
+// arc to a preserved node, so the succ(a) = ∅ case of Step 4 — counted
+// by Stats.Divergences — cannot arise from source programs; the cycle is
+// dropped by reachability instead.)
+func TestInvisibleCycleCollapse(t *testing.T) {
+	src := `
+chan out[1];
+env chan out;
+env p.x;
+proc p(x) {
+    while (x > 0) {
+        x = x + 1;
+    }
+    send(out, 1);
+}
+process p;
+`
+	closed, st, err := core.CloseSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NodesEliminated != 2 {
+		t.Errorf("eliminated = %d, want 2 (loop cond + body)", st.NodesEliminated)
+	}
+	if st.TossInserted != 0 {
+		t.Errorf("tosses = %d, want 0 (single preserved successor)", st.TossInserted)
+	}
+	rep, err := explore.Explore(closed, explore.Options{MaxDepth: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Divergences != 0 {
+		t.Errorf("closed system diverges; invisible cycles should have been eliminated: %s", rep)
+	}
+	set, _, err := explore.TraceSet(closed, explore.Options{MaxDepth: 20}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 1 || !set["P0:send(out)=1 "] {
+		t.Errorf("traces = %v, want exactly the send path (divergence not preserved)", set)
+	}
+}
+
+// TestRuntimeErrorElimination pins the §5 run-time-error discussion: "C
+// does not specify the behavior of run-time errors such as
+// array-out-of-bounds, and so the transformation algorithm for C
+// programs may freely remove array references when appropriate." An
+// env-indexed array store traps in the open program for some inputs but
+// is eliminated by closing.
+func TestRuntimeErrorElimination(t *testing.T) {
+	src := `
+chan out[1];
+env chan out;
+env p.x;
+proc p(x) {
+    var a[2];
+    a[x] = 1;
+    send(out, 7);
+}
+process p;
+`
+	// Open side: out-of-bounds inputs trap.
+	naive, _, err := mgenv.ComposeSource(src, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	openRep, err := explore.Explore(naive, explore.Options{MaxDepth: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if openRep.Traps == 0 {
+		t.Fatalf("open program should trap for x >= 2: %s", openRep)
+	}
+
+	// Closed side: the array store is eliminated; no traps remain.
+	closed, st, err := core.CloseSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NodesEliminated == 0 {
+		t.Errorf("the env-indexed store should be eliminated: %s", st)
+	}
+	closedRep, err := explore.Explore(closed, explore.Options{MaxDepth: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closedRep.Traps != 0 {
+		t.Errorf("closed program traps: %s\n%v", closedRep, closedRep.Samples)
+	}
+	if closedRep.Terminated == 0 {
+		t.Errorf("closed program should run to completion: %s", closedRep)
+	}
+}
+
+// TestEnvDependentAssertionNotPreserved pins the boundary of Theorem 7:
+// an assertion whose argument depends on the environment is NOT
+// preserved — its argument is eliminated (undef), so it never fires in
+// the closed system, even though the open system can violate it. The
+// paper: "for all the assertions in procedures p_j preserved in p'_j".
+func TestEnvDependentAssertionNotPreserved(t *testing.T) {
+	src := `
+chan out[1];
+env chan out;
+env p.x;
+proc p(x) {
+    var ok = x > 0;   // env-dependent
+    VS_assert(ok);
+    send(out, 1);
+}
+process p;
+`
+	naive, _, err := mgenv.ComposeSource(src, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	openRep, err := explore.Explore(naive, explore.Options{MaxDepth: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if openRep.Violations == 0 {
+		t.Fatalf("open system should violate for x = 0: %s", openRep)
+	}
+
+	closed, st, err := core.CloseSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ArgsUndefed != 1 {
+		t.Errorf("the assertion argument should be undef'd: %s", st)
+	}
+	closedRep, err := explore.Explore(closed, explore.Options{MaxDepth: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closedRep.Violations != 0 {
+		t.Errorf("eliminated assertion fired in the closed system: %s", closedRep)
+	}
+	if closedRep.Terminated == 0 {
+		t.Errorf("closed system should run to completion: %s", closedRep)
+	}
+}

@@ -1,0 +1,155 @@
+package dataflow_test
+
+import (
+	"testing"
+
+	"reclose/internal/core"
+	"reclose/internal/dataflow"
+)
+
+// liveAt returns the live-in set of the node whose text contains substr.
+func liveAt(t *testing.T, lv *dataflow.Liveness, substr string) dataflow.VarSet {
+	t.Helper()
+	for _, n := range lv.Graph.Nodes {
+		if containsNodeText(lv.Graph, n, substr) {
+			return lv.In[n.ID]
+		}
+	}
+	t.Fatalf("no node containing %q:\n%s", substr, lv.Graph)
+	return nil
+}
+
+func analyzeLive(t *testing.T, src, proc string) *dataflow.Liveness {
+	t.Helper()
+	u := core.MustCompileSource(src)
+	return dataflow.AnalyzeLiveness(u.Graph(proc), u.Arrays[proc])
+}
+
+func TestLivenessStraightLine(t *testing.T) {
+	lv := analyzeLive(t, `
+chan out[1];
+proc p() {
+    var a = 1;
+    var b = a + 1;
+    var c = 99;      // dead: strongly redefined before any use
+    c = b + 1;
+    send(out, c);
+}
+process p;
+`, "p")
+	if got := liveAt(t, lv, "b = a + 1"); !got.Has("a") {
+		t.Errorf("a should be live before b = a+1: %v", got.Sorted())
+	}
+	if got := liveAt(t, lv, "c = 99"); got.Has("c") {
+		t.Errorf("c should be dead before c = 99 (about to be killed): %v", got.Sorted())
+	}
+	dead := lv.DeadAssignments(nil)
+	if len(dead) != 1 {
+		t.Fatalf("dead assignments = %v, want exactly the c = 99 node", dead)
+	}
+	if !containsNodeText(lv.Graph, lv.Graph.Nodes[dead[0]], "c = 99") {
+		t.Errorf("wrong node flagged dead: n%d", dead[0])
+	}
+}
+
+func TestLivenessLoopCarriesValues(t *testing.T) {
+	lv := analyzeLive(t, `
+chan out[1];
+proc p() {
+    var s = 0;
+    var i = 0;
+    while (i < 3) {
+        s = s + i;    // s is live around the loop
+        i = i + 1;
+    }
+    send(out, s);
+}
+process p;
+`, "p")
+	if got := liveAt(t, lv, "i < 3"); !got.Has("s") || !got.Has("i") {
+		t.Errorf("loop condition should carry s and i live: %v", got.Sorted())
+	}
+	if dead := lv.DeadAssignments(nil); len(dead) != 0 {
+		t.Errorf("nothing is dead here, got %v", dead)
+	}
+}
+
+func TestLivenessBranches(t *testing.T) {
+	lv := analyzeLive(t, `
+chan out[1];
+proc p() {
+    var a = 1;
+    var b = 2;
+    var t = 0;
+    vread(g, t);
+    if (t > 0) {
+        send(out, a);
+    } else {
+        send(out, b);
+    }
+}
+process p;
+shared g = 0;
+`, "p")
+	// Both a and b are live at the branch (each used on one arm).
+	if got := liveAt(t, lv, "t > 0"); !got.Has("a") || !got.Has("b") {
+		t.Errorf("a and b live at the branch: %v", got.Sorted())
+	}
+}
+
+func TestLivenessPointers(t *testing.T) {
+	lv := analyzeLive(t, `
+chan out[1];
+proc p() {
+    var x = 5;       // live: read through the pointer
+    var q = &x;
+    var y = *q;
+    send(out, y);
+}
+process p;
+`, "p")
+	if dead := lv.DeadAssignments(nil); len(dead) != 0 {
+		t.Errorf("pointer-read values must stay live, got dead %v", dead)
+	}
+	if got := liveAt(t, lv, "y = *q"); !got.Has("x") || !got.Has("q") {
+		t.Errorf("x and q live before the deref: %v", got.Sorted())
+	}
+}
+
+func TestLivenessCallKeepsReachable(t *testing.T) {
+	lv := analyzeLive(t, `
+chan out[1];
+proc inc(p) { *p = *p + 1; }
+proc p() {
+    var x = 5;
+    var q = &x;
+    inc(q);
+    send(out, x);
+}
+process p;
+`, "p")
+	// x is reachable from the call argument: live across the call.
+	if got := liveAt(t, lv, "inc(q)"); !got.Has("x") {
+		t.Errorf("x must be live at the call (callee reads/writes it): %v", got.Sorted())
+	}
+	if dead := lv.DeadAssignments(nil); len(dead) != 0 {
+		t.Errorf("nothing is dead here, got %v", dead)
+	}
+}
+
+func TestDeadAssignmentsSkipToss(t *testing.T) {
+	// An assignment whose RHS contains VS_toss is never removed even if
+	// the value is dead: removing it would change the branching.
+	u := core.MustCompileSource(`
+chan out[1];
+proc p() {
+    var d = VS_toss(3);
+    send(out, 1);
+}
+process p;
+`)
+	lv := dataflow.AnalyzeLiveness(u.Graph("p"), nil)
+	if dead := lv.DeadAssignments(nil); len(dead) != 0 {
+		t.Errorf("toss assignment flagged dead: %v", dead)
+	}
+}

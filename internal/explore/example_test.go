@@ -1,0 +1,58 @@
+package explore_test
+
+import (
+	"fmt"
+
+	"reclose/internal/core"
+	"reclose/internal/explore"
+	"reclose/internal/progs"
+)
+
+// Exploring a closed system: the classic dining-philosophers deadlock is
+// found, and the shortest witness can be replayed deterministically.
+func ExampleExplore() {
+	unit := core.MustCompileSource(progs.Philosophers(3))
+	report, err := explore.Explore(unit, explore.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("deadlocks found:", report.Deadlocks > 0)
+
+	witness := report.FirstIncident(explore.LeafDeadlock)
+	fmt.Println("witness depth:", witness.Depth)
+	_, _, err = explore.Replay(unit, witness.Decisions, func(step explore.ReplayStep) {
+		if step.HasEvent {
+			fmt.Println(" ", step.Event)
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Output:
+	// deadlocks found: true
+	// witness depth: 3
+	//   P0:wait(fork0)
+	//   P1:wait(fork1)
+	//   P2:wait(fork2)
+}
+
+// Trace sets canonicalize visible behaviors for comparisons between a
+// system and its transformed counterpart.
+func ExampleTraceSet() {
+	unit := core.MustCompileSource(`
+chan c[1];
+proc a() { send(c, 1); }
+proc b() { var v; recv(c, v); }
+process a;
+process b;
+`)
+	traces, _, err := explore.TraceSet(unit, explore.Options{}, 0)
+	if err != nil {
+		panic(err)
+	}
+	for tr := range traces {
+		fmt.Println(tr)
+	}
+	// Output:
+	// P0:send(c)=1 P1:recv(c)=1
+}

@@ -1,0 +1,663 @@
+// Package explore implements VeriSoft-style systematic state-space
+// exploration of closed MiniC systems (Godefroid, POPL 1997, as
+// summarized in §2 of the paper).
+//
+// The explorer performs a stateless depth-first search: it stores no
+// visited states; to backtrack it re-executes the run from the initial
+// state, replaying the recorded scheduling and VS_toss decisions. Search
+// is pruned with partial-order methods — persistent sets computed from
+// static object footprints, plus sleep sets — and it detects deadlocks,
+// assertion violations, runtime errors, and divergences up to a depth
+// bound.
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"reclose/internal/ast"
+	"reclose/internal/cfg"
+	"reclose/internal/interp"
+	"reclose/internal/sem"
+)
+
+// Options configure a search.
+type Options struct {
+	// MaxDepth bounds the number of transitions along one path; 0 means
+	// the default (1,000,000).
+	MaxDepth int
+	// MaxStates aborts the whole search after visiting this many global
+	// states; 0 means unlimited. The report is then marked Truncated.
+	MaxStates int64
+	// NoPOR disables persistent-set reduction (all enabled processes are
+	// scheduled at every state).
+	NoPOR bool
+	// NoSleep disables sleep sets.
+	NoSleep bool
+	// StateCache enables the state-hashing ablation: global states whose
+	// fingerprint was already visited are pruned. VeriSoft itself stores
+	// no states; this exists to measure the trade-off. It is unsound in
+	// combination with depth bounds (a state first reached at a deep
+	// point prunes shallower revisits) and is off by default.
+	StateCache bool
+	// MaxIncidents bounds the recorded incident samples per kind;
+	// counters are exact regardless. Default 16.
+	MaxIncidents int
+	// OnLeaf, if non-nil, is invoked at the end of every explored path
+	// with the leaf kind and the visible trace of the path. The trace
+	// slice is reused; copy it to retain.
+	OnLeaf func(kind LeafKind, trace []interp.Event)
+	// StopOnViolation aborts the search at the first assertion violation
+	// or runtime error.
+	StopOnViolation bool
+	// StopOnIncident aborts the search at the first deadlock, violation,
+	// runtime error, or divergence (used by ShortestWitness).
+	StopOnIncident bool
+}
+
+// LeafKind classifies path endings.
+type LeafKind int
+
+// Leaf kinds.
+const (
+	LeafTerminated  LeafKind = iota // all processes terminated
+	LeafDeadlock                    // deadlock (some process running, none enabled)
+	LeafViolation                   // assertion violation
+	LeafTrap                        // runtime error
+	LeafDivergence                  // invisible-step budget exhausted
+	LeafDepth                       // depth bound reached
+	LeafSleepPruned                 // all enabled transitions in the sleep set
+	LeafCachePruned                 // state fingerprint already visited (StateCache)
+)
+
+// String names the leaf kind.
+func (k LeafKind) String() string {
+	switch k {
+	case LeafTerminated:
+		return "terminated"
+	case LeafDeadlock:
+		return "deadlock"
+	case LeafViolation:
+		return "violation"
+	case LeafTrap:
+		return "trap"
+	case LeafDivergence:
+		return "divergence"
+	case LeafDepth:
+		return "depth-bound"
+	case LeafSleepPruned:
+		return "sleep-pruned"
+	case LeafCachePruned:
+		return "cache-pruned"
+	}
+	return "unknown"
+}
+
+// Incident is a recorded sample of an interesting path ending.
+type Incident struct {
+	Kind  LeafKind
+	Msg   string
+	Depth int
+	Trace []interp.Event
+	// Decisions is the full decision sequence reaching the incident; it
+	// can be re-executed deterministically with Replay.
+	Decisions []Decision
+}
+
+// String renders the incident with its trace.
+func (in *Incident) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s at depth %d: %s\n", in.Kind, in.Depth, in.Msg)
+	for _, ev := range in.Trace {
+		fmt.Fprintf(&b, "  %s\n", ev)
+	}
+	return b.String()
+}
+
+// Report summarizes a search.
+type Report struct {
+	States      int64 // global states visited
+	Transitions int64 // transitions executed during forward exploration
+	Paths       int64 // completed paths (leaves)
+	Replays     int64 // prefix re-executions (backtracks)
+	MaxDepth    int   // deepest path seen
+	Truncated   bool  // search aborted by MaxStates or StopOnViolation
+
+	// StatesAtFirstIncident is the number of states visited when the
+	// first deadlock, violation, trap, or divergence was found (0 if
+	// none was found).
+	StatesAtFirstIncident int64
+
+	Terminated  int64
+	Deadlocks   int64
+	Violations  int64
+	Traps       int64
+	Divergences int64
+	DepthHits   int64
+	SleepPrunes int64
+	CachePrunes int64
+
+	// Visible-operation coverage: how many of the program's visible
+	// operation sites (builtin call nodes) were executed at least once.
+	// VeriSoft practice reports coverage of bounded searches.
+	OpsCovered int
+	OpsTotal   int
+
+	Samples []*Incident
+}
+
+// String renders the report as a one-line summary.
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"states=%d transitions=%d paths=%d replays=%d maxdepth=%d deadlocks=%d violations=%d traps=%d divergences=%d depth-hits=%d truncated=%t",
+		r.States, r.Transitions, r.Paths, r.Replays, r.MaxDepth,
+		r.Deadlocks, r.Violations, r.Traps, r.Divergences, r.DepthHits, r.Truncated)
+}
+
+// FirstIncident returns the first recorded sample of the given kind, or
+// nil.
+func (r *Report) FirstIncident(kind LeafKind) *Incident {
+	for _, in := range r.Samples {
+		if in.Kind == kind {
+			return in
+		}
+	}
+	return nil
+}
+
+// entry is one decision point on the DFS stack.
+type entry struct {
+	isToss  bool
+	options []int
+	cursor  int
+	// Scheduling entries record, per option, the object its pending
+	// visible operation targets ("" for VS_assert), for sleep-set
+	// updates, plus the sleep set inherited at this state.
+	objs  []string
+	sleep map[int]string // proc index -> object recorded when it fell asleep
+}
+
+func (e *entry) choice() int { return e.options[e.cursor] }
+
+// Explorer drives the search over one system.
+type Explorer struct {
+	sys *interp.System
+	opt Options
+
+	// footprint[i] is the set of objects process i can ever operate on
+	// (static over-approximation via the call graph).
+	footprint []map[string]bool
+
+	stack     []*entry
+	replayIdx int
+	trace     []interp.Event
+	report    *Report
+	cache     map[string]bool
+	covered   map[[2]interface{}]bool // (proc name, node id) of executed visible ops
+	// pendingSleep is the sleep set to attach to the next scheduling
+	// entry (computed when its parent's option was executed).
+	pendingSleep map[int]string
+	stop         bool
+}
+
+// New returns an explorer over a closed unit.
+func New(u *cfg.Unit, opt Options) (*Explorer, error) {
+	sys, err := interp.NewSystem(u)
+	if err != nil {
+		return nil, err
+	}
+	if opt.MaxDepth <= 0 {
+		opt.MaxDepth = 1000000
+	}
+	if opt.MaxIncidents <= 0 {
+		opt.MaxIncidents = 16
+	}
+	e := &Explorer{sys: sys, opt: opt}
+	e.footprint = footprints(u)
+	return e, nil
+}
+
+// Explore runs the search to completion (or truncation) and returns the
+// report.
+func Explore(u *cfg.Unit, opt Options) (*Report, error) {
+	e, err := New(u, opt)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(), nil
+}
+
+// footprints computes, per process, the set of objects transitively
+// reachable from its top-level procedure through the call graph.
+func footprints(u *cfg.Unit) []map[string]bool {
+	mentions := make(map[string]map[string]bool, len(u.Procs)) // proc -> objects
+	calls := make(map[string][]string, len(u.Procs))           // proc -> callees
+	for name, g := range u.Procs {
+		m := make(map[string]bool)
+		for _, n := range g.Nodes {
+			if n.Kind != cfg.NCall {
+				continue
+			}
+			cs := n.CallStmt()
+			if b, ok := sem.Builtins[cs.Name.Name]; ok {
+				if b.HasObj && len(cs.Args) > 0 {
+					if id, ok := cs.Args[0].(*ast.Ident); ok {
+						m[id.Name] = true
+					}
+				}
+				continue
+			}
+			calls[name] = append(calls[name], cs.Name.Name)
+		}
+		mentions[name] = m
+	}
+	out := make([]map[string]bool, len(u.Processes))
+	for i, top := range u.Processes {
+		fp := make(map[string]bool)
+		seen := map[string]bool{}
+		var visit func(p string)
+		visit = func(p string) {
+			if seen[p] {
+				return
+			}
+			seen[p] = true
+			for o := range mentions[p] {
+				fp[o] = true
+			}
+			for _, q := range calls[p] {
+				visit(q)
+			}
+		}
+		visit(top)
+		out[i] = fp
+	}
+	return out
+}
+
+// Run executes the depth-first search.
+func (e *Explorer) Run() *Report {
+	e.report = &Report{}
+	if e.opt.StateCache {
+		e.cache = make(map[string]bool)
+	}
+	e.stack = e.stack[:0]
+	e.covered = make(map[[2]interface{}]bool)
+	for {
+		e.runPath()
+		if e.stop {
+			e.report.Truncated = true
+			break
+		}
+		if !e.backtrack() {
+			break
+		}
+		e.report.Replays++
+	}
+	e.report.OpsCovered = len(e.covered)
+	e.report.OpsTotal = countVisibleOps(e.sys.Unit)
+	return e.report
+}
+
+// countVisibleOps counts the builtin call nodes of the unit (the
+// visible-operation sites coverage is measured against).
+func countVisibleOps(u *cfg.Unit) int {
+	total := 0
+	for _, name := range u.Order {
+		for _, n := range u.Procs[name].Nodes {
+			if n.Kind == cfg.NCall && sem.IsBuiltin(n.CallStmt().Name.Name) {
+				total++
+			}
+		}
+	}
+	return total
+}
+
+// backtrack advances the deepest decision point with options left,
+// popping exhausted entries. It reports whether the search continues.
+func (e *Explorer) backtrack() bool {
+	for len(e.stack) > 0 {
+		top := e.stack[len(e.stack)-1]
+		top.cursor++
+		if top.cursor < len(top.options) {
+			return true
+		}
+		e.stack = e.stack[:len(e.stack)-1]
+	}
+	return false
+}
+
+// chooser returns the Chooser used during one path execution: it
+// replays toss entries from the stack prefix and materializes new toss
+// entries at the frontier (always starting with outcome 0).
+func (e *Explorer) chooser() interp.Chooser {
+	return interp.ChooserFunc(func(bound int) (int, bool) {
+		if e.replayIdx < len(e.stack) {
+			en := e.stack[e.replayIdx]
+			if !en.isToss {
+				// A scheduling entry where a toss was expected: the
+				// replay diverged, which indicates nondeterminism
+				// outside the recorded decisions. Fail loudly.
+				panic("explore: replay mismatch (expected toss entry)")
+			}
+			e.replayIdx++
+			return en.choice(), true
+		}
+		opts := make([]int, bound+1)
+		for i := range opts {
+			opts[i] = i
+		}
+		e.stack = append(e.stack, &entry{isToss: true, options: opts})
+		e.replayIdx = len(e.stack)
+		return 0, true
+	})
+}
+
+// runPath (re)executes from the initial state through the current stack
+// decisions and then extends the path depth-first until it ends.
+func (e *Explorer) runPath() {
+	e.sys.Reset()
+	e.replayIdx = 0
+	e.trace = e.trace[:0]
+	e.pendingSleep = nil
+	ch := e.chooser()
+
+	if out := e.sys.Init(ch); out != nil {
+		e.leafOutcome(out)
+		return
+	}
+
+	for {
+		// Replay pending scheduling decisions (the chooser replays toss
+		// decisions transparently during Step).
+		if e.replayIdx < len(e.stack) {
+			en := e.stack[e.replayIdx]
+			if en.isToss {
+				panic("explore: replay mismatch (unexpected toss entry)")
+			}
+			e.replayIdx++
+			p := en.choice()
+			e.pendingSleep = childSleep(en)
+			e.cover(p)
+			ev, out := e.sys.Step(p, ch)
+			e.trace = append(e.trace, ev)
+			if out != nil {
+				e.leafOutcome(out)
+				return
+			}
+			continue
+		}
+
+		// Frontier: we are at a fresh global state.
+		e.report.States++
+		if e.opt.MaxStates > 0 && e.report.States >= e.opt.MaxStates {
+			e.stop = true
+			return
+		}
+		depth := e.schedDepth()
+		if depth > e.report.MaxDepth {
+			e.report.MaxDepth = depth
+		}
+
+		if e.sys.AllTerminated() {
+			e.leaf(LeafTerminated, "all processes terminated", nil)
+			return
+		}
+		if e.sys.Deadlocked() {
+			e.leaf(LeafDeadlock, e.deadlockMsg(), nil)
+			return
+		}
+		if depth >= e.opt.MaxDepth {
+			e.leaf(LeafDepth, "depth bound reached", nil)
+			return
+		}
+		if e.cache != nil {
+			fp := e.sys.Fingerprint()
+			if e.cache[fp] {
+				e.leaf(LeafCachePruned, "state already visited", nil)
+				return
+			}
+			e.cache[fp] = true
+		}
+
+		options, objs := e.scheduleOptions()
+		if len(options) == 0 {
+			e.leaf(LeafSleepPruned, "all enabled transitions asleep", nil)
+			return
+		}
+		en := &entry{options: options, objs: objs, sleep: e.pendingSleep}
+		e.stack = append(e.stack, en)
+		e.replayIdx = len(e.stack)
+
+		p := en.choice()
+		e.pendingSleep = childSleep(en)
+		e.report.Transitions++
+		e.cover(p)
+		ev, out := e.sys.Step(p, ch)
+		e.trace = append(e.trace, ev)
+		if out != nil {
+			e.leafOutcome(out)
+			return
+		}
+	}
+}
+
+// cover records the visible-operation site process p is about to
+// execute.
+func (e *Explorer) cover(p int) {
+	proc, node := e.sys.Procs[p].At()
+	if node >= 0 {
+		e.covered[[2]interface{}{proc, node}] = true
+	}
+}
+
+// schedDepth counts scheduling decisions on the stack.
+func (e *Explorer) schedDepth() int {
+	d := 0
+	for _, en := range e.stack {
+		if !en.isToss {
+			d++
+		}
+	}
+	return d
+}
+
+func (e *Explorer) deadlockMsg() string {
+	var parts []string
+	for i, p := range e.sys.Procs {
+		if p.Status() != interp.Running {
+			continue
+		}
+		op, obj, _ := p.PendingOp()
+		parts = append(parts, fmt.Sprintf("P%d blocked on %s(%s)", i, op, obj))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// scheduleOptions computes the transitions to explore from the current
+// global state: a persistent set (unless disabled) minus the sleep set,
+// together with the object each pending operation targets.
+func (e *Explorer) scheduleOptions() (options []int, objs []string) {
+	enabled := e.sys.EnabledProcs()
+	var set []int
+	if e.opt.NoPOR {
+		set = enabled
+	} else {
+		set = e.persistentSet(enabled)
+	}
+	sleep := e.pendingSleep
+	for _, p := range set {
+		if !e.opt.NoSleep && sleep != nil {
+			if _, asleep := sleep[p]; asleep {
+				continue
+			}
+		}
+		options = append(options, p)
+		_, obj, _ := e.sys.Procs[p].PendingOp()
+		objs = append(objs, obj)
+	}
+	return options, objs
+}
+
+// persistentSet returns a persistent subset of the enabled processes,
+// computed from static object footprints:
+//
+//   - if some enabled process's pending operation targets an object no
+//     other running process can ever touch (or targets no object at
+//     all, like VS_assert), that single process is persistent;
+//   - otherwise, grow a closure from the first enabled process by
+//     footprint overlap and return its enabled members.
+func (e *Explorer) persistentSet(enabled []int) []int {
+	if len(enabled) <= 1 {
+		return enabled
+	}
+	for _, p := range enabled {
+		_, obj, _ := e.sys.Procs[p].PendingOp()
+		if obj == "" {
+			return []int{p}
+		}
+		private := true
+		for q, proc := range e.sys.Procs {
+			if q == p || proc.Status() != interp.Running {
+				continue
+			}
+			if e.footprint[q][obj] {
+				private = false
+				break
+			}
+		}
+		if private {
+			return []int{p}
+		}
+	}
+
+	inS := make(map[int]bool)
+	inS[enabled[0]] = true
+	for changed := true; changed; {
+		changed = false
+		for q, proc := range e.sys.Procs {
+			if inS[q] || proc.Status() != interp.Running {
+				continue
+			}
+			for m := range inS {
+				if overlap(e.footprint[q], e.footprint[m]) {
+					inS[q] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	var out []int
+	for _, p := range enabled {
+		if inS[p] {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return enabled
+	}
+	return out
+}
+
+func overlap(a, b map[string]bool) bool {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	for k := range a {
+		if b[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// childSleep computes the sleep set for the subtree under the current
+// option of en: the inherited sleepers plus the previously explored
+// options, minus everything dependent on the chosen transition (two
+// transitions are dependent iff they target the same object).
+func childSleep(en *entry) map[int]string {
+	chosenObj := en.objs[en.cursor]
+	out := make(map[int]string, len(en.sleep)+en.cursor)
+	for p, obj := range en.sleep {
+		if obj != chosenObj || obj == "" {
+			out[p] = obj
+		}
+	}
+	for i := 0; i < en.cursor; i++ {
+		p, obj := en.options[i], en.objs[i]
+		if obj != chosenObj || obj == "" {
+			out[p] = obj
+		}
+	}
+	delete(out, en.options[en.cursor])
+	return out
+}
+
+// leafOutcome records a path ending caused by an abnormal outcome.
+func (e *Explorer) leafOutcome(out *interp.Outcome) {
+	switch out.Kind {
+	case interp.OutViolation:
+		e.leaf(LeafViolation, out.Msg, out)
+	case interp.OutTrap:
+		e.leaf(LeafTrap, out.Msg, out)
+	case interp.OutDivergence:
+		e.leaf(LeafDivergence, out.Msg, out)
+	case interp.OutNeedToss:
+		// The explorer's chooser always supplies outcomes.
+		panic("explore: unexpected NeedToss outcome")
+	}
+}
+
+// leaf records the end of a path.
+func (e *Explorer) leaf(kind LeafKind, msg string, _ *interp.Outcome) {
+	r := e.report
+	r.Paths++
+	switch kind {
+	case LeafTerminated:
+		r.Terminated++
+	case LeafDeadlock:
+		r.Deadlocks++
+	case LeafViolation:
+		r.Violations++
+	case LeafTrap:
+		r.Traps++
+	case LeafDivergence:
+		r.Divergences++
+	case LeafDepth:
+		r.DepthHits++
+	case LeafSleepPruned:
+		r.SleepPrunes++
+	case LeafCachePruned:
+		r.CachePrunes++
+	}
+	interesting := kind == LeafDeadlock || kind == LeafViolation || kind == LeafTrap || kind == LeafDivergence
+	if interesting && r.StatesAtFirstIncident == 0 {
+		r.StatesAtFirstIncident = r.States
+	}
+	if interesting && len(r.Samples) < e.opt.MaxIncidents {
+		tr := make([]interp.Event, len(e.trace))
+		copy(tr, e.trace)
+		dec := make([]Decision, 0, len(e.stack))
+		for _, en := range e.stack {
+			dec = append(dec, Decision{Toss: en.isToss, Value: en.choice()})
+		}
+		r.Samples = append(r.Samples, &Incident{
+			Kind: kind, Msg: msg, Depth: e.schedDepth(), Trace: tr, Decisions: dec,
+		})
+	}
+	if e.opt.OnLeaf != nil {
+		e.opt.OnLeaf(kind, e.trace)
+	}
+	if e.opt.StopOnViolation && (kind == LeafViolation || kind == LeafTrap) {
+		e.stop = true
+	}
+	if e.opt.StopOnIncident && interesting {
+		e.stop = true
+	}
+	sortSamples(r.Samples)
+}
+
+func sortSamples(s []*Incident) {
+	sort.SliceStable(s, func(i, j int) bool { return s[i].Depth < s[j].Depth })
+}

@@ -1,0 +1,120 @@
+package explore
+
+import (
+	"fmt"
+
+	"reclose/internal/cfg"
+	"reclose/internal/interp"
+)
+
+// Decision is one recorded choice of a search path: either a scheduling
+// decision (which process's transition fired) or a VS_toss outcome.
+type Decision struct {
+	Toss  bool
+	Value int
+}
+
+// String renders the decision.
+func (d Decision) String() string {
+	if d.Toss {
+		return fmt.Sprintf("toss=%d", d.Value)
+	}
+	return fmt.Sprintf("run P%d", d.Value)
+}
+
+// ReplayStep is one step of a replayed scenario, as delivered to the
+// observer: the decision taken and, for scheduling decisions, the
+// visible event it produced.
+type ReplayStep struct {
+	Decision Decision
+	Event    interp.Event
+	HasEvent bool
+}
+
+// Replay deterministically re-executes a recorded decision sequence
+// (from Incident.Decisions) on a fresh instance of the unit, invoking
+// observe after every step. It returns the outcome that ended the
+// scenario (nil if the decisions run out without an incident — e.g. a
+// deadlock, which is a property of the final state rather than an
+// execution outcome; inspect the returned system for that).
+//
+// This is the debugging/replay facility of VeriSoft: an erroneous
+// scenario found by the search can be re-executed step by step.
+func Replay(u *cfg.Unit, decisions []Decision, observe func(ReplayStep)) (*interp.System, *interp.Outcome, error) {
+	sys, err := interp.NewSystem(u)
+	if err != nil {
+		return nil, nil, err
+	}
+	pos := 0
+	chooser := interp.ChooserFunc(func(bound int) (int, bool) {
+		if pos >= len(decisions) || !decisions[pos].Toss {
+			return 0, false
+		}
+		v := decisions[pos].Value
+		if observe != nil {
+			observe(ReplayStep{Decision: decisions[pos]})
+		}
+		pos++
+		return v, true
+	})
+
+	if out := sys.Init(chooser); out != nil {
+		return sys, out, nil
+	}
+	for pos < len(decisions) {
+		d := decisions[pos]
+		if d.Toss {
+			return sys, nil, fmt.Errorf("explore: unconsumed toss decision at position %d", pos)
+		}
+		pos++
+		if d.Value < 0 || d.Value >= len(sys.Procs) {
+			return sys, nil, fmt.Errorf("explore: scheduling decision names process %d of %d", d.Value, len(sys.Procs))
+		}
+		if !sys.Enabled(d.Value) {
+			return sys, nil, fmt.Errorf("explore: replayed process P%d is not enabled (stale decisions?)", d.Value)
+		}
+		ev, out := sys.Step(d.Value, chooser)
+		if observe != nil {
+			observe(ReplayStep{Decision: d, Event: ev, HasEvent: true})
+		}
+		if out != nil {
+			return sys, out, nil
+		}
+	}
+	return sys, nil, nil
+}
+
+// ShortestWitness finds a minimal-depth incident (deadlock, violation,
+// trap, or divergence) by iterative deepening: it runs complete searches
+// at increasing depth bounds until one finds an incident, which is then
+// guaranteed to be as shallow as possible. VeriSoft's stateless DFS
+// yields *some* witness; iterative deepening trades re-exploration for
+// the shortest one — the classic IDDFS trade, cheap here because
+// shallow state spaces are small.
+//
+// It returns nil (with the final report) if no incident exists within
+// opt.MaxDepth (default 64 for this function).
+func ShortestWitness(u *cfg.Unit, opt Options) (*Incident, *Report, error) {
+	limit := opt.MaxDepth
+	if limit <= 0 {
+		limit = 64
+	}
+	opt.StopOnIncident = true
+	var last *Report
+	for d := 1; d <= limit; d++ {
+		opt.MaxDepth = d
+		rep, err := Explore(u, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		last = rep
+		if len(rep.Samples) > 0 {
+			return rep.Samples[0], rep, nil
+		}
+		if rep.DepthHits == 0 && !rep.Truncated {
+			// The whole state space fits within d: nothing to find.
+			return nil, rep, nil
+		}
+	}
+	return nil, last, nil
+}

@@ -1,0 +1,149 @@
+package explore
+
+import (
+	"strings"
+
+	"reclose/internal/cfg"
+	"reclose/internal/interp"
+)
+
+// TraceSet explores the unit and returns the set of distinct visible
+// traces, canonicalized as strings. If sysProcs > 0, events of processes
+// with index >= sysProcs (environment components) are projected away, so
+// traces of a naive composition can be compared with traces of a closed
+// transformation. Stub markers are ignored in the canonical form for the
+// same reason.
+//
+// Only complete paths contribute (terminated, deadlocked, violated, or
+// trapped); depth-bounded prefixes are excluded unless includePartial is
+// requested via the options' OnLeaf (not supported here — pick MaxDepth
+// large enough for the system under comparison).
+func TraceSet(u *cfg.Unit, opt Options, sysProcs int) (map[string]bool, *Report, error) {
+	set := make(map[string]bool)
+	userLeaf := opt.OnLeaf
+	opt.OnLeaf = func(kind LeafKind, trace []interp.Event) {
+		if userLeaf != nil {
+			userLeaf(kind, trace)
+		}
+		switch kind {
+		case LeafTerminated, LeafDeadlock, LeafViolation, LeafTrap:
+			set[CanonTrace(trace, sysProcs)] = true
+		}
+	}
+	rep, err := Explore(u, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return set, rep, nil
+}
+
+// CanonTrace renders a visible trace as a canonical string, projecting
+// away events of processes with index >= sysProcs when sysProcs > 0.
+func CanonTrace(trace []interp.Event, sysProcs int) string {
+	var b strings.Builder
+	for _, ev := range trace {
+		if sysProcs > 0 && ev.Proc >= sysProcs {
+			continue
+		}
+		b.WriteString(ev.String())
+		b.WriteByte(' ')
+	}
+	return b.String()
+}
+
+// Subset reports whether every trace in a is in b, returning a witness
+// trace otherwise.
+func Subset(a, b map[string]bool) (string, bool) {
+	for t := range a {
+		if !b[t] {
+			return t, false
+		}
+	}
+	return "", true
+}
+
+// TraceLists is TraceSet returning each distinct trace as its event
+// list, for wildcard comparisons.
+func TraceLists(u *cfg.Unit, opt Options, sysProcs int) ([][]string, *Report, error) {
+	seen := make(map[string]bool)
+	var out [][]string
+	userLeaf := opt.OnLeaf
+	opt.OnLeaf = func(kind LeafKind, trace []interp.Event) {
+		if userLeaf != nil {
+			userLeaf(kind, trace)
+		}
+		switch kind {
+		case LeafTerminated, LeafDeadlock, LeafViolation, LeafTrap:
+			var evs []string
+			for _, ev := range trace {
+				if sysProcs > 0 && ev.Proc >= sysProcs {
+					continue
+				}
+				evs = append(evs, ev.String())
+			}
+			key := strings.Join(evs, " ")
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, evs)
+			}
+		}
+	}
+	rep, err := Explore(u, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, rep, nil
+}
+
+// EventMatches reports whether a concrete open-system event is matched
+// by a closed-system event: they are equal, or the closed event carries
+// the undefined value where the open one carries concrete data
+// (Theorem 6 preserves only environment-independent values).
+func EventMatches(open, closed string) bool {
+	if open == closed {
+		return true
+	}
+	i := strings.LastIndex(closed, "=")
+	return i >= 0 && closed[i+1:] == "undef" && strings.HasPrefix(open, closed[:i+1])
+}
+
+// traceMatches reports whether every event of open is matched by the
+// corresponding event of closed.
+func traceMatches(open, closed []string) bool {
+	if len(open) != len(closed) {
+		return false
+	}
+	for i := range open {
+		if !EventMatches(open[i], closed[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// WildcardSubset reports whether every open trace is matched by some
+// closed trace under EventMatches, returning a witness open trace
+// otherwise. This is the inclusion Theorem 6 guarantees.
+func WildcardSubset(open, closed [][]string) (string, bool) {
+	exact := make(map[string]bool, len(closed))
+	for _, c := range closed {
+		exact[strings.Join(c, " ")] = true
+	}
+	for _, o := range open {
+		key := strings.Join(o, " ")
+		if exact[key] {
+			continue
+		}
+		found := false
+		for _, c := range closed {
+			if traceMatches(o, c) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return key, false
+		}
+	}
+	return "", true
+}

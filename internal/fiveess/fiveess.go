@@ -1,0 +1,363 @@
+// Package fiveess generates a synthetic multi-process telephone
+// call-processing application in MiniC, standing in for the 5ESS case
+// study of §6 of the paper. The paper's application — call originations,
+// terminations, location registration, handover, and billing across ~10
+// families of concurrent reactive processes — is proprietary; this
+// generator reproduces its *shape* at a parameterized scale:
+//
+//   - per-handler pairs of originating (ocp) and terminating (tcp)
+//     call-processing processes connected by dedicated channels;
+//   - a home-location-register (HLR) server multiplexing lookup
+//     requests over shared channels;
+//   - a mobility process consuming radio events from the environment
+//     and updating a shared registration state;
+//   - a billing process counting call records and asserting an
+//     environment-independent completeness invariant;
+//   - a configurable chain of feature modules (screening, translation,
+//     forwarding, ...) whose control flow depends on subscriber data
+//     provided by the environment — the part the closing transformation
+//     eliminates;
+//   - optionally, a manual stub feeding scripted subscriber events
+//     (the paper's "software stubs for a small number of inputs ... the
+//     remainder closed automatically");
+//   - optionally injected bugs: a lock-ordering deadlock between the
+//     trunk semaphores, and a billing lost-update race violating the
+//     completeness assertion.
+package fiveess
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config parameterizes the generated switch application.
+type Config struct {
+	// Handlers is the number of ocp/tcp call-processing pairs.
+	Handlers int
+	// Lines is the number of calls each handler processes (loop bound).
+	Lines int
+	// Features is the number of generated feature modules.
+	Features int
+	// Chain is the length of the feature chain each call traverses.
+	Chain int
+	// Trunks is the trunk semaphore's initial count.
+	Trunks int
+	// WithStub replaces the env-facing subscriber-event channel with a
+	// system channel fed by a scripted stub process (partial manual
+	// closing, as in the paper's methodology).
+	WithStub bool
+	// InjectDeadlock introduces a lock-ordering bug between two trunk
+	// semaphores on handler 0.
+	InjectDeadlock bool
+	// InjectRace makes billing use racy read-modify-write updates on a
+	// shared variable, so the completeness assertion can be violated.
+	InjectRace bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Handlers <= 0 {
+		c.Handlers = 1
+	}
+	if c.Lines <= 0 {
+		c.Lines = 1
+	}
+	if c.Features <= 0 {
+		c.Features = 4
+	}
+	if c.Chain <= 0 {
+		c.Chain = 2
+	}
+	if c.Chain > c.Features {
+		c.Chain = c.Features
+	}
+	if c.Trunks <= 0 {
+		c.Trunks = c.Handlers
+	}
+	return c
+}
+
+// Scale returns a named preset: "small", "medium", or "large".
+func Scale(name string) Config {
+	switch name {
+	case "medium":
+		return Config{Handlers: 2, Lines: 2, Features: 12, Chain: 3, WithStub: true}
+	case "large":
+		return Config{Handlers: 4, Lines: 2, Features: 40, Chain: 4, WithStub: true}
+	case "xlarge":
+		return Config{Handlers: 8, Lines: 3, Features: 120, Chain: 5, WithStub: true}
+	default: // small
+		return Config{Handlers: 1, Lines: 1, Features: 4, Chain: 2}
+	}
+}
+
+// Source generates the MiniC source of the application.
+func Source(cfg Config) string {
+	cfg = cfg.withDefaults()
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+
+	totalCalls := cfg.Handlers * cfg.Lines
+
+	w("// Synthetic 5ESS-like call-processing application.")
+	w("// handlers=%d lines=%d features=%d chain=%d stub=%t deadlock=%t race=%t",
+		cfg.Handlers, cfg.Lines, cfg.Features, cfg.Chain, cfg.WithStub, cfg.InjectDeadlock, cfg.InjectRace)
+	w("")
+
+	// ----- communication objects -----
+	for h := 0; h < cfg.Handlers; h++ {
+		w("chan setup%d[1];", h)
+		w("chan conn%d[1];", h)
+		w("chan hlrResp%d[1];", h)
+	}
+	w("chan hlrReq[2];")
+	w("chan billRec[%d];", max(2, cfg.Handlers))
+	if cfg.InjectDeadlock {
+		w("sem trunkA = 1;")
+		w("sem trunkB = 1;")
+	} else {
+		w("sem trunks = %d;", cfg.Trunks)
+	}
+	w("shared regCount = 0;")
+	if cfg.InjectRace {
+		w("shared billTotal = 0;")
+		w("sem billDone = 0;")
+	}
+	w("chan subsEv[1];")
+	w("chan radioEv[1];")
+	w("chan tone[1];")
+	w("chan display[1];")
+	if !cfg.WithStub {
+		w("env chan subsEv;")
+	}
+	w("env chan radioEv;")
+	w("env chan tone;")
+	w("env chan display;")
+	w("")
+
+	// ----- feature modules -----
+	// Each feature screens/translates the (environment-provided)
+	// subscriber data and passes a derived class on; the bodies differ
+	// structurally so the transformation has varied work to do.
+	for k := 0; k < cfg.Features; k++ {
+		w("proc feature%d(code, res) {", k)
+		w("    var t = code %% %d;", k%5+2)
+		switch k % 3 {
+		case 0:
+			w("    if (t == 0) {")
+			w("        *res = %d;", k)
+			w("    } else {")
+			w("        var u = t * 2;")
+			w("        *res = u + %d;", k)
+			w("    }")
+		case 1:
+			w("    var acc = 0;")
+			w("    var i = 0;")
+			w("    while (i < %d) {", k%3+1)
+			w("        if (t > i) {")
+			w("            acc = acc + t;")
+			w("        }")
+			w("        i = i + 1;")
+			w("    }")
+			w("    *res = acc + %d;", k)
+		default:
+			w("    var cls = t;")
+			w("    if (cls >= %d) {", k%4+1)
+			w("        cls = cls - %d;", k%4+1)
+			w("    }")
+			w("    if (cls == 0) {")
+			w("        *res = %d;", k+1)
+			w("    } else {")
+			w("        *res = cls;")
+			w("    }")
+		}
+		w("}")
+		w("")
+	}
+
+	// Digit screening helper shared by all handlers.
+	w("proc screen(digits, cls) {")
+	w("    var d = digits;")
+	w("    var c = 0;")
+	w("    var i = 0;")
+	w("    while (i < 3) {")
+	w("        if (d %% 2 == 0) {")
+	w("            c = c + 1;")
+	w("        }")
+	w("        d = d / 2;")
+	w("        i = i + 1;")
+	w("    }")
+	w("    *cls = c;")
+	w("}")
+	w("")
+
+	// ----- originating call processing, one per handler -----
+	for h := 0; h < cfg.Handlers; h++ {
+		w("proc ocp%d() {", h)
+		w("    var call = 0;")
+		w("    var ev;")
+		w("    var cls = 0;")
+		w("    var r = 0;")
+		w("    var pc = &cls;")
+		w("    var pr = &r;")
+		w("    while (call < %d) {", cfg.Lines)
+		w("        recv(subsEv, ev);")
+		w("        screen(ev, pc);")
+		// Feature chain: class flows through Chain feature modules.
+		for c := 0; c < cfg.Chain; c++ {
+			k := (h + c) % cfg.Features
+			src := "cls"
+			if c > 0 {
+				src = "r"
+			}
+			w("        feature%d(%s, pr);", k, src)
+		}
+		if cfg.InjectDeadlock && h == 0 {
+			w("        wait(trunkA);")
+			w("        wait(trunkB);")
+		} else if cfg.InjectDeadlock {
+			w("        wait(trunkB);")
+			w("        wait(trunkA);")
+		} else {
+			w("        wait(trunks);")
+		}
+		w("        send(setup%d, call);", h)
+		w("        var st;")
+		w("        recv(conn%d, st);", h)
+		if cfg.InjectRace {
+			w("        var bt;")
+			w("        vread(billTotal, bt);")
+			w("        bt = bt + 1;")
+			w("        vwrite(billTotal, bt);")
+			w("        signal(billDone);")
+		} else {
+			w("        send(billRec, call);")
+		}
+		if cfg.InjectDeadlock && h == 0 {
+			w("        signal(trunkB);")
+			w("        signal(trunkA);")
+		} else if cfg.InjectDeadlock {
+			w("        signal(trunkA);")
+			w("        signal(trunkB);")
+		} else {
+			w("        signal(trunks);")
+		}
+		w("        send(tone, r);")
+		w("        call = call + 1;")
+		w("    }")
+		w("}")
+		w("")
+	}
+
+	// ----- terminating call processing, one per handler -----
+	for h := 0; h < cfg.Handlers; h++ {
+		w("proc tcp%d() {", h)
+		w("    var j = 0;")
+		w("    var c;")
+		w("    var loc;")
+		w("    while (j < %d) {", cfg.Lines)
+		w("        recv(setup%d, c);", h)
+		w("        send(hlrReq, %d);", h)
+		w("        recv(hlrResp%d, loc);", h)
+		w("        if (loc %% 2 == 0) {")
+		w("            send(display, j);")
+		w("        } else {")
+		w("            send(display, loc);")
+		w("        }")
+		w("        send(conn%d, j);", h)
+		w("        j = j + 1;")
+		w("    }")
+		w("}")
+		w("")
+	}
+
+	// ----- home location register -----
+	w("proc hlr() {")
+	w("    var n = 0;")
+	w("    var q;")
+	w("    var c;")
+	w("    while (n < %d) {", totalCalls)
+	w("        recv(hlrReq, q);")
+	w("        vread(regCount, c);")
+	w("        switch (q) {")
+	for h := 0; h < cfg.Handlers; h++ {
+		w("        case %d:", h)
+		w("            send(hlrResp%d, c);", h)
+	}
+	w("        }")
+	w("        n = n + 1;")
+	w("    }")
+	w("}")
+	w("")
+
+	// ----- mobility management -----
+	w("proc mob() {")
+	w("    var m = 0;")
+	w("    var e;")
+	w("    while (m < %d) {", cfg.Lines)
+	w("        recv(radioEv, e);")
+	w("        if (e %% 3 == 0) {")
+	w("            vwrite(regCount, e);") // registration: env-dependent location
+	w("        } else {")
+	w("            send(display, m);") // handover notification
+	w("        }")
+	w("        m = m + 1;")
+	w("    }")
+	w("}")
+	w("")
+
+	// ----- billing -----
+	w("proc bill() {")
+	w("    var total = 0;")
+	if cfg.InjectRace {
+		w("    var k = 0;")
+		w("    while (k < %d) {", totalCalls)
+		w("        wait(billDone);")
+		w("        k = k + 1;")
+		w("    }")
+		w("    vread(billTotal, total);")
+	} else {
+		w("    var rec;")
+		w("    var k = 0;")
+		w("    while (k < %d) {", totalCalls)
+		w("        recv(billRec, rec);")
+		w("        total = total + 1;")
+		w("        k = k + 1;")
+		w("    }")
+	}
+	w("    var ok = total == %d;", totalCalls)
+	w("    VS_assert(ok);")
+	w("}")
+	w("")
+
+	// ----- manual stub (partial closing by hand, per §6) -----
+	if cfg.WithStub {
+		w("proc stub() {")
+		w("    var s = 0;")
+		w("    while (s < %d) {", totalCalls)
+		w("        send(subsEv, s * 3 + 1);")
+		w("        s = s + 1;")
+		w("    }")
+		w("}")
+		w("")
+	}
+
+	// ----- process instantiations -----
+	for h := 0; h < cfg.Handlers; h++ {
+		w("process ocp%d;", h)
+		w("process tcp%d;", h)
+	}
+	w("process hlr;")
+	w("process mob;")
+	w("process bill;")
+	if cfg.WithStub {
+		w("process stub;")
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

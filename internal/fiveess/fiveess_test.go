@@ -1,0 +1,142 @@
+package fiveess_test
+
+import (
+	"strings"
+	"testing"
+
+	"reclose/internal/core"
+	"reclose/internal/explore"
+	"reclose/internal/fiveess"
+)
+
+func TestScalesCompileAndClose(t *testing.T) {
+	for _, scale := range []string{"small", "medium", "large"} {
+		t.Run(scale, func(t *testing.T) {
+			src := fiveess.Source(fiveess.Scale(scale))
+			closed, st, err := core.CloseSource(src)
+			if err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			if err := core.VerifyClosed(closed); err != nil {
+				t.Fatalf("VerifyClosed: %v", err)
+			}
+			if st.NodesEliminated == 0 {
+				t.Error("no nodes eliminated; the app should have env-dependent code")
+			}
+			if st.TossInserted == 0 {
+				t.Error("no toss switches inserted")
+			}
+			t.Logf("%s: %d MiniC lines, %s", scale, strings.Count(src, "\n"), st)
+		})
+	}
+}
+
+// TestCleanRunNoIncidents explores the closed small app: the billing
+// assertion holds and there is no deadlock.
+func TestCleanRunNoIncidents(t *testing.T) {
+	src := fiveess.Source(fiveess.Scale("small"))
+	closed, _, err := core.CloseSource(src)
+	if err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	rep, err := explore.Explore(closed, explore.Options{MaxDepth: 400})
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	if rep.Deadlocks != 0 || rep.Violations != 0 || rep.Traps != 0 || rep.Divergences != 0 {
+		t.Fatalf("incidents in clean app: %s\nsamples: %v", rep, rep.Samples)
+	}
+	if rep.Terminated == 0 {
+		t.Fatalf("no terminating runs: %s", rep)
+	}
+}
+
+// TestInjectedDeadlockFound checks that the lock-ordering bug survives
+// automatic closing and is detected (Theorem 7 at case-study scale).
+func TestInjectedDeadlockFound(t *testing.T) {
+	cfg := fiveess.Scale("small")
+	cfg.Handlers = 2 // the bug needs two handlers with opposite lock order
+	cfg.InjectDeadlock = true
+	closed, _, err := core.CloseSource(fiveess.Source(cfg))
+	if err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// Bounded search, as VeriSoft is used in practice: complete coverage
+	// up to a state budget; the injected bug is shallow.
+	rep, err := explore.Explore(closed, explore.Options{MaxDepth: 400, MaxStates: 150000})
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	if rep.Deadlocks == 0 {
+		t.Fatalf("injected deadlock not found: %s", rep)
+	}
+	in := rep.FirstIncident(explore.LeafDeadlock)
+	if in == nil || !strings.Contains(in.Msg, "trunk") {
+		t.Errorf("deadlock sample does not implicate the trunk semaphores: %v", in)
+	}
+}
+
+// TestInjectedRaceFound checks that the billing lost-update race
+// violates the completeness assertion in the closed system.
+func TestInjectedRaceFound(t *testing.T) {
+	cfg := fiveess.Scale("small")
+	cfg.Handlers = 2
+	cfg.InjectRace = true
+	closed, _, err := core.CloseSource(fiveess.Source(cfg))
+	if err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	rep, err := explore.Explore(closed, explore.Options{MaxDepth: 600, MaxStates: 150000})
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	if rep.Violations == 0 {
+		t.Fatalf("injected race not found: %s", rep)
+	}
+}
+
+// TestStubKeepsConcreteData checks the partial-manual-closing mode: with
+// a stub, subscriber events stay concrete, so fewer nodes are
+// eliminated than with a fully env-facing subscriber interface.
+func TestStubKeepsConcreteData(t *testing.T) {
+	withStub := fiveess.Scale("small")
+	withStub.WithStub = true
+	noStub := withStub
+	noStub.WithStub = false
+
+	_, stStub, err := core.CloseSource(fiveess.Source(withStub))
+	if err != nil {
+		t.Fatalf("close with stub: %v", err)
+	}
+	_, stOpen, err := core.CloseSource(fiveess.Source(noStub))
+	if err != nil {
+		t.Fatalf("close without stub: %v", err)
+	}
+	if stStub.NodesEliminated >= stOpen.NodesEliminated {
+		t.Errorf("stubbed app should keep more code: eliminated %d (stub) vs %d (open)",
+			stStub.NodesEliminated, stOpen.NodesEliminated)
+	}
+}
+
+// TestSourceScaling sanity-checks that presets grow.
+func TestSourceScaling(t *testing.T) {
+	s := strings.Count(fiveess.Source(fiveess.Scale("small")), "\n")
+	m := strings.Count(fiveess.Source(fiveess.Scale("medium")), "\n")
+	l := strings.Count(fiveess.Source(fiveess.Scale("large")), "\n")
+	if !(s < m && m < l) {
+		t.Errorf("scales do not grow: %d, %d, %d", s, m, l)
+	}
+	if l < 500 {
+		t.Errorf("large preset only %d lines; want a sizeable application", l)
+	}
+}
+
+// TestDeterministic checks the generator is a pure function of its
+// configuration.
+func TestDeterministic(t *testing.T) {
+	a := fiveess.Source(fiveess.Scale("medium"))
+	b := fiveess.Source(fiveess.Scale("medium"))
+	if a != b {
+		t.Error("generator not deterministic")
+	}
+}

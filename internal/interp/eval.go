@@ -1,0 +1,336 @@
+package interp
+
+import (
+	"reclose/internal/ast"
+	"reclose/internal/token"
+)
+
+// Chooser supplies VS_toss outcomes. Choose is called with the toss
+// bound n and must return an outcome in [0, n]; returning ok == false
+// means no outcome is scripted, which aborts the current execution with
+// a NeedToss outcome (the explorer then schedules each outcome in turn).
+type Chooser interface {
+	Choose(bound int) (outcome int, ok bool)
+}
+
+// ChooserFunc adapts a function to the Chooser interface.
+type ChooserFunc func(bound int) (int, bool)
+
+// Choose implements Chooser.
+func (f ChooserFunc) Choose(bound int) (int, bool) { return f(bound) }
+
+// FixedChooser returns a Chooser that always picks the given outcome
+// (clamped to the bound). Useful for smoke-running closed programs.
+func FixedChooser(outcome int) Chooser {
+	return ChooserFunc(func(bound int) (int, bool) {
+		if outcome > bound {
+			return bound, true
+		}
+		return outcome, true
+	})
+}
+
+// frame is one procedure activation.
+type frame struct {
+	graph    *graphInfo
+	vars     map[string]*Cell
+	callNode int // caller's call-node ID; -1 in the top frame
+}
+
+func (f *frame) cell(name string) *Cell {
+	c, ok := f.vars[name]
+	if !ok {
+		c = &Cell{V: IntVal(0)}
+		f.vars[name] = c
+	}
+	return c
+}
+
+// evalCtx carries what expression evaluation needs.
+type evalCtx struct {
+	frame   *frame
+	chooser Chooser
+}
+
+func (ctx *evalCtx) toss(bound int) int {
+	if bound < 0 {
+		trapf("VS_toss with negative bound %d", bound)
+	}
+	k, ok := ctx.chooser.Choose(bound)
+	if !ok {
+		panic(needToss{bound: bound})
+	}
+	if k < 0 || k > bound {
+		trapf("chooser returned %d outside [0,%d]", k, bound)
+	}
+	return k
+}
+
+// eval evaluates e in the context's frame. Runtime errors raise trap
+// panics that the System recovers.
+func eval(ctx *evalCtx, e ast.Expr) Value {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return ctx.frame.cell(e.Name).V
+	case *ast.IntLit:
+		return IntVal(e.Value)
+	case *ast.BoolLit:
+		return BoolVal(e.Value)
+	case *ast.UndefLit:
+		return Undef
+	case *ast.TossExpr:
+		b := eval(ctx, e.Bound)
+		if b.Kind != KInt {
+			trapf("VS_toss bound is %s, want int", kindName(b.Kind))
+		}
+		return IntVal(int64(ctx.toss(int(b.I))))
+	case *ast.IndexExpr:
+		av := ctx.frame.cell(e.X.Name).V
+		iv := eval(ctx, e.Index)
+		return indexValue(av, iv, e.X.Name)
+	case *ast.UnaryExpr:
+		return evalUnary(ctx, e)
+	case *ast.BinaryExpr:
+		return evalBinary(ctx, e)
+	}
+	trapf("cannot evaluate expression")
+	return Undef
+}
+
+func kindName(k Kind) string {
+	switch k {
+	case KUndef:
+		return "undef"
+	case KInt:
+		return "int"
+	case KBool:
+		return "bool"
+	case KPtr:
+		return "pointer"
+	case KArray:
+		return "array"
+	}
+	return "?"
+}
+
+func indexValue(av, iv Value, name string) Value {
+	if av.Kind != KArray {
+		trapf("%s is %s, not an array", name, kindName(av.Kind))
+	}
+	if iv.IsUndef() {
+		trapf("array index is undef")
+	}
+	if iv.Kind != KInt {
+		trapf("array index is %s, want int", kindName(iv.Kind))
+	}
+	if iv.I < 0 || iv.I >= int64(len(av.Arr)) {
+		trapf("array index %d out of bounds [0,%d)", iv.I, len(av.Arr))
+	}
+	return av.Arr[iv.I]
+}
+
+func evalUnary(ctx *evalCtx, e *ast.UnaryExpr) Value {
+	switch e.Op {
+	case token.AND: // address-of
+		switch x := e.X.(type) {
+		case *ast.Ident:
+			return PtrVal(Pointer{Cell: ctx.frame.cell(x.Name), Elem: -1})
+		case *ast.IndexExpr:
+			c := ctx.frame.cell(x.X.Name)
+			iv := eval(ctx, x.Index)
+			if c.V.Kind != KArray {
+				trapf("%s is %s, not an array", x.X.Name, kindName(c.V.Kind))
+			}
+			if iv.Kind != KInt || iv.I < 0 || iv.I >= int64(len(c.V.Arr)) {
+				trapf("&%s[...]: bad index", x.X.Name)
+			}
+			return PtrVal(Pointer{Cell: c, Elem: int(iv.I)})
+		}
+		trapf("cannot take the address of this expression")
+	case token.MUL: // dereference
+		p := eval(ctx, e.X)
+		if p.IsUndef() {
+			trapf("dereference of undef pointer")
+		}
+		if p.Kind != KPtr {
+			trapf("dereference of %s, want pointer", kindName(p.Kind))
+		}
+		return loadPtr(p.Ptr)
+	case token.SUB:
+		v := eval(ctx, e.X)
+		if v.IsUndef() {
+			return Undef
+		}
+		if v.Kind != KInt {
+			trapf("unary - on %s", kindName(v.Kind))
+		}
+		return IntVal(-v.I)
+	case token.NOT:
+		v := eval(ctx, e.X)
+		if v.IsUndef() {
+			return Undef
+		}
+		if v.Kind != KBool {
+			trapf("! on %s", kindName(v.Kind))
+		}
+		return BoolVal(!v.B)
+	}
+	trapf("bad unary operator %s", e.Op)
+	return Undef
+}
+
+func loadPtr(p Pointer) Value {
+	if p.Cell == nil {
+		trapf("dereference of nil pointer")
+	}
+	if p.Elem >= 0 {
+		v := p.Cell.V
+		if v.Kind != KArray || p.Elem >= len(v.Arr) {
+			trapf("stale element pointer")
+		}
+		return v.Arr[p.Elem]
+	}
+	return p.Cell.V
+}
+
+func storePtr(p Pointer, v Value) {
+	if p.Cell == nil {
+		trapf("store through nil pointer")
+	}
+	if p.Elem >= 0 {
+		av := p.Cell.V
+		if av.Kind != KArray || p.Elem >= len(av.Arr) {
+			trapf("stale element pointer")
+		}
+		av.Arr[p.Elem] = v.Copy()
+		return
+	}
+	p.Cell.V = v.Copy()
+}
+
+func evalBinary(ctx *evalCtx, e *ast.BinaryExpr) Value {
+	// Short-circuit logical operators.
+	switch e.Op {
+	case token.LAND, token.LOR:
+		x := eval(ctx, e.X)
+		if x.IsUndef() {
+			return Undef
+		}
+		if x.Kind != KBool {
+			trapf("%s on %s", e.Op, kindName(x.Kind))
+		}
+		if e.Op == token.LAND && !x.B {
+			return False
+		}
+		if e.Op == token.LOR && x.B {
+			return True
+		}
+		y := eval(ctx, e.Y)
+		if y.IsUndef() {
+			return Undef
+		}
+		if y.Kind != KBool {
+			trapf("%s on %s", e.Op, kindName(y.Kind))
+		}
+		return BoolVal(y.B)
+	}
+
+	x := eval(ctx, e.X)
+	y := eval(ctx, e.Y)
+	if x.IsUndef() || y.IsUndef() {
+		return Undef
+	}
+
+	switch e.Op {
+	case token.EQL, token.NEQ:
+		if x.Kind != y.Kind {
+			trapf("comparison of %s and %s", kindName(x.Kind), kindName(y.Kind))
+		}
+		eq := x.Equal(y)
+		if e.Op == token.NEQ {
+			eq = !eq
+		}
+		return BoolVal(eq)
+	}
+
+	if x.Kind != KInt || y.Kind != KInt {
+		trapf("%s on %s and %s", e.Op, kindName(x.Kind), kindName(y.Kind))
+	}
+	a, b := x.I, y.I
+	switch e.Op {
+	case token.ADD:
+		return IntVal(a + b)
+	case token.SUB:
+		return IntVal(a - b)
+	case token.MUL:
+		return IntVal(a * b)
+	case token.QUO:
+		if b == 0 {
+			trapf("division by zero")
+		}
+		return IntVal(a / b)
+	case token.REM:
+		if b == 0 {
+			trapf("modulo by zero")
+		}
+		return IntVal(a % b)
+	case token.AND:
+		return IntVal(a & b)
+	case token.OR:
+		return IntVal(a | b)
+	case token.XOR:
+		return IntVal(a ^ b)
+	case token.SHL:
+		if b < 0 || b > 63 {
+			trapf("shift count %d out of range", b)
+		}
+		return IntVal(a << uint(b))
+	case token.SHR:
+		if b < 0 || b > 63 {
+			trapf("shift count %d out of range", b)
+		}
+		return IntVal(a >> uint(b))
+	case token.LSS:
+		return BoolVal(a < b)
+	case token.LEQ:
+		return BoolVal(a <= b)
+	case token.GTR:
+		return BoolVal(a > b)
+	case token.GEQ:
+		return BoolVal(a >= b)
+	}
+	trapf("bad binary operator %s", e.Op)
+	return Undef
+}
+
+// assign executes "lhs = v" in the frame.
+func assignTo(ctx *evalCtx, lhs ast.Expr, v Value) {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		ctx.frame.cell(lhs.Name).V = v.Copy()
+	case *ast.IndexExpr:
+		c := ctx.frame.cell(lhs.X.Name)
+		iv := eval(ctx, lhs.Index)
+		if c.V.Kind != KArray {
+			trapf("%s is %s, not an array", lhs.X.Name, kindName(c.V.Kind))
+		}
+		if iv.IsUndef() || iv.Kind != KInt || iv.I < 0 || iv.I >= int64(len(c.V.Arr)) {
+			trapf("bad array index in assignment to %s", lhs.X.Name)
+		}
+		c.V.Arr[iv.I] = v.Copy()
+	case *ast.UnaryExpr:
+		if lhs.Op != token.MUL {
+			trapf("bad assignment target")
+		}
+		p := eval(ctx, lhs.X)
+		if p.IsUndef() {
+			trapf("store through undef pointer")
+		}
+		if p.Kind != KPtr {
+			trapf("store through %s, want pointer", kindName(p.Kind))
+		}
+		storePtr(p.Ptr, v)
+	default:
+		trapf("bad assignment target")
+	}
+}

@@ -1,0 +1,167 @@
+package interp_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"reclose/internal/core"
+	"reclose/internal/interp"
+)
+
+// oracleExpr is a random integer expression together with its value
+// computed by an independent Go evaluator. The generator avoids
+// division/modulo by zero and keeps shift counts in range, mirroring the
+// MiniC evaluator's domain.
+type oracleExpr struct {
+	src string
+	val int64
+}
+
+// genExpr builds a random expression of the given depth over the fixed
+// environment a=7, b=-3, c=100.
+func genExpr(r *rand.Rand, depth int) oracleExpr {
+	vars := map[string]int64{"a": 7, "b": -3, "c": 100}
+	if depth == 0 || r.Intn(3) == 0 {
+		if r.Intn(2) == 0 {
+			names := []string{"a", "b", "c"}
+			n := names[r.Intn(len(names))]
+			return oracleExpr{src: n, val: vars[n]}
+		}
+		v := int64(r.Intn(201) - 100)
+		if v < 0 {
+			// Negative literals parse as unary minus; parenthesize to
+			// keep the composition unambiguous.
+			return oracleExpr{src: fmt.Sprintf("(0 - %d)", -v), val: v}
+		}
+		return oracleExpr{src: fmt.Sprintf("%d", v), val: v}
+	}
+	x := genExpr(r, depth-1)
+	y := genExpr(r, depth-1)
+	switch r.Intn(8) {
+	case 0:
+		return oracleExpr{src: fmt.Sprintf("(%s + %s)", x.src, y.src), val: x.val + y.val}
+	case 1:
+		return oracleExpr{src: fmt.Sprintf("(%s - %s)", x.src, y.src), val: x.val - y.val}
+	case 2:
+		return oracleExpr{src: fmt.Sprintf("(%s * %s)", x.src, y.src), val: x.val * y.val}
+	case 3:
+		d := int64(r.Intn(9) + 1)
+		return oracleExpr{src: fmt.Sprintf("(%s / %d)", x.src, d), val: x.val / d}
+	case 4:
+		d := int64(r.Intn(9) + 1)
+		return oracleExpr{src: fmt.Sprintf("(%s %% %d)", x.src, d), val: x.val % d}
+	case 5:
+		return oracleExpr{src: fmt.Sprintf("(%s & %s)", x.src, y.src), val: x.val & y.val}
+	case 6:
+		return oracleExpr{src: fmt.Sprintf("(%s | %s)", x.src, y.src), val: x.val | y.val}
+	default:
+		s := uint(r.Intn(5))
+		return oracleExpr{src: fmt.Sprintf("(%s << %d)", x.src, s), val: x.val << s}
+	}
+}
+
+// TestEvaluatorOracle cross-checks the MiniC expression evaluator
+// against values computed directly in Go, over hundreds of random
+// expressions.
+func TestEvaluatorOracle(t *testing.T) {
+	seed := int64(0)
+	f := func() bool {
+		seed++
+		r := rand.New(rand.NewSource(seed))
+		e := genExpr(r, 4)
+		src := fmt.Sprintf(`
+chan out[1];
+proc main() {
+    var a = 7;
+    var b = 0 - 3;
+    var c = 100;
+    send(out, %s);
+}
+process main;
+`, e.src)
+		u, err := core.CompileSource(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		s, err := interp.NewSystem(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out := s.Init(interp.FixedChooser(0)); out != nil {
+			t.Fatalf("seed %d: %s\n%s", seed, out, src)
+		}
+		ev, out := s.Step(0, interp.FixedChooser(0))
+		if out != nil {
+			t.Fatalf("seed %d: %s\n%s", seed, out, src)
+		}
+		want := fmt.Sprintf("%d", e.val)
+		if ev.Value.String() != want {
+			t.Errorf("seed %d: %s evaluated to %s, want %s", seed, e.src, ev.Value, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestComparisonOracle does the same for boolean comparisons.
+func TestComparisonOracle(t *testing.T) {
+	ops := []struct {
+		src string
+		fn  func(a, b int64) bool
+	}{
+		{"<", func(a, b int64) bool { return a < b }},
+		{"<=", func(a, b int64) bool { return a <= b }},
+		{">", func(a, b int64) bool { return a > b }},
+		{">=", func(a, b int64) bool { return a >= b }},
+		{"==", func(a, b int64) bool { return a == b }},
+		{"!=", func(a, b int64) bool { return a != b }},
+	}
+	f := func(a, b int8) bool {
+		var conds []string
+		var wants []bool
+		for _, op := range ops {
+			conds = append(conds, fmt.Sprintf("send(out, x %s y);", op.src))
+			wants = append(wants, op.fn(int64(a), int64(b)))
+		}
+		src := fmt.Sprintf(`
+chan out[8];
+proc main() {
+    var x = 0 + %d;
+    var y = 0 + %d;
+    %s
+}
+process main;
+`, a, b, strings.Join(conds, "\n    "))
+		u, err := core.CompileSource(src)
+		if err != nil {
+			t.Fatalf("%v\n%s", err, src)
+		}
+		s, err := interp.NewSystem(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out := s.Init(interp.FixedChooser(0)); out != nil {
+			t.Fatalf("%s", out)
+		}
+		for i, want := range wants {
+			ev, out := s.Step(0, interp.FixedChooser(0))
+			if out != nil {
+				t.Fatalf("step %d: %s", i, out)
+			}
+			if got := ev.Value.String(); got != fmt.Sprintf("%t", want) {
+				t.Errorf("%d %s %d = %s, want %t", a, ops[i].src, b, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,563 @@
+package interp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"reclose/internal/ast"
+	"reclose/internal/cfg"
+	"reclose/internal/comm"
+	"reclose/internal/sem"
+)
+
+// OutcomeKind classifies abnormal results of executing program steps.
+type OutcomeKind int
+
+// Outcome kinds.
+const (
+	OutViolation  OutcomeKind = iota // VS_assert with a false argument
+	OutTrap                          // runtime error (type error, division by zero, ...)
+	OutDivergence                    // invisible-step budget exhausted inside one transition
+	OutNeedToss                      // the Chooser had no outcome for a VS_toss
+)
+
+// Outcome describes an abnormal result. A nil *Outcome means the step
+// completed normally.
+type Outcome struct {
+	Kind      OutcomeKind
+	Msg       string
+	Proc      int // process index
+	TossBound int // for OutNeedToss
+}
+
+// String renders the outcome.
+func (o *Outcome) String() string {
+	switch o.Kind {
+	case OutViolation:
+		return fmt.Sprintf("assertion violated in process %d: %s", o.Proc, o.Msg)
+	case OutTrap:
+		return fmt.Sprintf("runtime error in process %d: %s", o.Proc, o.Msg)
+	case OutDivergence:
+		return fmt.Sprintf("divergence in process %d: %s", o.Proc, o.Msg)
+	case OutNeedToss:
+		return fmt.Sprintf("process %d needs a VS_toss outcome in [0,%d]", o.Proc, o.TossBound)
+	}
+	return "unknown outcome"
+}
+
+// Status is a process's lifecycle state.
+type Status int
+
+// Process statuses.
+const (
+	Running    Status = iota
+	Terminated        // reached a top-level return or an exit
+)
+
+// Proc is one process instance.
+type Proc struct {
+	Index   int
+	TopProc string
+
+	stack  []*frame
+	cur    *cfg.Node
+	status Status
+}
+
+// Status returns the process's lifecycle state.
+func (p *Proc) Status() Status { return p.status }
+
+// At returns the procedure name and node ID the process is stopped at
+// (its pending visible operation), or ("", -1) if terminated.
+func (p *Proc) At() (proc string, node int) {
+	if p.status != Running || p.cur == nil {
+		return "", -1
+	}
+	return p.stack[len(p.stack)-1].graph.g.ProcName, p.cur.ID
+}
+
+// PendingOp returns the visible operation the process is about to
+// execute: the builtin name and the object it targets ("" for
+// VS_assert). It returns ok == false if the process is terminated.
+func (p *Proc) PendingOp() (op, object string, ok bool) {
+	if p.status != Running || p.cur == nil || p.cur.Kind != cfg.NCall {
+		return "", "", false
+	}
+	cs := p.cur.CallStmt()
+	b := sem.Builtins[cs.Name.Name]
+	obj := ""
+	if b.HasObj {
+		obj = cs.Args[0].(*ast.Ident).Name
+	}
+	return cs.Name.Name, obj, true
+}
+
+// Event is one visible operation in an execution trace.
+type Event struct {
+	Proc   int
+	Op     string
+	Object string // empty for VS_assert
+	Value  Value  // value sent, received, written, read, or asserted
+	HasVal bool
+	Stub   bool // operation on an env-facing stub
+}
+
+// String renders the event deterministically, e.g. "P0:send(work)=3".
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "P%d:%s", e.Proc, e.Op)
+	if e.Object != "" {
+		fmt.Fprintf(&b, "(%s)", e.Object)
+	}
+	if e.HasVal {
+		fmt.Fprintf(&b, "=%s", e.Value)
+	}
+	return b.String()
+}
+
+// graphInfo caches per-procedure data the interpreter needs.
+type graphInfo struct {
+	g      *cfg.Graph
+	arrays map[string]bool
+}
+
+// System is an executable instance of a closed unit: the communication
+// objects plus one Proc per process declaration.
+type System struct {
+	Unit  *cfg.Unit
+	Procs []*Proc
+
+	objects map[string]comm.Object
+	objSeq  []string // deterministic object order
+	graphs  map[string]*graphInfo
+
+	// MaxInvisible bounds the invisible operations inside one transition;
+	// exceeding it reports divergence (the paper's VeriSoft uses a
+	// timeout for the same purpose).
+	MaxInvisible int
+}
+
+// DefaultMaxInvisible is the default divergence bound.
+const DefaultMaxInvisible = 100000
+
+// NewSystem builds a System for a closed unit. Open units (with declared
+// environment parameters or env-facing channels that have not been
+// closed or stubbed) are rejected: they are not self-executable.
+func NewSystem(u *cfg.Unit) (*System, error) {
+	if u.IsOpen() {
+		return nil, fmt.Errorf("interp: unit is open (declares an environment interface); close it first")
+	}
+	if len(u.Processes) == 0 {
+		return nil, fmt.Errorf("interp: unit declares no processes")
+	}
+	s := &System{
+		Unit:         u,
+		graphs:       make(map[string]*graphInfo, len(u.Procs)),
+		MaxInvisible: DefaultMaxInvisible,
+	}
+	for name, g := range u.Procs {
+		s.graphs[name] = &graphInfo{g: g, arrays: u.Arrays[name]}
+	}
+	for _, sp := range u.Objects {
+		s.objSeq = append(s.objSeq, sp.Name)
+	}
+	sort.Strings(s.objSeq)
+	s.Reset()
+	return s, nil
+}
+
+// Reset restores the initial program state: fresh objects and all
+// processes at the start nodes of their top-level procedures. The
+// processes still need their initial invisible prefixes run; use Init.
+func (s *System) Reset() {
+	s.objects = comm.Build(s.Unit.Objects, func(i int64) any { return IntVal(i) })
+	s.Procs = s.Procs[:0]
+	for i, top := range s.Unit.Processes {
+		gi := s.graphs[top]
+		p := &Proc{Index: i, TopProc: top}
+		p.stack = []*frame{{graph: gi, vars: make(map[string]*Cell), callNode: -1}}
+		p.cur = gi.g.Entry
+		s.Procs = append(s.Procs, p)
+	}
+}
+
+// Object returns the named communication object.
+func (s *System) Object(name string) comm.Object { return s.objects[name] }
+
+// Init runs every process's initial invisible prefix up to its first
+// visible operation (or termination), reaching the initial global state
+// s0 of the paper. It must be called once after Reset.
+func (s *System) Init(ch Chooser) *Outcome {
+	for _, p := range s.Procs {
+		if out := s.advance(p, ch); out != nil {
+			return out
+		}
+	}
+	return nil
+}
+
+// catchOutcome converts internal trap/needToss panics into outcomes.
+func catchOutcome(proc int, out **Outcome) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	switch r := r.(type) {
+	case trap:
+		*out = &Outcome{Kind: OutTrap, Msg: r.msg, Proc: proc}
+	case needToss:
+		*out = &Outcome{Kind: OutNeedToss, TossBound: r.bound, Proc: proc}
+	default:
+		panic(r)
+	}
+}
+
+// advance executes invisible operations of p until the process reaches
+// its next visible operation or terminates. It implements the invisible
+// suffix of a transition.
+func (s *System) advance(p *Proc, ch Chooser) (out *Outcome) {
+	defer catchOutcome(p.Index, &out)
+	steps := 0
+	for {
+		if p.status != Running {
+			return nil
+		}
+		n := p.cur
+		top := p.stack[len(p.stack)-1]
+		ctx := &evalCtx{frame: top, chooser: ch}
+		steps++
+		if steps > s.MaxInvisible {
+			return &Outcome{Kind: OutDivergence, Proc: p.Index,
+				Msg: fmt.Sprintf("more than %d invisible operations in one transition (proc %s, node n%d)",
+					s.MaxInvisible, top.graph.g.ProcName, n.ID)}
+		}
+
+		switch n.Kind {
+		case cfg.NStart:
+			p.cur = n.Succ()
+		case cfg.NAssign:
+			s.execAssign(ctx, n)
+			p.cur = n.Succ()
+		case cfg.NCond:
+			v := eval(ctx, n.Cond)
+			if v.IsUndef() {
+				trapf("branch on undef (proc %s, node n%d)", top.graph.g.ProcName, n.ID)
+			}
+			if v.Kind != KBool {
+				trapf("branch on %s, want bool", kindName(v.Kind))
+			}
+			p.cur = pickArc(n, v.B, -1)
+		case cfg.NTossSwitch:
+			k := ctx.toss(n.TossBound)
+			p.cur = pickArc(n, false, k)
+		case cfg.NCall:
+			cs := n.CallStmt()
+			if sem.IsBuiltin(cs.Name.Name) {
+				// Reached the next visible operation: the transition's
+				// invisible suffix ends just before it.
+				return nil
+			}
+			s.enterCall(p, ctx, n, cs)
+		case cfg.NReturn:
+			if len(p.stack) == 1 {
+				// Termination statements in top-level procedures block
+				// forever (§4): the process is done.
+				p.status = Terminated
+				return nil
+			}
+			callID := top.callNode
+			p.stack = p.stack[:len(p.stack)-1]
+			caller := p.stack[len(p.stack)-1]
+			callNode := caller.graph.g.Nodes[callID]
+			p.cur = callNode.Succ()
+		case cfg.NExit:
+			p.status = Terminated
+			return nil
+		default:
+			trapf("unknown node kind %v", n.Kind)
+		}
+		if p.status == Running && p.cur == nil {
+			trapf("control fell off the graph (proc %s)", top.graph.g.ProcName)
+		}
+	}
+}
+
+// execAssign executes an NAssign node (AssignStmt or VarStmt).
+func (s *System) execAssign(ctx *evalCtx, n *cfg.Node) {
+	switch st := n.Stmt.(type) {
+	case *ast.AssignStmt:
+		v := eval(ctx, st.RHS)
+		assignTo(ctx, st.LHS, v)
+	case *ast.VarStmt:
+		c := ctx.frame.cell(st.Name.Name)
+		switch {
+		case st.Size != nil:
+			sz := eval(ctx, st.Size)
+			if sz.Kind != KInt || sz.I < 0 || sz.I > 1<<20 {
+				trapf("bad array size for %s", st.Name.Name)
+			}
+			c.V = ArrayVal(int(sz.I))
+		case st.Init != nil:
+			c.V = eval(ctx, st.Init).Copy()
+		default:
+			c.V = IntVal(0)
+		}
+	default:
+		trapf("bad assign node")
+	}
+}
+
+// enterCall pushes a frame for a user procedure call. Parameters are
+// fresh variables initialized with copies of the argument values (§4).
+func (s *System) enterCall(p *Proc, ctx *evalCtx, n *cfg.Node, cs *ast.CallStmt) {
+	gi, ok := s.graphs[cs.Name.Name]
+	if !ok {
+		trapf("call to unknown procedure %s", cs.Name.Name)
+	}
+	if len(cs.Args) != len(gi.g.Params) {
+		trapf("call to %s with %d args, want %d", cs.Name.Name, len(cs.Args), len(gi.g.Params))
+	}
+	if len(p.stack) >= 10000 {
+		trapf("call stack overflow in %s", cs.Name.Name)
+	}
+	nf := &frame{graph: gi, vars: make(map[string]*Cell, len(gi.g.Params)), callNode: n.ID}
+	for i, a := range cs.Args {
+		v := eval(ctx, a)
+		nf.vars[gi.g.Params[i]] = &Cell{V: v.Copy()}
+	}
+	p.stack = append(p.stack, nf)
+	p.cur = gi.g.Entry
+}
+
+// pickArc selects the successor arc of a conditional or toss node.
+func pickArc(n *cfg.Node, b bool, tossK int) *cfg.Node {
+	for _, a := range n.Out {
+		switch a.Label.Kind {
+		case cfg.LAlways:
+			return a.To
+		case cfg.LTrue:
+			if tossK < 0 && b {
+				return a.To
+			}
+		case cfg.LFalse:
+			if tossK < 0 && !b {
+				return a.To
+			}
+		case cfg.LToss:
+			if a.Label.K == tossK {
+				return a.To
+			}
+		}
+	}
+	trapf("no matching arc out of node n%d", n.ID)
+	return nil
+}
+
+// Enabled reports whether process i's pending visible operation can
+// execute without blocking.
+func (s *System) Enabled(i int) bool {
+	p := s.Procs[i]
+	op, objName, ok := p.PendingOp()
+	if !ok {
+		return false
+	}
+	if op == "VS_assert" {
+		return true
+	}
+	return s.objects[objName].Enabled(op)
+}
+
+// EnabledProcs returns the indices of all enabled processes, ascending.
+func (s *System) EnabledProcs() []int {
+	var out []int
+	for i := range s.Procs {
+		if s.Enabled(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// AllTerminated reports whether every non-daemon process has terminated
+// and no process is enabled. Daemon processes model the most general
+// environment (package mgenv); a daemon blocked forever after the system
+// is done is quiescence, not deadlock.
+func (s *System) AllTerminated() bool {
+	for i, p := range s.Procs {
+		if p.status != Running {
+			continue
+		}
+		if !s.Unit.Daemons[i] || s.Enabled(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Deadlocked reports whether the system is in a deadlock: at least one
+// non-daemon process is still running and no process is enabled.
+func (s *System) Deadlocked() bool {
+	running := false
+	for i, p := range s.Procs {
+		if p.status != Running {
+			continue
+		}
+		if s.Enabled(i) {
+			return false
+		}
+		if !s.Unit.Daemons[i] {
+			running = true
+		}
+	}
+	return running
+}
+
+// Step executes one transition of process i: its pending visible
+// operation followed by the invisible suffix up to the next visible
+// operation. It returns the visible event and, on abnormal execution, a
+// non-nil outcome. The caller must only step enabled processes.
+func (s *System) Step(i int, ch Chooser) (Event, *Outcome) {
+	p := s.Procs[i]
+	ev, out := s.execVisible(p, ch)
+	if out != nil {
+		return ev, out
+	}
+	return ev, s.advance(p, ch)
+}
+
+// execVisible performs the visible operation p is stopped at and moves
+// control past it.
+func (s *System) execVisible(p *Proc, ch Chooser) (ev Event, out *Outcome) {
+	defer catchOutcome(p.Index, &out)
+	n := p.cur
+	if n == nil || n.Kind != cfg.NCall {
+		trapf("process %d is not at a visible operation", p.Index)
+	}
+	cs := n.CallStmt()
+	top := p.stack[len(p.stack)-1]
+	ctx := &evalCtx{frame: top, chooser: ch}
+	op := cs.Name.Name
+	ev = Event{Proc: p.Index, Op: op}
+
+	switch op {
+	case "VS_assert":
+		v := eval(ctx, cs.Args[0])
+		ev.Value, ev.HasVal = v, true
+		switch v.Kind {
+		case KBool:
+			if !v.B {
+				// Report the violation; control still moves past the
+				// assertion so exploration may continue if desired.
+				p.cur = n.Succ()
+				return ev, &Outcome{Kind: OutViolation, Proc: p.Index,
+					Msg: fmt.Sprintf("VS_assert(%s) at node n%d of %s",
+						ast.FormatExpr(cs.Args[0]), n.ID, top.graph.g.ProcName)}
+			}
+		case KUndef:
+			// An assertion whose argument was eliminated is not
+			// preserved (Theorem 7); it never fires in the closed system.
+		default:
+			trapf("VS_assert on %s, want bool", kindName(v.Kind))
+		}
+	default:
+		objName := cs.Args[0].(*ast.Ident).Name
+		obj := s.objects[objName]
+		ev.Object = objName
+		switch op {
+		case "send":
+			v := eval(ctx, cs.Args[1])
+			ev.Value, ev.HasVal = v, true
+			c := obj.(*comm.Chan)
+			ev.Stub = c.EnvFacing()
+			if err := c.Send(v); err != nil {
+				trapf("%v", err)
+			}
+		case "recv":
+			c := obj.(*comm.Chan)
+			raw, stub, err := c.Recv()
+			if err != nil {
+				trapf("%v", err)
+			}
+			v := Undef
+			if !stub {
+				v = raw.(Value)
+			}
+			ev.Value, ev.HasVal, ev.Stub = v, true, stub
+			assignTo(ctx, cs.Args[1], v)
+		case "wait":
+			if err := obj.(*comm.Sem).Wait(); err != nil {
+				trapf("%v", err)
+			}
+		case "signal":
+			obj.(*comm.Sem).Signal()
+		case "vwrite":
+			v := eval(ctx, cs.Args[1])
+			ev.Value, ev.HasVal = v, true
+			obj.(*comm.Shared).Write(v)
+		case "vread":
+			v := obj.(*comm.Shared).Read().(Value)
+			ev.Value, ev.HasVal = v, true
+			assignTo(ctx, cs.Args[1], v)
+		default:
+			trapf("unknown builtin %s", op)
+		}
+	}
+	p.cur = n.Succ()
+	return ev, nil
+}
+
+// Fingerprint returns a deterministic string identifying the current
+// global state: object states, per-process control points, and stores.
+// Used only by the optional state-hashing mode (an ablation; VeriSoft
+// itself stores no states).
+func (s *System) Fingerprint() string {
+	var b strings.Builder
+	for _, name := range s.objSeq {
+		b.WriteString(s.objects[name].Fingerprint())
+		b.WriteByte(';')
+	}
+	for _, p := range s.Procs {
+		fmt.Fprintf(&b, "|P%d:%d", p.Index, p.status)
+		if p.status != Running {
+			continue
+		}
+		// Label cells by frame position and name so pointer values
+		// fingerprint stably.
+		labels := make(map[*Cell]string)
+		for fi, f := range p.stack {
+			for _, name := range sortedVarNames(f.vars) {
+				labels[f.vars[name]] = fmt.Sprintf("f%d.%s", fi, name)
+			}
+		}
+		for fi, f := range p.stack {
+			fmt.Fprintf(&b, "/%s", f.graph.g.ProcName)
+			if fi == len(p.stack)-1 {
+				fmt.Fprintf(&b, "@n%d", p.cur.ID)
+			} else {
+				fmt.Fprintf(&b, "@c%d", p.stack[fi+1].callNode)
+			}
+			for _, name := range sortedVarNames(f.vars) {
+				v := f.vars[name].V
+				if v.Kind == KPtr {
+					fmt.Fprintf(&b, ",%s=&%s", name, labels[v.Ptr.Cell])
+					if v.Ptr.Elem >= 0 {
+						fmt.Fprintf(&b, "[%d]", v.Ptr.Elem)
+					}
+				} else {
+					fmt.Fprintf(&b, ",%s=%s", name, v)
+				}
+			}
+		}
+	}
+	return b.String()
+}
+
+func sortedVarNames(m map[string]*Cell) []string {
+	out := make([]string, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

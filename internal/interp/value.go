@@ -1,0 +1,169 @@
+// Package interp executes compiled MiniC units: it evaluates
+// expressions, runs processes over their control-flow graphs, and
+// implements the transition semantics of §2 of the paper — a process
+// transition is one visible operation followed by invisible operations
+// up to (but not including) the next visible operation.
+//
+// The interpreter is deterministic given the outcomes of the VS_toss
+// operations it encounters; a Chooser supplies those outcomes, which is
+// how the explorer enumerates nondeterminism by replaying prefixes.
+package interp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies runtime values.
+type Kind int
+
+// Value kinds. KUndef is the distinguished unknown value introduced by
+// the closing transformation; it propagates through arithmetic and
+// comparisons, and branching on it is a runtime trap (it indicates the
+// program computes control flow from eliminated data, which the
+// transformation guarantees cannot happen in its own output).
+const (
+	KUndef Kind = iota
+	KInt
+	KBool
+	KPtr
+	KArray
+)
+
+// Value is a MiniC runtime value.
+type Value struct {
+	Kind Kind
+	I    int64
+	B    bool
+	Ptr  Pointer
+	Arr  []Value
+}
+
+// Pointer is the address of a variable cell or an array element.
+type Pointer struct {
+	Cell *Cell
+	Elem int // -1 for the whole cell, >= 0 for an array element
+}
+
+// Cell is an addressable storage location (one variable).
+type Cell struct {
+	V Value
+}
+
+// Convenience constructors.
+var (
+	// Undef is the unknown value.
+	Undef = Value{Kind: KUndef}
+	// True and False are the boolean values.
+	True  = Value{Kind: KBool, B: true}
+	False = Value{Kind: KBool, B: false}
+)
+
+// IntVal returns an integer value.
+func IntVal(i int64) Value { return Value{Kind: KInt, I: i} }
+
+// BoolVal returns a boolean value.
+func BoolVal(b bool) Value { return Value{Kind: KBool, B: b} }
+
+// PtrVal returns a pointer value.
+func PtrVal(p Pointer) Value { return Value{Kind: KPtr, Ptr: p} }
+
+// ArrayVal returns a fresh zero-initialized array of n integers.
+func ArrayVal(n int) Value {
+	arr := make([]Value, n)
+	for i := range arr {
+		arr[i] = IntVal(0)
+	}
+	return Value{Kind: KArray, Arr: arr}
+}
+
+// Copy returns a deep copy of v (arrays have value semantics: parameter
+// passing and assignment copy them, per the paper's fresh-variable
+// model).
+func (v Value) Copy() Value {
+	if v.Kind == KArray {
+		arr := make([]Value, len(v.Arr))
+		copy(arr, v.Arr)
+		return Value{Kind: KArray, Arr: arr}
+	}
+	return v
+}
+
+// IsUndef reports whether v is the unknown value.
+func (v Value) IsUndef() bool { return v.Kind == KUndef }
+
+// String renders the value deterministically (used in traces and state
+// fingerprints).
+func (v Value) String() string {
+	switch v.Kind {
+	case KUndef:
+		return "undef"
+	case KInt:
+		return fmt.Sprintf("%d", v.I)
+	case KBool:
+		return fmt.Sprintf("%t", v.B)
+	case KPtr:
+		if v.Ptr.Elem >= 0 {
+			return fmt.Sprintf("&cell[%d]", v.Ptr.Elem)
+		}
+		return "&cell"
+	case KArray:
+		var b strings.Builder
+		b.WriteByte('[')
+		for i, e := range v.Arr {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(e.String())
+		}
+		b.WriteByte(']')
+		return b.String()
+	}
+	return "?"
+}
+
+// Equal reports deep value equality. Pointers compare by identity;
+// undef equals nothing, not even itself (comparisons involving undef
+// yield undef before Equal is consulted).
+func (v Value) Equal(w Value) bool {
+	if v.Kind != w.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KInt:
+		return v.I == w.I
+	case KBool:
+		return v.B == w.B
+	case KPtr:
+		return v.Ptr == w.Ptr
+	case KArray:
+		if len(v.Arr) != len(w.Arr) {
+			return false
+		}
+		for i := range v.Arr {
+			if !v.Arr[i].Equal(w.Arr[i]) {
+				return false
+			}
+		}
+		return true
+	case KUndef:
+		return false
+	}
+	return false
+}
+
+// trap is the internal panic payload for runtime errors; it is recovered
+// at the System boundary and converted into an Outcome.
+type trap struct {
+	msg string
+}
+
+func trapf(format string, args ...any) {
+	panic(trap{msg: fmt.Sprintf(format, args...)})
+}
+
+// needToss is the internal panic payload raised when the Chooser has no
+// outcome for a VS_toss; the System converts it into a NeedToss outcome.
+type needToss struct {
+	bound int
+}

@@ -1,0 +1,155 @@
+package lexer_test
+
+import (
+	"strings"
+	"testing"
+
+	"reclose/internal/lexer"
+	"reclose/internal/token"
+)
+
+func kinds(toks []token.Token) []token.Kind {
+	out := make([]token.Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestScanOperators(t *testing.T) {
+	src := "+ - * / % & | ^ << >> && || ! == != < <= > >= = ( ) { } [ ] , ; ."
+	toks, errs := lexer.Scan([]byte(src))
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	want := []token.Kind{
+		token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+		token.AND, token.OR, token.XOR, token.SHL, token.SHR,
+		token.LAND, token.LOR, token.NOT,
+		token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ,
+		token.ASSIGN,
+		token.LPAREN, token.RPAREN, token.LBRACE, token.RBRACE,
+		token.LBRACK, token.RBRACK, token.COMMA, token.SEMICOLON, token.DOT,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanKeywordsAndIdents(t *testing.T) {
+	src := "proc process env chan sem shared var if else while for return exit true false foo _bar x9"
+	toks, errs := lexer.Scan([]byte(src))
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	want := []token.Kind{
+		token.PROC, token.PROCESS, token.ENV, token.CHAN, token.SEM, token.SHARED,
+		token.VAR, token.IF, token.ELSE, token.WHILE, token.FOR, token.RETURN,
+		token.EXIT, token.TRUE, token.FALSE,
+		token.IDENT, token.IDENT, token.IDENT,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v (lit %q)", i, got[i], want[i], toks[i].Lit)
+		}
+	}
+	if toks[15].Lit != "foo" || toks[16].Lit != "_bar" || toks[17].Lit != "x9" {
+		t.Errorf("identifier spellings wrong: %v %v %v", toks[15], toks[16], toks[17])
+	}
+}
+
+func TestScanComments(t *testing.T) {
+	src := "a // line comment\nb /* block\ncomment */ c"
+	toks, errs := lexer.Scan([]byte(src))
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	if len(toks) != 3 {
+		t.Fatalf("got %d tokens, want 3: %v", len(toks), toks)
+	}
+	for i, name := range []string{"a", "b", "c"} {
+		if toks[i].Lit != name {
+			t.Errorf("token %d: got %q, want %q", i, toks[i].Lit, name)
+		}
+	}
+}
+
+func TestScanPositions(t *testing.T) {
+	src := "ab\n  cd"
+	toks, _ := lexer.Scan([]byte(src))
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Column != 1 {
+		t.Errorf("ab at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Column != 3 {
+		t.Errorf("cd at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestScanNumbers(t *testing.T) {
+	toks, errs := lexer.Scan([]byte("0 42 123456789"))
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	want := []string{"0", "42", "123456789"}
+	for i, w := range want {
+		if toks[i].Kind != token.INT || toks[i].Lit != w {
+			t.Errorf("token %d: got %v, want INT(%s)", i, toks[i], w)
+		}
+	}
+}
+
+func TestScanIllegal(t *testing.T) {
+	toks, errs := lexer.Scan([]byte("a @ b"))
+	if len(errs) != 1 {
+		t.Fatalf("errors = %v, want exactly one", errs)
+	}
+	if !strings.Contains(errs[0].Error(), "illegal character") {
+		t.Errorf("error = %v", errs[0])
+	}
+	if len(toks) != 3 || toks[1].Kind != token.ILLEGAL {
+		t.Errorf("tokens = %v", toks)
+	}
+}
+
+func TestUnterminatedBlockComment(t *testing.T) {
+	_, errs := lexer.Scan([]byte("a /* never closed"))
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "unterminated") {
+		t.Errorf("errors = %v, want unterminated block comment", errs)
+	}
+}
+
+func TestEOFForever(t *testing.T) {
+	l := lexer.New([]byte("x"))
+	l.Next()
+	for i := 0; i < 3; i++ {
+		if tok := l.Next(); tok.Kind != token.EOF {
+			t.Fatalf("call %d after end: got %v, want EOF", i, tok)
+		}
+	}
+}
+
+func TestPrecedenceTable(t *testing.T) {
+	// Spot-check the precedence levels the parser relies on.
+	if token.LOR.Precedence() >= token.LAND.Precedence() {
+		t.Error("|| must bind looser than &&")
+	}
+	if token.EQL.Precedence() >= token.ADD.Precedence() {
+		t.Error("== must bind looser than +")
+	}
+	if token.ADD.Precedence() >= token.MUL.Precedence() {
+		t.Error("+ must bind looser than *")
+	}
+	if token.LBRACE.Precedence() != 0 {
+		t.Error("non-operators must have precedence 0")
+	}
+}

@@ -1,0 +1,124 @@
+package mgenv_test
+
+import (
+	"strings"
+	"testing"
+
+	"reclose/internal/mgenv"
+)
+
+func TestComposeErrors(t *testing.T) {
+	for name, tc := range map[string]struct {
+		src     string
+		domain  int
+		wantSub string
+	}{
+		"bad-domain": {
+			src:     "proc p() { return; } process p;",
+			domain:  0,
+			wantSub: "domain must be >= 1",
+		},
+		"mixed-direction-chan": {
+			src: `
+chan c[1];
+env chan c;
+proc p() {
+    var v;
+    recv(c, v);
+    send(c, v);
+}
+process p;
+`,
+			domain:  2,
+			wantSub: "both sent to and received from",
+		},
+		"env-param-on-helper": {
+			src: `
+chan out[1];
+env chan out;
+env h.v;
+proc h(v) {
+    if (v > 0) {
+        send(out, 1);
+    }
+}
+proc p() {
+    h(3);
+}
+process p;
+`,
+			domain:  2,
+			wantSub: "non-entry procedure",
+		},
+		"parse-error": {
+			src:     "proc p() {",
+			domain:  2,
+			wantSub: "parse",
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			_, _, err := mgenv.ComposeSource(tc.src, tc.domain)
+			if err == nil {
+				t.Fatalf("no error, want one mentioning %q", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestUnusedEnvChanNeedsNoDriver: an env chan the system never touches
+// gets no environment process.
+func TestUnusedEnvChanNeedsNoDriver(t *testing.T) {
+	unit, info, err := mgenv.ComposeSource(`
+chan c[1];
+env chan c;
+proc p() { return; }
+process p;
+`, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.EnvProcs) != 0 {
+		t.Errorf("env procs = %v, want none", info.EnvProcs)
+	}
+	if len(unit.Processes) != 1 {
+		t.Errorf("processes = %v", unit.Processes)
+	}
+}
+
+// TestWrapperPerEntry: two instances of the same env-parameterized entry
+// share one wrapper procedure but draw independent values.
+func TestWrapperPerEntry(t *testing.T) {
+	unit, info, err := mgenv.ComposeSource(`
+chan out[2];
+env chan out;
+env p.x;
+proc p(x) {
+    if (x > 0) {
+        send(out, 1);
+    }
+}
+process p;
+process p;
+`, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SystemProcs != 2 {
+		t.Errorf("system procs = %d, want 2", info.SystemProcs)
+	}
+	wrappers := 0
+	for _, name := range unit.Order {
+		if strings.HasPrefix(name, "__mg_main_") {
+			wrappers++
+		}
+	}
+	if wrappers != 1 {
+		t.Errorf("wrapper procedures = %d, want 1 (shared)", wrappers)
+	}
+	if unit.Processes[0] != unit.Processes[1] {
+		t.Errorf("both instances should run the wrapper: %v", unit.Processes)
+	}
+}

@@ -1,0 +1,312 @@
+package parser_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"reclose/internal/ast"
+	"reclose/internal/parser"
+	"reclose/internal/progs"
+	"reclose/internal/token"
+)
+
+func TestParseDeclarations(t *testing.T) {
+	prog := parser.MustParse(`
+chan c[4];
+sem s = 2;
+shared g = 7;
+env chan c;
+env f.x;
+proc f(x, y) { return; }
+process f;
+`)
+	if len(prog.Decls) != 7 {
+		t.Fatalf("decls = %d, want 7", len(prog.Decls))
+	}
+	objs := prog.Objects()
+	if len(objs) != 3 {
+		t.Fatalf("objects = %d, want 3", len(objs))
+	}
+	if objs[0].Kind != ast.ChanObject || objs[0].Arg != 4 {
+		t.Errorf("chan decl = %+v", objs[0])
+	}
+	if objs[1].Kind != ast.SemObject || objs[1].Arg != 2 {
+		t.Errorf("sem decl = %+v", objs[1])
+	}
+	if objs[2].Kind != ast.SharedObject || objs[2].Arg != 7 {
+		t.Errorf("shared decl = %+v", objs[2])
+	}
+	envs := prog.EnvDecls()
+	if len(envs) != 2 || !envs[0].IsChan || envs[1].IsChan {
+		t.Errorf("env decls = %+v", envs)
+	}
+	f := prog.Proc("f")
+	if f == nil || len(f.Params) != 2 {
+		t.Fatalf("proc f = %+v", f)
+	}
+	if len(prog.Processes()) != 1 {
+		t.Errorf("processes = %d, want 1", len(prog.Processes()))
+	}
+}
+
+func TestParseStatements(t *testing.T) {
+	prog := parser.MustParse(`
+proc f(p) {
+    var x;
+    var y = 1 + 2 * 3;
+    var a[10];
+    x = y;
+    a[x] = y + 1;
+    *p = x;
+    if (x < 3) { x = 1; } else { x = 2; }
+    if (x == 1) { x = 0; } else if (x == 2) { x = 9; }
+    while (x > 0) { x = x - 1; }
+    for (x = 0; x < 4; x = x + 1) { y = y + x; }
+    send(c, x);
+    recv(c, x);
+    VS_assert(x == 0);
+    return;
+}
+`)
+	f := prog.Proc("f")
+	if f == nil {
+		t.Fatal("no proc f")
+	}
+	if n := len(f.Body.Stmts); n != 14 {
+		t.Fatalf("statements = %d, want 14", n)
+	}
+	// Spot-check shapes.
+	if _, ok := f.Body.Stmts[5].(*ast.AssignStmt); !ok {
+		t.Errorf("stmt 5 = %T, want *AssignStmt (pointer store)", f.Body.Stmts[5])
+	}
+	ifs, ok := f.Body.Stmts[6].(*ast.IfStmt)
+	if !ok || ifs.Else == nil {
+		t.Errorf("stmt 6 = %T (else=%v), want if-else", f.Body.Stmts[6], ifs != nil && ifs.Else != nil)
+	}
+	elseIf, ok := f.Body.Stmts[7].(*ast.IfStmt)
+	if !ok || elseIf.Else == nil || len(elseIf.Else.Stmts) != 1 {
+		t.Fatalf("stmt 7: else-if chain not desugared correctly")
+	}
+	if _, ok := elseIf.Else.Stmts[0].(*ast.IfStmt); !ok {
+		t.Errorf("else-if desugars to %T, want nested *IfStmt", elseIf.Else.Stmts[0])
+	}
+}
+
+func TestExprPrecedence(t *testing.T) {
+	prog := parser.MustParse(`proc f() { var x = 1 + 2 * 3 - 4 / 2; }`)
+	vs := prog.Proc("f").Body.Stmts[0].(*ast.VarStmt)
+	// (1 + (2*3)) - (4/2)
+	root, ok := vs.Init.(*ast.BinaryExpr)
+	if !ok || root.Op != token.SUB {
+		t.Fatalf("root = %s", ast.FormatExpr(vs.Init))
+	}
+	l, ok := root.X.(*ast.BinaryExpr)
+	if !ok || l.Op != token.ADD {
+		t.Fatalf("left = %s", ast.FormatExpr(root.X))
+	}
+	if got := ast.FormatExpr(vs.Init); got != "1 + 2 * 3 - 4 / 2" {
+		t.Errorf("formatted = %q", got)
+	}
+}
+
+func TestExprForms(t *testing.T) {
+	for _, tc := range []struct{ src, want string }{
+		{"1 + 2", "1 + 2"},
+		{"(1 + 2) * 3", "(1 + 2) * 3"},
+		{"a && b || !c", "a && b || !c"},
+		{"-x % 2", "-x % 2"},
+		{"&v", "&v"},
+		{"*p + 1", "*p + 1"},
+		{"a[i + 1]", "a[i + 1]"},
+		{"VS_toss(3)", "VS_toss(3)"},
+		{"undef", "undef"},
+		{"x << 2 | y >> 1", "x << 2 | y >> 1"},
+		{"a - b - c", "a - b - c"},
+		{"a - (b - c)", "a - (b - c)"},
+		{"x == 1 && y != 2", "x == 1 && y != 2"},
+		{"true == false", "true == false"},
+	} {
+		prog, err := parser.Parse([]byte("proc f(a, b, c, x, y, v, p, i) { var z = " + tc.src + "; }"))
+		if err != nil {
+			t.Errorf("%q: %v", tc.src, err)
+			continue
+		}
+		vs := prog.Proc("f").Body.Stmts[0].(*ast.VarStmt)
+		if got := ast.FormatExpr(vs.Init); got != tc.want {
+			t.Errorf("%q: formatted as %q, want %q", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, tc := range []struct{ src, wantSub string }{
+		{"proc f( { }", "expected identifier"},
+		{"proc f() { x = ; }", "expected expression"},
+		{"chan c;", `expected "["`},
+		{"proc f() { if x { } }", `expected "("`},
+		{"banana;", "expected declaration"},
+		{"proc f() { f(1) }", `expected ";"`},
+		{"env f;", `expected "."`},
+	} {
+		_, err := parser.Parse([]byte(tc.src))
+		if err == nil {
+			t.Errorf("%q: no error", tc.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%q: error %q does not mention %q", tc.src, err, tc.wantSub)
+		}
+	}
+}
+
+func TestErrorRecovery(t *testing.T) {
+	// Multiple errors are reported in one pass.
+	_, err := parser.Parse([]byte(`
+proc f() { x = ; y = ; }
+proc g() { return; }
+`))
+	el, ok := err.(parser.ErrorList)
+	if !ok {
+		t.Fatalf("err = %T (%v), want ErrorList", err, err)
+	}
+	if len(el) < 2 {
+		t.Errorf("errors = %d, want >= 2: %v", len(el), el)
+	}
+}
+
+// TestFormatRoundTrip checks parse → format → parse → format is a fixed
+// point on all example programs.
+func TestFormatRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		progs.FigureP, progs.FigureQ, progs.SimpleTaint, progs.PathIndependent,
+		progs.ProducerConsumer, progs.DeadlockProne, progs.AssertViolation,
+		progs.Router, progs.Interproc,
+	} {
+		p1, err := parser.Parse([]byte(src))
+		if err != nil {
+			t.Fatalf("parse original: %v", err)
+		}
+		f1 := ast.Format(p1)
+		p2, err := parser.Parse([]byte(f1))
+		if err != nil {
+			t.Fatalf("parse formatted: %v\n%s", err, f1)
+		}
+		f2 := ast.Format(p2)
+		if f1 != f2 {
+			t.Errorf("format not a fixed point:\n--- first\n%s\n--- second\n%s", f1, f2)
+		}
+	}
+}
+
+// TestParseNeverPanics feeds arbitrary byte soup to the parser.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(src []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("panic on %q: %v", src, r)
+			}
+		}()
+		_, _ = parser.Parse(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseTokenSoup feeds random sequences of valid tokens.
+func TestParseTokenSoup(t *testing.T) {
+	words := []string{
+		"proc", "process", "env", "chan", "sem", "shared", "var", "if", "else",
+		"while", "for", "return", "exit", "true", "false", "x", "f", "42",
+		"(", ")", "{", "}", "[", "]", ";", ",", "=", "==", "+", "*", "&", "VS_toss",
+	}
+	f := func(picks []uint8) bool {
+		var b strings.Builder
+		for _, p := range picks {
+			b.WriteString(words[int(p)%len(words)])
+			b.WriteByte(' ')
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("panic on %q: %v", b.String(), r)
+			}
+		}()
+		_, _ = parser.Parse([]byte(b.String()))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseSwitch(t *testing.T) {
+	prog := parser.MustParse(`
+proc f(x) {
+    switch (x) {
+    case 1:
+        x = 10;
+    case 2, 3:
+        x = 20;
+        break;
+    default:
+        x = 0;
+    }
+    while (x > 0) {
+        if (x == 5) {
+            continue;
+        }
+        break;
+    }
+}
+`)
+	body := prog.Proc("f").Body.Stmts
+	sw, ok := body[0].(*ast.SwitchStmt)
+	if !ok {
+		t.Fatalf("stmt 0 = %T, want switch", body[0])
+	}
+	if len(sw.Cases) != 3 {
+		t.Fatalf("cases = %d, want 3", len(sw.Cases))
+	}
+	if len(sw.Cases[0].Values) != 1 || len(sw.Cases[1].Values) != 2 || len(sw.Cases[2].Values) != 0 {
+		t.Errorf("case value counts wrong: %d %d %d",
+			len(sw.Cases[0].Values), len(sw.Cases[1].Values), len(sw.Cases[2].Values))
+	}
+	if _, ok := sw.Cases[1].Body.Stmts[1].(*ast.BreakStmt); !ok {
+		t.Error("break not parsed in case body")
+	}
+}
+
+func TestParseSwitchErrors(t *testing.T) {
+	for _, tc := range []struct{ src, wantSub string }{
+		{"proc f(x) { switch (x) { } }", "switch with no cases"},
+		{"proc f(x) { switch (x) { default: x = 1; default: x = 2; } }", "multiple default"},
+		{"proc f(x) { switch (x) { case 1 x = 1; } }", `expected ":"`},
+	} {
+		_, err := parser.Parse([]byte(tc.src))
+		if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%q: err = %v, want %q", tc.src, err, tc.wantSub)
+		}
+	}
+}
+
+func TestSwitchFormatRoundTrip(t *testing.T) {
+	src := `proc f(x) {
+    switch (x % 4) {
+    case 0, 1:
+        x = 1;
+    case 2:
+        break;
+    default:
+        continue;
+    }
+}
+`
+	p1 := parser.MustParse(src)
+	f1 := ast.Format(p1)
+	p2 := parser.MustParse(f1)
+	if f2 := ast.Format(p2); f1 != f2 {
+		t.Errorf("round trip differs:\n%s\nvs\n%s", f1, f2)
+	}
+}

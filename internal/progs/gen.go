@@ -1,0 +1,207 @@
+package progs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Philosophers returns the dining-philosophers system with n
+// philosophers and one round of eating each: the classic partial-order
+// reduction benchmark. It is a closed program (no environment) with a
+// reachable deadlock (everyone grabs the left fork first).
+func Philosophers(n int) string {
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+	for i := 0; i < n; i++ {
+		w("sem fork%d = 1;", i)
+	}
+	for i := 0; i < n; i++ {
+		left := i
+		right := (i + 1) % n
+		w("proc phil%d() {", i)
+		w("    wait(fork%d);", left)
+		w("    wait(fork%d);", right)
+		w("    signal(fork%d);", right)
+		w("    signal(fork%d);", left)
+		w("}")
+		w("process phil%d;", i)
+	}
+	return b.String()
+}
+
+// Pipeline returns a closed n-stage pipeline: stage i receives from
+// channel i, increments, and forwards to channel i+1. Each internal
+// channel is touched by exactly two processes, so persistent sets give
+// strong reductions. The source process injects m tokens.
+func Pipeline(n, m int) string {
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+	for i := 0; i <= n; i++ {
+		w("chan s%d[1];", i)
+	}
+	w("proc source() {")
+	w("    var k = 0;")
+	w("    while (k < %d) {", m)
+	w("        send(s0, k);")
+	w("        k = k + 1;")
+	w("    }")
+	w("}")
+	w("process source;")
+	for i := 0; i < n; i++ {
+		w("proc stage%d() {", i)
+		w("    var k = 0;")
+		w("    var v;")
+		w("    while (k < %d) {", m)
+		w("        recv(s%d, v);", i)
+		w("        send(s%d, v + 1);", i+1)
+		w("        k = k + 1;")
+		w("    }")
+		w("}")
+		w("process stage%d;", i)
+	}
+	w("proc sink() {")
+	w("    var k = 0;")
+	w("    var v;")
+	w("    while (k < %d) {", m)
+	w("        recv(s%d, v);", n)
+	w("        k = k + 1;")
+	w("    }")
+	w("    var ok = v == %d;", n+m-1)
+	w("    VS_assert(ok);")
+	w("}")
+	w("process sink;")
+	return b.String()
+}
+
+// RouterScaled generalizes Router for the domain-size experiments: the
+// environment routes m tokens to one of w workers. The router finishes
+// by sending a poison token to every worker so the clean system
+// terminates under every schedule.
+func RouterScaled(w, m int) string {
+	var b strings.Builder
+	p := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+	for i := 0; i < w; i++ {
+		p("chan q%d[%d];", i, m+1)
+	}
+	p("chan in[1];")
+	p("chan out[1];")
+	p("env chan in;")
+	p("env chan out;")
+	p("proc router() {")
+	p("    var dst;")
+	p("    var pay;")
+	p("    var i = 0;")
+	p("    while (i < %d) {", m)
+	p("        recv(in, dst);")
+	p("        recv(in, pay);")
+	for i := 0; i < w; i++ {
+		kw := "if"
+		if i > 0 {
+			kw = "} else if"
+		}
+		p("        %s (dst %% %d == %d) {", kw, w, i)
+		p("            send(q%d, 1);", i)
+	}
+	p("        }")
+	p("        send(out, pay);")
+	p("        i = i + 1;")
+	p("    }")
+	for i := 0; i < w; i++ {
+		p("    send(q%d, 0);", i) // poison: worker stops
+	}
+	p("}")
+	p("process router;")
+	for i := 0; i < w; i++ {
+		p("proc worker%d() {", i)
+		p("    var v = 1;")
+		p("    var seen = 0;")
+		p("    while (v != 0) {")
+		p("        recv(q%d, v);", i)
+		p("        seen = seen + v;")
+		p("    }")
+		p("    var ok = seen <= %d;", m)
+		p("    VS_assert(ok);")
+		p("}")
+		p("process worker%d;", i)
+	}
+	return b.String()
+}
+
+// LossyTransfer returns an open bounded-retransmission protocol: a
+// sender transfers msgs sequence numbers to a receiver through a network
+// process that consults the environment on whether to deliver or drop
+// each frame (dropping is reported to the sender as a NACK, modeling a
+// timeout oracle). The sender retries each frame up to retries times and
+// gives up otherwise.
+//
+// Closing the protocol replaces the environment's drop decisions with
+// VS_toss — the most general lossy network. Expected verification
+// outcome, faithful to real bounded-retransmission analysis: the
+// receiver's in-order safety assertion holds under every loss pattern,
+// while give-up paths (all retries dropped) deadlock the transfer —
+// safety holds, unbounded loss defeats liveness.
+func LossyTransfer(msgs, retries int) string {
+	var b strings.Builder
+	p := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+	p("chan toNet[1];")
+	p("chan fromNet[1];")
+	p("chan ackLine[1];")
+	p("chan loss[1];")
+	p("env chan loss;")
+	p("")
+	p("proc sender() {")
+	p("    var seq = 0;")
+	p("    var verdict;")
+	p("    while (seq < %d) {", msgs)
+	p("        var attempt = 0;")
+	p("        var done = 0;")
+	p("        while (done == 0 && attempt < %d) {", retries)
+	p("            send(toNet, seq);")
+	p("            recv(ackLine, verdict);")
+	p("            if (verdict == 1) {")
+	p("                done = 1;")
+	p("            }")
+	p("            attempt = attempt + 1;")
+	p("        }")
+	p("        if (done == 0) {")
+	p("            exit;") // give up: the transfer stalls
+	p("        }")
+	p("        seq = seq + 1;")
+	p("    }")
+	p("    send(toNet, 0 - 1);") // transfer complete: shut the network down
+	p("}")
+	p("")
+	p("proc network() {")
+	p("    var f;")
+	p("    var d;")
+	p("    while (true) {")
+	p("        recv(toNet, f);")
+	p("        if (f == 0 - 1) {")
+	p("            exit;") // sender finished
+	p("        }")
+	p("        recv(loss, d);")
+	p("        if (d %% 2 == 0) {")
+	p("            send(fromNet, f);") // delivered: receiver will ack
+	p("        } else {")
+	p("            send(ackLine, 0);") // dropped: NACK (timeout oracle)
+	p("        }")
+	p("    }")
+	p("}")
+	p("")
+	p("proc receiver() {")
+	p("    var expect = 0;")
+	p("    var f;")
+	p("    while (expect < %d) {", msgs)
+	p("        recv(fromNet, f);")
+	p("        var inOrder = f == expect;")
+	p("        VS_assert(inOrder);") // safety: in-order, no dup, no skip
+	p("        expect = expect + 1;")
+	p("        send(ackLine, 1);")
+	p("    }")
+	p("}")
+	p("")
+	p("process sender;")
+	p("process network;")
+	p("process receiver;")
+	return b.String()
+}

@@ -1,0 +1,319 @@
+// Package progs holds the MiniC example programs used across tests,
+// benchmarks, and examples: the two worked transformations of the paper
+// (Figures 2 and 3) and a collection of small open concurrent systems.
+package progs
+
+// FigureP is the open procedure p of Figure 2 of the paper. The
+// environment provides x; p sends the parity class of x ten times — for
+// no value of x can it send a mixture of "even" and "odd" outputs. Its
+// closed form is a strict upper approximation: it can mix.
+//
+// The paper's tagged outputs send('even', cnt) / send('odd', cnt) are
+// modeled as sends on two env-facing output channels.
+const FigureP = `
+chan evn[1];
+chan odd[1];
+env chan evn;
+env chan odd;
+env p.x;
+
+proc p(x) {
+    var y = x % 2;
+    var cnt = 0;
+    while (cnt < 10) {
+        if (y == 0) {
+            send(evn, cnt);
+        } else {
+            send(odd, cnt);
+        }
+        cnt = cnt + 1;
+    }
+}
+
+process p;
+`
+
+// FigureQ is the open procedure q of Figure 3 of the paper: it sends the
+// ten least-significant bits of the environment-provided x. Its closed
+// form is an optimal translation — the executions induced by all inputs
+// coincide with the executions induced by all VS_toss outcomes.
+const FigureQ = `
+chan evn[1];
+chan odd[1];
+env chan evn;
+env chan odd;
+env q.x;
+
+proc q(x) {
+    var cnt = 0;
+    var y;
+    while (cnt < 10) {
+        y = x % 2;
+        if (y == 0) {
+            send(evn, cnt);
+        } else {
+            send(odd, cnt);
+        }
+        x = x / 2;
+        cnt = cnt + 1;
+    }
+}
+
+process q;
+`
+
+// SimpleTaint is the first example of §5: a, b, c all become
+// functionally dependent on the environment.
+const SimpleTaint = `
+chan out[1];
+env chan out;
+env p.x;
+
+proc p(x) {
+    var a = x % 2;
+    var b = a + 1;
+    var c = b;
+    send(out, c);
+}
+
+process p;
+`
+
+// PathIndependent is the second example of §5: although the control path
+// depends on the environment, none of a, b, c are functionally dependent
+// on it (dependence is per control path), so the assignments survive and
+// only the conditional becomes a toss.
+const PathIndependent = `
+chan out[1];
+env chan out;
+env p.x;
+
+proc p(x) {
+    var a = 0;
+    var b;
+    var c;
+    if (x > 0) {
+        b = a - 1;
+    } else {
+        b = a + 1;
+    }
+    c = b;
+    send(out, c);
+}
+
+process p;
+`
+
+// ProducerConsumer is a two-process open system: the producer reads
+// commands from the environment and forwards work items over an internal
+// channel; the consumer acknowledges over a semaphore. Used by the
+// naive-vs-closed state-space experiments (E4).
+const ProducerConsumer = `
+chan work[2];
+sem ack = 0;
+chan cmd[1];
+chan log[1];
+env chan cmd;
+env chan log;
+
+proc producer() {
+    var c;
+    var i = 0;
+    while (i < 3) {
+        recv(cmd, c);
+        if (c % 2 == 0) {
+            send(work, i);
+            wait(ack);
+        } else {
+            send(log, i);
+        }
+        i = i + 1;
+    }
+}
+
+proc consumer() {
+    var v;
+    var j = 0;
+    while (j < 3) {
+        recv(work, v);
+        signal(ack);
+        j = j + 1;
+    }
+}
+
+process producer;
+process consumer;
+`
+
+// DeadlockProne is an open two-process system with a reachable deadlock
+// that does not depend on environment data: both processes wait on the
+// semaphore the other holds, but only along one interleaving. Used by
+// the preservation experiments (E5).
+const DeadlockProne = `
+sem a = 1;
+sem b = 1;
+chan in1[1];
+chan in2[1];
+env chan in1;
+env chan in2;
+
+proc left() {
+    var x;
+    recv(in1, x);
+    wait(a);
+    wait(b);
+    signal(b);
+    signal(a);
+}
+
+proc right() {
+    var y;
+    recv(in2, y);
+    wait(b);
+    wait(a);
+    signal(a);
+    signal(b);
+}
+
+process left;
+process right;
+`
+
+// AssertViolation is an open system with an assertion over an
+// environment-independent counter that is violated along some
+// interleavings: the two incrementers race on the shared variable (lost
+// update), so the final count can fall short. The assertion argument
+// does not depend on the environment, so Theorem 7 guarantees the
+// violation survives closing.
+const AssertViolation = `
+shared g = 0;
+sem done = 0;
+chan in1[1];
+env chan in1;
+
+proc incr() {
+    var t;
+    vread(g, t);
+    t = t + 1;
+    vwrite(g, t);
+    signal(done);
+}
+
+proc checker() {
+    var x;
+    var v;
+    var ok;
+    recv(in1, x);
+    wait(done);
+    wait(done);
+    vread(g, v);
+    ok = v == 2;
+    VS_assert(ok);
+}
+
+process incr;
+process incr;
+process checker;
+`
+
+// Router is an open system whose control structure depends on
+// environment data at several points; used for domain-size sweeps (E4):
+// the environment picks a destination and a payload, and the router
+// forwards a constant-shaped token to one of two workers.
+const Router = `
+chan q0[1];
+chan q1[1];
+chan in[1];
+chan out[1];
+env chan in;
+env chan out;
+
+proc router() {
+    var dst;
+    var pay;
+    var i = 0;
+    while (i < 2) {
+        recv(in, dst);
+        recv(in, pay);
+        if (dst % 2 == 0) {
+            send(q0, 1);
+        } else {
+            send(q1, 1);
+        }
+        send(out, pay);
+        i = i + 1;
+    }
+}
+
+proc worker0() {
+    var v;
+    recv(q0, v);
+}
+
+proc worker1() {
+    var v;
+    recv(q1, v);
+}
+
+process router;
+process worker0;
+process worker1;
+`
+
+// Interproc exercises the interprocedural propagation: the tainted value
+// x flows through helper into the conditional, and the helper's pointer
+// write makes the caller's variable environment-dependent.
+const Interproc = `
+chan out[1];
+env chan out;
+env top.x;
+
+proc helper(v, p) {
+    var w = v + 1;
+    *p = w;
+}
+
+proc top(x) {
+    var r = 0;
+    var q = &r;
+    helper(x, q);
+    if (r > 0) {
+        send(out, 1);
+    } else {
+        send(out, 2);
+    }
+}
+
+process top;
+`
+
+// Forwarder exercises cross-process taint: the first process forwards an
+// environment-provided value over a system channel; the second branches
+// on the received value. The analysis must taint the channel (the o = i
+// matching of §3), so the branch becomes a toss after closing.
+const Forwarder = `
+chan pipe[1];
+chan in[1];
+chan out[1];
+env chan in;
+env chan out;
+
+proc front() {
+    var x;
+    recv(in, x);
+    send(pipe, x + 1);
+}
+
+proc back() {
+    var v;
+    recv(pipe, v);
+    if (v > 0) {
+        send(out, 1);
+    } else {
+        send(out, 2);
+    }
+}
+
+process front;
+process back;
+`

@@ -1,0 +1,120 @@
+package progs_test
+
+import (
+	"strings"
+	"testing"
+
+	"reclose/internal/core"
+	"reclose/internal/explore"
+	"reclose/internal/progs"
+)
+
+func TestAllConstsCompile(t *testing.T) {
+	for name, src := range map[string]string{
+		"FigureP":          progs.FigureP,
+		"FigureQ":          progs.FigureQ,
+		"SimpleTaint":      progs.SimpleTaint,
+		"PathIndependent":  progs.PathIndependent,
+		"ProducerConsumer": progs.ProducerConsumer,
+		"DeadlockProne":    progs.DeadlockProne,
+		"AssertViolation":  progs.AssertViolation,
+		"Router":           progs.Router,
+		"Interproc":        progs.Interproc,
+		"Forwarder":        progs.Forwarder,
+	} {
+		if _, err := core.CompileSource(src); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestPhilosophersGenerator(t *testing.T) {
+	for _, n := range []int{2, 3, 5} {
+		src := progs.Philosophers(n)
+		if got := strings.Count(src, "process "); got != n {
+			t.Errorf("Philosophers(%d): %d processes", n, got)
+		}
+		if got := strings.Count(src, "sem "); got != n {
+			t.Errorf("Philosophers(%d): %d forks", n, got)
+		}
+		unit, err := core.CompileSource(src)
+		if err != nil {
+			t.Fatalf("Philosophers(%d): %v", n, err)
+		}
+		if unit.IsOpen() {
+			t.Errorf("Philosophers(%d) should be closed", n)
+		}
+	}
+}
+
+func TestPipelineGenerator(t *testing.T) {
+	unit, err := core.CompileSource(progs.Pipeline(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// source + 3 stages + sink.
+	if len(unit.Processes) != 5 {
+		t.Errorf("processes = %d, want 5", len(unit.Processes))
+	}
+	rep, err := explore.Explore(unit, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tokens increment through every stage: the sink's assertion holds.
+	if rep.Violations != 0 {
+		t.Errorf("pipeline assertion violated: %s", rep)
+	}
+}
+
+func TestRouterScaledGenerator(t *testing.T) {
+	src := progs.RouterScaled(3, 2)
+	unit, err := core.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !unit.IsOpen() {
+		t.Error("RouterScaled must be open (env chans)")
+	}
+	closed, _, err := core.Close(unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := explore.Explore(closed, explore.Options{MaxDepth: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The poison protocol keeps the clean system deadlock-free under
+	// every schedule and toss outcome.
+	if rep.Deadlocks != 0 || rep.Violations != 0 || rep.Traps != 0 {
+		t.Errorf("router incidents: %s\n%v", rep, rep.Samples)
+	}
+	if rep.Terminated == 0 {
+		t.Errorf("no terminating runs: %s", rep)
+	}
+}
+
+func TestLossyTransfer(t *testing.T) {
+	closed, st, err := core.CloseSource(progs.LossyTransfer(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TossInserted != 1 {
+		t.Errorf("tosses = %d, want 1 (the drop decision)", st.TossInserted)
+	}
+	rep, err := explore.Explore(closed, explore.Options{MaxDepth: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Safety holds under every loss pattern.
+	if rep.Violations != 0 {
+		t.Errorf("in-order safety violated: %s\n%v", rep, rep.Samples)
+	}
+	// Some loss pattern exhausts the retries: the transfer stalls.
+	if rep.Deadlocks == 0 {
+		t.Errorf("no give-up deadlock found (unbounded loss defeats liveness): %s", rep)
+	}
+	// Some loss pattern completes the transfer.
+	if rep.Terminated == 0 {
+		t.Errorf("no successful transfer: %s", rep)
+	}
+}

@@ -1,0 +1,465 @@
+// Package sem performs symbol resolution and semantic checking of MiniC
+// programs, and records the information later phases need: the
+// communication objects, the process instantiations, the declared
+// environment inputs, and the signatures of the builtin visible
+// operations.
+//
+// The checks enforce the assumptions §4 of the paper places on source
+// programs (after normalization): procedures have unique names, processes
+// communicate only through communication objects, environment inputs
+// refer to real parameters or channels, and builtin operations are
+// applied to objects of the right kind.
+package sem
+
+import (
+	"fmt"
+	"strings"
+
+	"reclose/internal/ast"
+	"reclose/internal/token"
+)
+
+// Error is a semantic error at a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList is a list of semantic errors implementing error.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	switch len(l) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l[0].Error()
+	}
+	var b strings.Builder
+	b.WriteString(l[0].Error())
+	fmt.Fprintf(&b, " (and %d more errors)", len(l)-1)
+	return b.String()
+}
+
+// Builtin describes a builtin operation. All builtins except VS_assert
+// take a communication object as their first argument; builtins are the
+// visible operations of the system.
+type Builtin struct {
+	Name    string
+	Arity   int
+	ObjKind ast.ObjectKind // kind required of argument 0 (if HasObj)
+	HasObj  bool
+	OutArg  int // index of an output argument (defined by the op), or -1
+}
+
+// Builtins maps builtin names to their signatures.
+var Builtins = map[string]Builtin{
+	"send":      {Name: "send", Arity: 2, ObjKind: ast.ChanObject, HasObj: true, OutArg: -1},
+	"recv":      {Name: "recv", Arity: 2, ObjKind: ast.ChanObject, HasObj: true, OutArg: 1},
+	"wait":      {Name: "wait", Arity: 1, ObjKind: ast.SemObject, HasObj: true, OutArg: -1},
+	"signal":    {Name: "signal", Arity: 1, ObjKind: ast.SemObject, HasObj: true, OutArg: -1},
+	"vwrite":    {Name: "vwrite", Arity: 2, ObjKind: ast.SharedObject, HasObj: true, OutArg: -1},
+	"vread":     {Name: "vread", Arity: 2, ObjKind: ast.SharedObject, HasObj: true, OutArg: 1},
+	"VS_assert": {Name: "VS_assert", Arity: 1, OutArg: -1},
+}
+
+// IsBuiltin reports whether name is a builtin operation.
+func IsBuiltin(name string) bool {
+	_, ok := Builtins[name]
+	return ok
+}
+
+// Info is the result of semantic analysis.
+type Info struct {
+	Program *ast.Program
+
+	// Objects maps object names to their declarations.
+	Objects map[string]*ast.ObjectDecl
+	// Procs maps procedure names to their declarations.
+	Procs map[string]*ast.ProcDecl
+	// EnvParams maps a procedure name to the set of parameter indices
+	// declared as environment inputs.
+	EnvParams map[string]map[int]bool
+	// EnvChans is the set of env-facing channel names.
+	EnvChans map[string]bool
+	// ProcVars maps a procedure name to the set of variables (parameters
+	// and locals) declared in it.
+	ProcVars map[string]map[string]bool
+	// Arrays maps a procedure name to the set of its array variables.
+	Arrays map[string]map[string]bool
+}
+
+// EnvParam reports whether parameter index i of procedure proc is a
+// declared environment input.
+func (in *Info) EnvParam(proc string, i int) bool {
+	return in.EnvParams[proc][i]
+}
+
+// IsEnvChan reports whether object name is an env-facing channel.
+func (in *Info) IsEnvChan(name string) bool { return in.EnvChans[name] }
+
+// Check resolves and checks prog, returning the collected Info. On
+// failure the returned error is an ErrorList; the Info is still usable
+// for error recovery but may be incomplete.
+func Check(prog *ast.Program) (*Info, error) {
+	c := &checker{
+		info: &Info{
+			Program:   prog,
+			Objects:   make(map[string]*ast.ObjectDecl),
+			Procs:     make(map[string]*ast.ProcDecl),
+			EnvParams: make(map[string]map[int]bool),
+			EnvChans:  make(map[string]bool),
+			ProcVars:  make(map[string]map[string]bool),
+			Arrays:    make(map[string]map[string]bool),
+		},
+	}
+	c.collect(prog)
+	c.checkEnvDecls(prog)
+	for _, pd := range prog.Procs() {
+		c.checkProc(pd)
+	}
+	c.checkProcesses(prog)
+	if len(c.errs) > 0 {
+		return c.info, c.errs
+	}
+	return c.info, nil
+}
+
+// MustCheck checks prog and panics on error. Intended for embedded
+// example programs and tests.
+func MustCheck(prog *ast.Program) *Info {
+	info, err := Check(prog)
+	if err != nil {
+		panic(fmt.Sprintf("sem.MustCheck: %v", err))
+	}
+	return info
+}
+
+type checker struct {
+	info *Info
+	errs ErrorList
+}
+
+func (c *checker) errorf(pos token.Pos, format string, args ...any) {
+	c.errs = append(c.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (c *checker) collect(prog *ast.Program) {
+	for _, d := range prog.Decls {
+		switch d := d.(type) {
+		case *ast.ObjectDecl:
+			name := d.Name.Name
+			if _, dup := c.info.Objects[name]; dup {
+				c.errorf(d.Pos(), "duplicate object %q", name)
+				continue
+			}
+			if _, dup := c.info.Procs[name]; dup {
+				c.errorf(d.Pos(), "object %q conflicts with procedure of the same name", name)
+			}
+			if d.Kind == ast.ChanObject && d.Arg < 1 {
+				c.errorf(d.Pos(), "channel %q must have capacity >= 1, got %d", name, d.Arg)
+			}
+			if d.Kind == ast.SemObject && d.Arg < 0 {
+				c.errorf(d.Pos(), "semaphore %q must have initial count >= 0, got %d", name, d.Arg)
+			}
+			c.info.Objects[name] = d
+		case *ast.ProcDecl:
+			name := d.Name.Name
+			if IsBuiltin(name) || name == "VS_toss" || name == "undef" {
+				c.errorf(d.Pos(), "procedure %q shadows a builtin", name)
+				continue
+			}
+			if _, dup := c.info.Procs[name]; dup {
+				c.errorf(d.Pos(), "duplicate procedure %q", name)
+				continue
+			}
+			if _, dup := c.info.Objects[name]; dup {
+				c.errorf(d.Pos(), "procedure %q conflicts with object of the same name", name)
+			}
+			c.info.Procs[name] = d
+		}
+	}
+}
+
+func (c *checker) checkEnvDecls(prog *ast.Program) {
+	for _, d := range prog.EnvDecls() {
+		if d.IsChan {
+			obj, ok := c.info.Objects[d.Name.Name]
+			if !ok {
+				c.errorf(d.Pos(), "env chan %q: no such object", d.Name.Name)
+				continue
+			}
+			if obj.Kind != ast.ChanObject {
+				c.errorf(d.Pos(), "env chan %q: object is a %s, not a chan", d.Name.Name, obj.Kind)
+				continue
+			}
+			c.info.EnvChans[d.Name.Name] = true
+			continue
+		}
+		pd, ok := c.info.Procs[d.Proc.Name]
+		if !ok {
+			c.errorf(d.Pos(), "env %s.%s: no such procedure", d.Proc.Name, d.Name.Name)
+			continue
+		}
+		idx := -1
+		for i, prm := range pd.Params {
+			if prm.Name == d.Name.Name {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			c.errorf(d.Pos(), "env %s.%s: procedure has no such parameter", d.Proc.Name, d.Name.Name)
+			continue
+		}
+		if c.info.EnvParams[d.Proc.Name] == nil {
+			c.info.EnvParams[d.Proc.Name] = make(map[int]bool)
+		}
+		c.info.EnvParams[d.Proc.Name][idx] = true
+	}
+}
+
+func (c *checker) checkProcesses(prog *ast.Program) {
+	n := 0
+	for _, d := range prog.Processes() {
+		n++
+		pd, ok := c.info.Procs[d.Proc.Name]
+		if !ok {
+			c.errorf(d.Pos(), "process %q: no such procedure", d.Proc.Name)
+			continue
+		}
+		// Parameters of a process's top-level procedure are system-level
+		// inputs; each must be a declared environment input, since no
+		// caller exists to supply it.
+		for i, prm := range pd.Params {
+			if !c.info.EnvParam(pd.Name.Name, i) {
+				c.errorf(d.Pos(), "process %q: parameter %q of its top-level procedure is not a declared env input",
+					d.Proc.Name, prm.Name)
+			}
+		}
+	}
+	if n == 0 && len(prog.Procs()) > 0 {
+		// A program with procedures but no processes cannot execute; this
+		// is legal for library-style analysis, so it is not an error.
+		_ = n
+	}
+}
+
+// procScope tracks variables declared in one procedure, plus the
+// break/continue context.
+type procScope struct {
+	c      *checker
+	proc   *ast.ProcDecl
+	vars   map[string]bool
+	arrays map[string]bool
+	// loops and switches count enclosing constructs for break/continue
+	// validity.
+	loops    int
+	switches int
+}
+
+func (c *checker) checkProc(pd *ast.ProcDecl) {
+	s := &procScope{
+		c:      c,
+		proc:   pd,
+		vars:   make(map[string]bool),
+		arrays: make(map[string]bool),
+	}
+	for _, prm := range pd.Params {
+		if s.vars[prm.Name] {
+			c.errorf(prm.Pos(), "duplicate parameter %q in procedure %q", prm.Name, pd.Name.Name)
+		}
+		s.declare(prm)
+	}
+	s.block(pd.Body)
+	c.info.ProcVars[pd.Name.Name] = s.vars
+	c.info.Arrays[pd.Name.Name] = s.arrays
+}
+
+func (s *procScope) declare(id *ast.Ident) {
+	if id.Name == "undef" || id.Name == "VS_toss" {
+		s.c.errorf(id.Pos(), "cannot declare variable named %q", id.Name)
+		return
+	}
+	if _, isObj := s.c.info.Objects[id.Name]; isObj {
+		s.c.errorf(id.Pos(), "variable %q shadows a communication object", id.Name)
+	}
+	s.vars[id.Name] = true
+}
+
+func (s *procScope) block(b *ast.BlockStmt) {
+	for _, st := range b.Stmts {
+		s.stmt(st)
+	}
+}
+
+func (s *procScope) stmt(st ast.Stmt) {
+	switch st := st.(type) {
+	case *ast.VarStmt:
+		// MiniC uses procedure scope (like C89 function scope): a name
+		// may be declared at most once per procedure.
+		if s.vars[st.Name.Name] {
+			s.c.errorf(st.Pos(), "variable %q redeclared in procedure %q", st.Name.Name, s.proc.Name.Name)
+		}
+		if st.Size != nil {
+			// Array sizes must be compile-time constants: a size drawn
+			// from the environment would let the closing transformation
+			// eliminate the allocation while element accesses survive.
+			lit, ok := st.Size.(*ast.IntLit)
+			if !ok {
+				s.c.errorf(st.Size.Pos(), "array size of %q must be an integer literal", st.Name.Name)
+			} else if lit.Value < 0 || lit.Value > 1<<20 {
+				s.c.errorf(st.Size.Pos(), "array size of %q out of range: %d", st.Name.Name, lit.Value)
+			}
+			s.arrays[st.Name.Name] = true
+		}
+		if st.Init != nil {
+			s.expr(st.Init)
+		}
+		s.declare(st.Name)
+	case *ast.AssignStmt:
+		s.lvalue(st.LHS)
+		s.expr(st.RHS)
+	case *ast.IfStmt:
+		s.expr(st.Cond)
+		s.block(st.Then)
+		if st.Else != nil {
+			s.block(st.Else)
+		}
+	case *ast.WhileStmt:
+		s.expr(st.Cond)
+		s.loops++
+		s.block(st.Body)
+		s.loops--
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		if st.Cond != nil {
+			s.expr(st.Cond)
+		}
+		if st.Post != nil {
+			s.stmt(st.Post)
+		}
+		s.loops++
+		s.block(st.Body)
+		s.loops--
+	case *ast.SwitchStmt:
+		s.expr(st.Tag)
+		for _, cl := range st.Cases {
+			for _, v := range cl.Values {
+				s.expr(v)
+			}
+			s.switches++
+			s.block(cl.Body)
+			s.switches--
+		}
+	case *ast.BreakStmt:
+		if s.loops == 0 && s.switches == 0 {
+			s.c.errorf(st.Pos(), "break outside loop or switch")
+		}
+	case *ast.ContinueStmt:
+		if s.loops == 0 {
+			s.c.errorf(st.Pos(), "continue outside loop")
+		}
+	case *ast.CallStmt:
+		s.call(st)
+	case *ast.ReturnStmt, *ast.ExitStmt:
+		// no operands
+	case *ast.BlockStmt:
+		s.block(st)
+	}
+}
+
+func (s *procScope) lvalue(e ast.Expr) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		s.useVar(e)
+	case *ast.UnaryExpr:
+		if e.Op != token.MUL {
+			s.c.errorf(e.Pos(), "invalid assignment target")
+			return
+		}
+		s.expr(e.X)
+	case *ast.IndexExpr:
+		s.useVar(e.X)
+		s.expr(e.Index)
+	default:
+		s.c.errorf(e.Pos(), "invalid assignment target")
+	}
+}
+
+func (s *procScope) useVar(id *ast.Ident) {
+	if !s.vars[id.Name] {
+		s.c.errorf(id.Pos(), "undeclared variable %q in procedure %q", id.Name, s.proc.Name.Name)
+		s.vars[id.Name] = true // suppress cascading errors
+	}
+}
+
+func (s *procScope) expr(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			s.useVar(n)
+		case *ast.TossExpr:
+			if lit, ok := n.Bound.(*ast.IntLit); ok && lit.Value < 0 {
+				s.c.errorf(n.Pos(), "VS_toss bound must be non-negative, got %d", lit.Value)
+			}
+		}
+		return true
+	})
+}
+
+func (s *procScope) call(st *ast.CallStmt) {
+	name := st.Name.Name
+	if b, ok := Builtins[name]; ok {
+		if len(st.Args) != b.Arity {
+			s.c.errorf(st.Pos(), "%s expects %d arguments, got %d", name, b.Arity, len(st.Args))
+			return
+		}
+		argStart := 0
+		if b.HasObj {
+			argStart = 1
+			objID, ok := st.Args[0].(*ast.Ident)
+			if !ok {
+				s.c.errorf(st.Args[0].Pos(), "%s: first argument must name a %s object", name, b.ObjKind)
+				return
+			}
+			obj, found := s.c.info.Objects[objID.Name]
+			if !found {
+				s.c.errorf(objID.Pos(), "%s: no object named %q", name, objID.Name)
+				return
+			}
+			if obj.Kind != b.ObjKind {
+				s.c.errorf(objID.Pos(), "%s: object %q is a %s, expected %s", name, objID.Name, obj.Kind, b.ObjKind)
+			}
+		}
+		for i := argStart; i < len(st.Args); i++ {
+			if i == b.OutArg {
+				id, ok := st.Args[i].(*ast.Ident)
+				if !ok {
+					s.c.errorf(st.Args[i].Pos(), "%s: argument %d must be a variable (it receives the result)", name, i)
+					continue
+				}
+				s.useVar(id) // the variable must be declared; the op defines it
+				continue
+			}
+			s.expr(st.Args[i])
+		}
+		return
+	}
+
+	pd, ok := s.c.info.Procs[name]
+	if !ok {
+		s.c.errorf(st.Pos(), "call to undefined procedure %q", name)
+		return
+	}
+	if len(st.Args) != len(pd.Params) {
+		s.c.errorf(st.Pos(), "procedure %q expects %d arguments, got %d", name, len(pd.Params), len(st.Args))
+	}
+	for _, a := range st.Args {
+		s.expr(a)
+	}
+}

@@ -1,0 +1,152 @@
+package sem_test
+
+import (
+	"strings"
+	"testing"
+
+	"reclose/internal/parser"
+	"reclose/internal/progs"
+	"reclose/internal/sem"
+)
+
+func checkErr(t *testing.T, src, wantSub string) {
+	t.Helper()
+	prog, err := parser.Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = sem.Check(prog)
+	if wantSub == "" {
+		if err != nil {
+			t.Errorf("unexpected error: %v", err)
+		}
+		return
+	}
+	if err == nil {
+		t.Errorf("no error, want one mentioning %q", wantSub)
+		return
+	}
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Errorf("error %q does not mention %q", err, wantSub)
+	}
+}
+
+func TestCheckValidPrograms(t *testing.T) {
+	for _, src := range []string{
+		progs.FigureP, progs.FigureQ, progs.SimpleTaint, progs.PathIndependent,
+		progs.ProducerConsumer, progs.DeadlockProne, progs.AssertViolation,
+		progs.Router, progs.Interproc,
+	} {
+		checkErr(t, src, "")
+	}
+}
+
+func TestDuplicateDeclarations(t *testing.T) {
+	checkErr(t, "chan c[1]; chan c[2];", "duplicate object")
+	checkErr(t, "proc f() { return; } proc f() { return; }", "duplicate procedure")
+	checkErr(t, "chan f[1]; proc f() { return; }", "conflicts with object")
+	checkErr(t, "proc f(x, x) { return; }", "duplicate parameter")
+	checkErr(t, "proc f() { var x; var x; }", "redeclared")
+}
+
+func TestBuiltinShadowing(t *testing.T) {
+	checkErr(t, "proc send() { return; }", "shadows a builtin")
+	checkErr(t, "proc VS_assert() { return; }", "shadows a builtin")
+	checkErr(t, "proc f() { var send; }", "") // variables may share builtin names
+}
+
+func TestUndeclaredVariables(t *testing.T) {
+	checkErr(t, "proc f() { x = 1; }", "undeclared variable")
+	checkErr(t, "proc f() { var x = y; }", "undeclared variable")
+	checkErr(t, "proc f(x) { x = x + 1; }", "")
+}
+
+func TestEnvDeclChecks(t *testing.T) {
+	checkErr(t, "env f.x;", "no such procedure")
+	checkErr(t, "proc f() { return; } env f.x;", "no such parameter")
+	checkErr(t, "env chan c;", "no such object")
+	checkErr(t, "sem s = 1; env chan s;", "not a chan")
+	checkErr(t, "chan c[1]; env chan c; proc f(x) { return; } env f.x;", "")
+}
+
+func TestProcessChecks(t *testing.T) {
+	checkErr(t, "process f;", "no such procedure")
+	checkErr(t, "proc f(x) { return; } process f;", "not a declared env input")
+	checkErr(t, "proc f(x) { return; } env f.x; process f;", "")
+	checkErr(t, "proc f() { return; } process f; process f;", "") // multiple instances OK
+}
+
+func TestBuiltinCallChecks(t *testing.T) {
+	checkErr(t, "chan c[1]; proc f(x) { send(c); }", "expects 2 arguments")
+	checkErr(t, "chan c[1]; proc f(x) { send(x, x); }", "no object named")
+	checkErr(t, "sem s = 1; proc f(x) { send(s, x); }", "expected chan")
+	checkErr(t, "chan c[1]; proc f(x) { recv(c, 1 + 1); }", "must be a variable")
+	checkErr(t, "shared g = 0; proc f(x) { vread(g, x); }", "")
+	checkErr(t, "proc f(x) { wait(x); }", "no object named")
+	checkErr(t, "proc f(x) { VS_assert(x > 0); }", "")
+}
+
+func TestUserCallChecks(t *testing.T) {
+	checkErr(t, "proc f() { g(); }", "undefined procedure")
+	checkErr(t, "proc g(a) { return; } proc f(x) { g(); }", "expects 1 arguments")
+	checkErr(t, "proc g(a) { return; } proc f(x) { g(x); }", "")
+}
+
+func TestVarShadowsObject(t *testing.T) {
+	checkErr(t, "chan c[1]; proc f() { var c; }", "shadows a communication object")
+}
+
+func TestTossBound(t *testing.T) {
+	checkErr(t, "proc f() { var x = VS_toss(0 - 1); }", "")
+	prog := parser.MustParse("proc f() { var x = VS_toss(3); }")
+	if _, err := sem.Check(prog); err != nil {
+		t.Errorf("VS_toss(3): %v", err)
+	}
+}
+
+func TestInfoContents(t *testing.T) {
+	prog := parser.MustParse(progs.ProducerConsumer)
+	info := sem.MustCheck(prog)
+	if len(info.Objects) != 4 {
+		t.Errorf("objects = %d, want 4", len(info.Objects))
+	}
+	if !info.IsEnvChan("cmd") || !info.IsEnvChan("log") || info.IsEnvChan("work") {
+		t.Errorf("env chans wrong: %v", info.EnvChans)
+	}
+	if len(info.Procs) != 2 {
+		t.Errorf("procs = %d, want 2", len(info.Procs))
+	}
+	vars := info.ProcVars["producer"]
+	for _, v := range []string{"c", "i"} {
+		if !vars[v] {
+			t.Errorf("producer vars missing %q: %v", v, vars)
+		}
+	}
+}
+
+func TestEnvParamIndices(t *testing.T) {
+	prog := parser.MustParse(`
+proc f(a, b, c) { return; }
+env f.b;
+`)
+	info := sem.MustCheck(prog)
+	if info.EnvParam("f", 0) || !info.EnvParam("f", 1) || info.EnvParam("f", 2) {
+		t.Errorf("env params = %v, want index 1 only", info.EnvParams["f"])
+	}
+}
+
+func TestBreakContinueContext(t *testing.T) {
+	checkErr(t, "proc f() { break; }", "break outside loop or switch")
+	checkErr(t, "proc f() { continue; }", "continue outside loop")
+	checkErr(t, "proc f(x) { switch (x) { case 1: continue; } }", "continue outside loop")
+	checkErr(t, "proc f(x) { switch (x) { case 1: break; } }", "")
+	checkErr(t, "proc f(x) { while (x > 0) { break; x = 1; } }", "")
+	checkErr(t, "proc f(x) { while (x > 0) { switch (x) { case 1: continue; } } }", "")
+	checkErr(t, "proc f(x) { switch (y) { case 1: break; } }", "undeclared variable")
+}
+
+func TestArraySizeMustBeConstant(t *testing.T) {
+	checkErr(t, "proc f(n) { var a[n]; }", "must be an integer literal")
+	checkErr(t, "proc f() { var a[2 + 2]; }", "must be an integer literal")
+	checkErr(t, "proc f() { var a[8]; }", "")
+}

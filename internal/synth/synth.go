@@ -1,0 +1,131 @@
+// Package synth generates synthetic MiniC programs of controlled size
+// and shape for the complexity experiments (E3): the paper claims the
+// closing transformation is "essentially linear in the size of G_j and
+// Ğ_j since the transformation can be performed by a single traversal of
+// both graphs".
+package synth
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Shape selects the control structure of generated programs.
+type Shape int
+
+// Program shapes.
+const (
+	// StraightLine is a long chain of assignments with interspersed
+	// sends; a fraction of the chain depends on the environment input.
+	StraightLine Shape = iota
+	// Branchy is a long sequence of small if/else diamonds, alternating
+	// environment-dependent and clean conditions.
+	Branchy
+	// Loopy is a sequence of small counted loops with env-dependent
+	// bodies.
+	Loopy
+	// ManyProcs splits the statements across many small procedures
+	// linked by calls, exercising the interprocedural fixpoint.
+	ManyProcs
+)
+
+// String names the shape.
+func (s Shape) String() string {
+	switch s {
+	case StraightLine:
+		return "straight"
+	case Branchy:
+		return "branchy"
+	case Loopy:
+		return "loopy"
+	case ManyProcs:
+		return "manyprocs"
+	}
+	return "?"
+}
+
+// Program generates a single-process open program with roughly n
+// statements of the given shape. The generated text is deterministic.
+func Program(shape Shape, n int) string {
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+	w("chan out[1];")
+	w("env chan out;")
+	w("env main.x;")
+
+	switch shape {
+	case ManyProcs:
+		// n/8 procedures of 8 statements each, chained by calls.
+		perProc := 8
+		procs := n / perProc
+		if procs < 1 {
+			procs = 1
+		}
+		for p := procs - 1; p >= 0; p-- {
+			w("proc p%d(v) {", p)
+			w("    var a = v + %d;", p)
+			w("    var b = a * 2;")
+			w("    var c = b - v;")
+			w("    if (c > 0) {")
+			w("        c = c - 1;")
+			w("    }")
+			if p+1 < procs {
+				w("    p%d(c);", p+1)
+			} else {
+				w("    send(out, c);")
+			}
+			w("}")
+		}
+		w("proc main(x) {")
+		w("    p0(x);")
+		w("}")
+	default:
+		w("proc main(x) {")
+		w("    var clean = 0;")
+		w("    var dirty = x;")
+		i := 0
+		for emitted := 0; emitted < n; i++ {
+			switch shape {
+			case StraightLine:
+				if i%4 == 3 {
+					w("    dirty = dirty + clean;")
+				} else {
+					w("    clean = clean + %d;", i%7)
+				}
+				emitted++
+			case Branchy:
+				if i%2 == 0 {
+					// The dirty diamond contains a visible operation, so
+					// its eliminated condition must become a toss (two
+					// distinct marked successors survive).
+					w("    if (dirty %% 2 == 0) {")
+					w("        send(out, clean);")
+					w("    } else {")
+					w("        dirty = dirty * 3 + 1;")
+					w("    }")
+				} else {
+					w("    if (clean < %d) {", i)
+					w("        clean = clean + 1;")
+					w("    } else {")
+					w("        clean = clean - 1;")
+					w("    }")
+				}
+				emitted += 5
+			case Loopy:
+				w("    var i%d = 0;", i)
+				w("    while (i%d < 2) {", i)
+				w("        if (dirty > i%d) {", i)
+				w("            clean = clean + 1;")
+				w("        }")
+				w("        i%d = i%d + 1;", i, i)
+				w("    }")
+				emitted += 6
+			}
+		}
+		w("    send(out, clean);")
+		w("    send(out, dirty);")
+		w("}")
+	}
+	w("process main;")
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package synth_test
+
+import (
+	"strings"
+	"testing"
+
+	"reclose/internal/core"
+	"reclose/internal/explore"
+	"reclose/internal/synth"
+)
+
+func TestAllShapesClose(t *testing.T) {
+	for _, shape := range []synth.Shape{
+		synth.StraightLine, synth.Branchy, synth.Loopy, synth.ManyProcs,
+	} {
+		for _, n := range []int{10, 100, 1000} {
+			src := synth.Program(shape, n)
+			closed, st, err := core.CloseSource(src)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", shape, n, err)
+			}
+			if err := core.VerifyClosed(closed); err != nil {
+				t.Fatalf("%s/%d: %v", shape, n, err)
+			}
+			if st.NodesEliminated == 0 {
+				t.Errorf("%s/%d: nothing eliminated", shape, n)
+			}
+		}
+	}
+}
+
+func TestSizeScales(t *testing.T) {
+	for _, shape := range []synth.Shape{synth.StraightLine, synth.Branchy, synth.Loopy, synth.ManyProcs} {
+		small := strings.Count(synth.Program(shape, 50), "\n")
+		big := strings.Count(synth.Program(shape, 500), "\n")
+		if big < 5*small/2 {
+			t.Errorf("%s: size does not scale: %d -> %d lines", shape, small, big)
+		}
+	}
+}
+
+func TestBranchyTossOnlyOnDirty(t *testing.T) {
+	// Clean diamonds survive; dirty diamonds become tosses. Half the
+	// diamonds are dirty, so tosses ≈ diamonds/2.
+	src := synth.Program(synth.Branchy, 100)
+	_, st, err := core.CloseSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TossInserted == 0 {
+		t.Fatal("no tosses inserted")
+	}
+	// Step 4 inserts a toss per arc whose unmarked region reaches two
+	// marked successors. Each dirty diamond is reached by the two exit
+	// arcs of the preceding clean diamond (one toss each), except the
+	// first, which has a single predecessor: 2*10 - 1 = 19.
+	if st.TossInserted != 19 {
+		t.Errorf("tosses = %d, want 19 (per-arc insertion)", st.TossInserted)
+	}
+}
+
+func TestManyProcsInterprocedural(t *testing.T) {
+	src := synth.Program(synth.ManyProcs, 80)
+	_, st, err := core.CloseSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every chained procedure's parameter receives tainted data, so all
+	// parameters are removed.
+	if st.ParamsRemoved < 10 {
+		t.Errorf("params removed = %d, want all chained parameters", st.ParamsRemoved)
+	}
+	if st.AnalysisIterations < 2 {
+		t.Errorf("fixpoint iterations = %d, want >= 2", st.AnalysisIterations)
+	}
+}
+
+// TestSharedTossSwitches measures the §5 redundancy optimization: with
+// sharing, arcs whose eliminated regions reach the same marked-successor
+// set reuse one VS_toss switch.
+func TestSharedTossSwitches(t *testing.T) {
+	src := synth.Program(synth.Branchy, 100)
+	u, err := core.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, stBase, err := core.Close(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, stShared, err := core.CloseWithOptions(u, core.Options{ShareTossSwitches: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stShared.TossInserted != 10 || stShared.TossShared != 9 {
+		t.Errorf("shared: inserted=%d shared=%d, want 10/9", stShared.TossInserted, stShared.TossShared)
+	}
+	if stBase.TossInserted != 19 {
+		t.Errorf("base: inserted=%d, want 19", stBase.TossInserted)
+	}
+	// Same behaviors either way (the shared switch has identical
+	// outcome targets).
+	optE := explore.Options{MaxDepth: 200}
+	sBase, _, err := explore.TraceSet(base, optE, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sShared, _, err := explore.TraceSet(shared, optE, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := explore.Subset(sBase, sShared); !ok {
+		t.Errorf("trace lost by sharing: %s", w)
+	}
+	if w, ok := explore.Subset(sShared, sBase); !ok {
+		t.Errorf("trace added by sharing: %s", w)
+	}
+}

@@ -1,0 +1,103 @@
+package token_test
+
+import (
+	"testing"
+
+	"reclose/internal/token"
+)
+
+func TestLookup(t *testing.T) {
+	cases := map[string]token.Kind{
+		"proc":     token.PROC,
+		"process":  token.PROCESS,
+		"env":      token.ENV,
+		"chan":     token.CHAN,
+		"sem":      token.SEM,
+		"shared":   token.SHARED,
+		"var":      token.VAR,
+		"if":       token.IF,
+		"else":     token.ELSE,
+		"while":    token.WHILE,
+		"for":      token.FOR,
+		"switch":   token.SWITCH,
+		"case":     token.CASE,
+		"default":  token.DEFAULT,
+		"break":    token.BREAK,
+		"continue": token.CONTINUE,
+		"return":   token.RETURN,
+		"exit":     token.EXIT,
+		"true":     token.TRUE,
+		"false":    token.FALSE,
+		"foo":      token.IDENT,
+		"Proc":     token.IDENT, // keywords are case-sensitive
+	}
+	for lit, want := range cases {
+		if got := token.Lookup(lit); got != want {
+			t.Errorf("Lookup(%q) = %v, want %v", lit, got, want)
+		}
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	if !token.IDENT.IsLiteral() || !token.INT.IsLiteral() {
+		t.Error("IDENT/INT must be literals")
+	}
+	if token.ADD.IsLiteral() || token.PROC.IsLiteral() {
+		t.Error("operators/keywords are not literals")
+	}
+	if !token.ADD.IsOperator() || !token.COLON.IsOperator() || !token.SEMICOLON.IsOperator() {
+		t.Error("operator predicate wrong")
+	}
+	if !token.PROC.IsKeyword() || !token.CONTINUE.IsKeyword() {
+		t.Error("keyword predicate wrong")
+	}
+	if token.EOF.IsKeyword() || token.EOF.IsOperator() || token.EOF.IsLiteral() {
+		t.Error("EOF is in no class")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	cases := map[token.Kind]string{
+		token.ADD:    "+",
+		token.SHL:    "<<",
+		token.LAND:   "&&",
+		token.NEQ:    "!=",
+		token.COLON:  ":",
+		token.SWITCH: "switch",
+		token.IDENT:  "IDENT",
+		token.EOF:    "EOF",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := token.Kind(9999).String(); got != "Kind(9999)" {
+		t.Errorf("unknown kind renders as %q", got)
+	}
+}
+
+func TestPos(t *testing.T) {
+	var zero token.Pos
+	if zero.IsValid() {
+		t.Error("zero Pos must be invalid")
+	}
+	if zero.String() != "-" {
+		t.Errorf("invalid Pos renders as %q", zero.String())
+	}
+	p := token.Pos{Offset: 10, Line: 3, Column: 7}
+	if !p.IsValid() || p.String() != "3:7" {
+		t.Errorf("Pos = %q", p.String())
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	id := token.Token{Kind: token.IDENT, Lit: "foo"}
+	if id.String() != `IDENT("foo")` {
+		t.Errorf("ident token renders as %q", id.String())
+	}
+	op := token.Token{Kind: token.LEQ}
+	if op.String() != "<=" {
+		t.Errorf("operator token renders as %q", op.String())
+	}
+}
