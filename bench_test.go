@@ -220,6 +220,30 @@ func BenchmarkFiveESSExplore(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelExplore measures the layered work-stealing engine on
+// the 5ESS medium workload at increasing worker counts. workers=1 is
+// the parallel engine's own baseline (one worker paying the frontier
+// overhead); speedup at higher counts requires physical cores — on a
+// single-core machine the rows cost roughly the same wall time.
+func BenchmarkParallelExplore(b *testing.B) {
+	closed := mustCloseB(b, fiveess.Source(fiveess.Scale("medium")))
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var trans, replayed int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep := exploreB(b, closed, explore.Options{
+					MaxDepth: 500, MaxStates: 20000, Workers: workers,
+				})
+				trans = rep.Transitions
+				replayed = rep.ReplaySteps
+			}
+			b.ReportMetric(float64(trans), "transitions")
+			b.ReportMetric(float64(replayed), "replayed")
+		})
+	}
+}
+
 // --- E7: partial-order reduction ablation ----------------------------------
 
 // BenchmarkPORAblation explores dining philosophers with and without the

@@ -36,6 +36,9 @@ var (
 	samples    = flag.Int("samples", 4, "incident samples to print")
 	replay     = flag.Bool("replay", false, "replay the first incident step by step after the search")
 	shortest   = flag.Bool("shortest", false, "find a minimal-depth incident by iterative deepening instead of a full search")
+	workers    = flag.Int("workers", 0, "parallel search workers (0 = sequential, -1 = GOMAXPROCS)")
+	spillDepth = flag.Int("spill-depth", 0, "depth above which workers spill sibling subtrees to the shared frontier (0 = default 16)")
+	progress   = flag.Duration("progress", 0, "print progress lines at this interval (0 = off)")
 )
 
 func main() {
@@ -74,6 +77,16 @@ func run() error {
 		StateCache:      *stateCache,
 		StopOnViolation: *stopFirst,
 		MaxIncidents:    *samples,
+		Workers:         *workers,
+		SpillDepth:      *spillDepth,
+	}
+	if *progress > 0 {
+		opt.ProgressEvery = *progress
+		opt.Progress = func(st explore.Stats) {
+			fmt.Fprintf(os.Stderr, "progress: states=%d transitions=%d paths=%d incidents=%d frontier=%d elapsed=%s\n",
+				st.States, st.Transitions, st.Paths, st.Incidents, st.FrontierUnits,
+				st.Elapsed.Round(time.Millisecond))
+		}
 	}
 	start := time.Now()
 	var rep *explore.Report
@@ -100,6 +113,13 @@ func run() error {
 	fmt.Printf("search: %s\n", rep)
 	fmt.Printf("elapsed: %v (%.0f transitions/s)\n", elapsed.Round(time.Millisecond),
 		float64(rep.Transitions)/elapsed.Seconds())
+	if rep.Workers > 0 {
+		fmt.Printf("workers: %d (replayed %d prefix transitions)\n", rep.Workers, rep.ReplaySteps)
+		for i, ws := range rep.WorkerStats {
+			fmt.Printf("  W%d: units=%d states=%d paths=%d busy=%s util=%.0f%%\n",
+				i, ws.Units, ws.States, ws.Paths, ws.Busy.Round(time.Millisecond), 100*ws.Utilization)
+		}
+	}
 	verdict := "no deadlocks, violations, or errors found"
 	if rep.Deadlocks+rep.Violations+rep.Traps+rep.Divergences > 0 {
 		verdict = fmt.Sprintf("FOUND: %d deadlock(s), %d violation(s), %d error(s), %d divergence(s)",
@@ -107,6 +127,7 @@ func run() error {
 	}
 	fmt.Printf("coverage: %d/%d visible operations exercised\n", rep.OpsCovered, rep.OpsTotal)
 	fmt.Println(verdict)
+	fmt.Println(rep.Summary(elapsed))
 	for i, in := range rep.Samples {
 		if i >= *samples {
 			break

@@ -14,6 +14,7 @@ package comm
 
 import (
 	"fmt"
+	"strconv"
 
 	"reclose/internal/ast"
 	"reclose/internal/cfg"
@@ -33,6 +34,10 @@ type Object interface {
 	// Fingerprint returns a short string capturing the object state
 	// (used by the optional state-hashing mode of the explorer).
 	Fingerprint() string
+	// AppendFingerprint appends the same canonical fingerprint to dst
+	// and returns the extended slice; it is the allocation-free form
+	// used on the explorer's hot path.
+	AppendFingerprint(dst []byte) []byte
 }
 
 // Chan is a bounded FIFO buffer. An env-facing stub channel (left behind
@@ -109,11 +114,22 @@ func (c *Chan) Len() int { return len(c.q) }
 func (c *Chan) Reset() { c.q = nil }
 
 // Fingerprint implements Object.
-func (c *Chan) Fingerprint() string {
+func (c *Chan) Fingerprint() string { return string(c.AppendFingerprint(nil)) }
+
+// AppendFingerprint implements Object.
+func (c *Chan) AppendFingerprint(dst []byte) []byte {
+	dst = append(dst, c.name...)
 	if c.envFacing {
-		return c.name + ":stub"
+		return append(dst, ":stub"...)
 	}
-	return fmt.Sprintf("%s:%v", c.name, c.q)
+	dst = append(dst, ':', '[')
+	for i, v := range c.q {
+		if i > 0 {
+			dst = append(dst, ' ')
+		}
+		dst = fmt.Append(dst, v)
+	}
+	return append(dst, ']')
 }
 
 // Sem is a counting semaphore.
@@ -167,7 +183,14 @@ func (s *Sem) Count() int64 { return s.count }
 func (s *Sem) Reset() { s.count = s.initial }
 
 // Fingerprint implements Object.
-func (s *Sem) Fingerprint() string { return fmt.Sprintf("%s:%d", s.name, s.count) }
+func (s *Sem) Fingerprint() string { return string(s.AppendFingerprint(nil)) }
+
+// AppendFingerprint implements Object.
+func (s *Sem) AppendFingerprint(dst []byte) []byte {
+	dst = append(dst, s.name...)
+	dst = append(dst, ':')
+	return strconv.AppendInt(dst, s.count, 10)
+}
 
 // Shared is a shared variable. Reads and writes never block.
 type Shared struct {
@@ -200,7 +223,14 @@ func (s *Shared) Write(v any) { s.v = v }
 func (s *Shared) Reset() { s.v = s.initial }
 
 // Fingerprint implements Object.
-func (s *Shared) Fingerprint() string { return fmt.Sprintf("%s:%v", s.name, s.v) }
+func (s *Shared) Fingerprint() string { return string(s.AppendFingerprint(nil)) }
+
+// AppendFingerprint implements Object.
+func (s *Shared) AppendFingerprint(dst []byte) []byte {
+	dst = append(dst, s.name...)
+	dst = append(dst, ':')
+	return fmt.Append(dst, s.v)
+}
 
 // Build instantiates the objects of a compiled unit, keyed by name. The
 // initFn converts an ObjectSpec's initial argument into the payload

@@ -257,6 +257,40 @@ func E6CaseStudy(w io.Writer, cfg Config) {
 	fmt.Fprintln(w, " without it the whole subscriber interface is closed automatically, eliminating more.")
 	fmt.Fprintln(w, " exploration capped at 100k states: VeriSoft-style bounded coverage)")
 
+	// Parallel-scaling rows: the same bounded search, run by the layered
+	// work-stealing engine at increasing worker counts. Wall times (and
+	// hence speedups) depend on the machine's core count; the counters of
+	// a complete search are identical at every worker count by
+	// construction.
+	psc, pcap, pname := fiveess.Scale("medium"), int64(100000), "medium"
+	if cfg.Quick {
+		psc, pcap, pname = fiveess.Scale("small"), 20000, "small"
+	}
+	pclosed, _ := mustClose(fiveess.Source(psc))
+	fmt.Fprintf(w, "parallel scaling (%s workload, depth 500, cap %d states):\n", pname, pcap)
+	fmt.Fprintf(w, "%-8s %10s %10s %12s %10s %9s\n",
+		"workers", "states", "paths", "replayed", "wall(ms)", "speedup")
+	base := 0.0
+	for _, wk := range []int{0, 1, 2, 4} {
+		start := time.Now()
+		rep := mustExplore(pclosed, explore.Options{MaxDepth: 500, MaxStates: pcap, Workers: wk})
+		el := time.Since(start)
+		if wk == 1 {
+			base = el.Seconds()
+		}
+		speedup := "n/a"
+		if wk >= 1 && base > 0 && el.Seconds() > 0 {
+			speedup = fmt.Sprintf("%.2fx", base/el.Seconds())
+		}
+		label := fmt.Sprintf("%d", wk)
+		if wk == 0 {
+			label = "0 (seq)"
+		}
+		fmt.Fprintf(w, "%-8s %10d %10d %12d %10.1f %9s\n",
+			label, rep.States, rep.Paths, rep.ReplaySteps,
+			float64(el.Microseconds())/1000, speedup)
+	}
+
 	// Injected-bug detection, as the case-study payoff.
 	bug := fiveess.Scale("small")
 	bug.Handlers = 2
@@ -304,6 +338,25 @@ func E7POR(w io.Writer, cfg Config) {
 		row("pipeline-5x2", progs.Pipeline(5, 2), 200)
 	}
 	fmt.Fprintln(w, "(deadlock column: reduction preserves the verification verdict)")
+
+	// Parallel cross-check: a complete reduced search merged from 2
+	// workers must report exactly the sequential counters (the engine's
+	// determinism contract), and both modes emit the one-line summary
+	// used in EXPERIMENTS.md tables.
+	closed, _ := mustClose(progs.Philosophers(phils[len(phils)-1]))
+	start := time.Now()
+	seq := mustExplore(closed, explore.Options{MaxDepth: 200})
+	seqWall := time.Since(start)
+	start = time.Now()
+	par := mustExplore(closed, explore.Options{MaxDepth: 200, Workers: 2})
+	parWall := time.Since(start)
+	fmt.Fprintf(w, "sequential  %s\n", seq.Summary(seqWall))
+	fmt.Fprintf(w, "workers=2   %s\n", par.Summary(parWall))
+	match := "MISMATCH (parallel-engine regression)"
+	if par.String() == seq.String() {
+		match = "identical"
+	}
+	fmt.Fprintf(w, "parallel report vs sequential: %s\n", match)
 }
 
 // E8Redundancy measures the temporal-independence imprecision of §5: the

@@ -30,8 +30,12 @@ func TestQuickExperimentsRun(t *testing.T) {
 		// E5: both sides find both incidents.
 		"deadlock             true         true",
 		"violation            true         true",
+		// E6: the parallel-scaling table ran.
+		"parallel scaling (small workload",
 		// E7: verdicts preserved under reduction.
 		"philosophers-3",
+		// E7: the parallel engine reproduces the sequential report.
+		"parallel report vs sequential: identical",
 		// E9: exactness of partitioning on the correlated program.
 		"correlated-tests                2                4           2",
 	}

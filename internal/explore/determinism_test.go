@@ -1,0 +1,94 @@
+package explore_test
+
+import (
+	"strings"
+	"testing"
+
+	"reclose/internal/core"
+	"reclose/internal/explore"
+	"reclose/internal/progs"
+)
+
+// reportDigest renders everything a deterministic search must
+// reproduce: the counter summary, coverage, and every recorded sample
+// with its decisions.
+func reportDigest(rep *explore.Report) string {
+	var b strings.Builder
+	b.WriteString(rep.String())
+	b.WriteString("\n")
+	b.WriteString(rep.Summary(0))
+	b.WriteString("\n")
+	for _, in := range rep.Samples {
+		b.WriteString(in.String())
+		for _, d := range in.Decisions {
+			b.WriteString(d.String())
+			b.WriteString(";")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TestExploreDeterministic checks that two searches with identical
+// Options produce byte-identical reports — including incident samples
+// and their decision sequences — at every worker count. This is the
+// contract that makes experiment tables and regression baselines
+// reproducible.
+func TestExploreDeterministic(t *testing.T) {
+	srcs := map[string]string{
+		"deadlock-prone":   progs.DeadlockProne,
+		"assert-violation": progs.AssertViolation,
+		"philosophers-3":   progs.Philosophers(3),
+	}
+	for name, src := range srcs {
+		t.Run(name, func(t *testing.T) {
+			closed, _, err := core.CloseSource(src)
+			if err != nil {
+				t.Fatalf("CloseSource: %v", err)
+			}
+			for _, workers := range []int{0, 1, 3} {
+				opt := explore.Options{Workers: workers}
+				first, err := explore.Explore(closed, opt)
+				if err != nil {
+					t.Fatalf("Explore: %v", err)
+				}
+				for run := 0; run < 3; run++ {
+					rep, err := explore.Explore(closed, opt)
+					if err != nil {
+						t.Fatalf("Explore (run %d): %v", run, err)
+					}
+					if got, want := reportDigest(rep), reportDigest(first); got != want {
+						t.Fatalf("workers=%d run %d diverged:\n--- got ---\n%s--- want ---\n%s", workers, run, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStateCacheDeterministic checks the state-hashing ablation stays
+// deterministic now that cache keys are streaming hashes.
+func TestStateCacheDeterministic(t *testing.T) {
+	closed, _, err := core.CloseSource(progs.ProducerConsumer)
+	if err != nil {
+		t.Fatalf("CloseSource: %v", err)
+	}
+	opt := explore.Options{StateCache: true}
+	first, err := explore.Explore(closed, opt)
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	if first.CachePrunes == 0 {
+		t.Logf("note: no cache prunes on this model: %s", first)
+	}
+	second, err := explore.Explore(closed, opt)
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	if got, want := reportDigest(second), reportDigest(first); got != want {
+		t.Fatalf("StateCache run diverged:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if first.Workers != 0 {
+		t.Errorf("StateCache search reports Workers = %d, want 0 (forced sequential)", first.Workers)
+	}
+}

@@ -1,0 +1,604 @@
+package explore
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"reclose/internal/interp"
+)
+
+// entry is one decision point on the DFS stack.
+type entry struct {
+	isToss  bool
+	options []int
+	cursor  int
+	// Scheduling entries record, per option, the object its pending
+	// visible operation targets ("" for VS_assert), for sleep-set
+	// updates, plus the sleep set inherited at this state.
+	objs  []string
+	sleep map[int]string // proc index -> object recorded when it fell asleep
+}
+
+func (e *entry) choice() int { return e.options[e.cursor] }
+
+// engine is the stateless DFS core shared by the sequential explorer
+// and the parallel workers. A sequential search runs one engine over
+// the whole tree; a parallel worker runs one engine per claimed work
+// unit, replaying the unit's decision prefix (base) before extending
+// the subtree depth-first.
+type engine struct {
+	sys *interp.System
+	opt Options
+
+	// footprint[i] is the set of objects process i can ever operate on
+	// (static over-approximation via the call graph); read-only and
+	// shared across workers.
+	footprint []map[string]bool
+	sites     *siteTable
+
+	// base is the decision prefix of the current work unit, replayed
+	// verbatim from the initial state before the stack decisions; empty
+	// in sequential mode and for the root unit.
+	base      []Decision
+	baseSched int // scheduling decisions in base
+	baseIdx   int
+
+	stack     []*entry
+	replayIdx int
+	trace     []interp.Event
+	// pendingSleep is the sleep set to attach to the next scheduling
+	// entry (computed when its parent's option was executed).
+	pendingSleep map[int]string
+
+	rep     *Report
+	covered coverage
+	cache   map[uint64]bool // FNV-1a fingerprint hashes (StateCache)
+	fpBuf   []byte          // fingerprint scratch
+
+	ch   interp.Chooser
+	stop bool
+
+	// Parallel-mode hooks; all nil/zero in sequential mode.
+	shared *sharedState
+	spill  func(*workUnit)
+	leafMu *sync.Mutex
+
+	// Sequential progress pacing.
+	start        time.Time
+	lastProgress time.Time
+}
+
+// newEngine builds an engine over its private system. footprint and
+// sites may be shared (read-only) with other engines of the same
+// search.
+func newEngine(sys *interp.System, opt Options, fps []map[string]bool, sites *siteTable) *engine {
+	e := &engine{sys: sys, opt: opt, footprint: fps, sites: sites}
+	e.ch = e.chooser()
+	e.reset()
+	return e
+}
+
+// reset prepares the engine for a fresh search (or work unit).
+func (e *engine) reset() {
+	e.rep = &Report{}
+	e.covered = newCoverage(e.sites)
+	e.base = nil
+	e.baseSched = 0
+	e.stack = e.stack[:0]
+	e.stop = false
+	e.start = time.Now()
+	e.lastProgress = e.start
+}
+
+// halt aborts the search: locally, and globally when running under a
+// parallel frontier.
+func (e *engine) halt() {
+	e.stop = true
+	if e.shared != nil {
+		e.shared.requestStop()
+	}
+}
+
+// chooser returns the Chooser used during path execution: it replays
+// toss decisions from the base prefix, then from the stack prefix, and
+// materializes new toss entries at the frontier (always starting with
+// outcome 0).
+func (e *engine) chooser() interp.Chooser {
+	return interp.ChooserFunc(func(bound int) (int, bool) {
+		if e.baseIdx < len(e.base) {
+			d := e.base[e.baseIdx]
+			if !d.Toss {
+				panic("explore: replay mismatch (expected toss decision in prefix)")
+			}
+			e.baseIdx++
+			return d.Value, true
+		}
+		if e.replayIdx < len(e.stack) {
+			en := e.stack[e.replayIdx]
+			if !en.isToss {
+				// A scheduling entry where a toss was expected: the
+				// replay diverged, which indicates nondeterminism
+				// outside the recorded decisions. Fail loudly.
+				panic("explore: replay mismatch (expected toss entry)")
+			}
+			e.replayIdx++
+			return en.choice(), true
+		}
+		opts := make([]int, bound+1)
+		for i := range opts {
+			opts[i] = i
+		}
+		e.stack = append(e.stack, &entry{isToss: true, options: opts})
+		e.replayIdx = len(e.stack)
+		return 0, true
+	})
+}
+
+// backtrack advances the deepest decision point with options left,
+// popping exhausted entries. It reports whether the search continues.
+func (e *engine) backtrack() bool {
+	for len(e.stack) > 0 {
+		top := e.stack[len(e.stack)-1]
+		top.cursor++
+		if top.cursor < len(top.options) {
+			return true
+		}
+		e.stack = e.stack[:len(e.stack)-1]
+	}
+	return false
+}
+
+// runPath (re)executes from the initial state through the base prefix
+// and the current stack decisions, then extends the path depth-first
+// until it ends.
+func (e *engine) runPath() {
+	e.sys.Reset()
+	e.baseIdx = 0
+	e.replayIdx = 0
+	e.trace = e.trace[:0]
+	e.pendingSleep = nil
+
+	if out := e.sys.Init(e.ch); out != nil {
+		e.leafOutcome(out)
+		return
+	}
+
+	for {
+		// Replay the work unit's decision prefix (the chooser replays
+		// its toss decisions transparently during Init/Step).
+		if e.baseIdx < len(e.base) {
+			d := e.base[e.baseIdx]
+			if d.Toss {
+				panic("explore: replay mismatch (unconsumed toss decision in prefix)")
+			}
+			e.baseIdx++
+			e.cover(d.Value)
+			ev, out := e.sys.Step(d.Value, e.ch)
+			e.noteReplayStep()
+			e.trace = append(e.trace, ev)
+			if out != nil {
+				e.leafOutcome(out)
+				return
+			}
+			continue
+		}
+
+		// Replay pending scheduling decisions from the stack.
+		if e.replayIdx < len(e.stack) {
+			en := e.stack[e.replayIdx]
+			if en.isToss {
+				panic("explore: replay mismatch (unexpected toss entry)")
+			}
+			e.replayIdx++
+			p := en.choice()
+			e.pendingSleep = childSleep(en)
+			e.cover(p)
+			ev, out := e.sys.Step(p, e.ch)
+			e.noteReplayStep()
+			e.trace = append(e.trace, ev)
+			if out != nil {
+				e.leafOutcome(out)
+				return
+			}
+			continue
+		}
+
+		// Frontier: we are at a fresh global state.
+		e.rep.States++
+		if e.shared != nil {
+			n := e.shared.states.Add(1)
+			if e.shared.maxStates > 0 && n >= e.shared.maxStates {
+				e.halt()
+				return
+			}
+			if e.shared.stopped() {
+				e.stop = true
+				return
+			}
+		} else {
+			if e.opt.MaxStates > 0 && e.rep.States >= e.opt.MaxStates {
+				e.stop = true
+				return
+			}
+			e.maybeProgress()
+		}
+		depth := e.schedDepth()
+		if depth > e.rep.MaxDepth {
+			e.rep.MaxDepth = depth
+		}
+
+		if e.sys.AllTerminated() {
+			e.leaf(LeafTerminated, "all processes terminated")
+			return
+		}
+		if e.sys.Deadlocked() {
+			e.leaf(LeafDeadlock, e.deadlockMsg())
+			return
+		}
+		if depth >= e.opt.MaxDepth {
+			e.leaf(LeafDepth, "depth bound reached")
+			return
+		}
+		if e.cache != nil {
+			e.fpBuf = e.sys.AppendFingerprint(e.fpBuf[:0])
+			h := fnv1a(e.fpBuf)
+			if e.cache[h] {
+				e.leaf(LeafCachePruned, "state already visited")
+				return
+			}
+			e.cache[h] = true
+		}
+
+		options, objs := e.scheduleOptions()
+		if len(options) == 0 {
+			e.leaf(LeafSleepPruned, "all enabled transitions asleep")
+			return
+		}
+		en := &entry{options: options, objs: objs, sleep: e.pendingSleep}
+		if e.spill != nil && len(options) > 1 && depth < e.opt.SpillDepth {
+			// Spill the unexplored sibling subtrees to the frontier and
+			// keep only the first option locally. The spilled unit
+			// carries the full option/object arrays so sleep sets are
+			// recomputed identically by whichever worker claims it.
+			e.spill(&workUnit{
+				prefix:  e.pathDecisions(),
+				options: options,
+				objs:    objs,
+				sleep:   e.pendingSleep,
+				from:    1,
+			})
+			en.options = options[:1]
+			en.objs = objs[:1]
+		}
+		e.stack = append(e.stack, en)
+		e.replayIdx = len(e.stack)
+
+		p := en.choice()
+		e.pendingSleep = childSleep(en)
+		e.rep.Transitions++
+		if e.shared != nil {
+			e.shared.transitions.Add(1)
+		}
+		e.cover(p)
+		ev, out := e.sys.Step(p, e.ch)
+		e.trace = append(e.trace, ev)
+		if out != nil {
+			e.leafOutcome(out)
+			return
+		}
+	}
+}
+
+// noteReplayStep accounts one re-executed prefix transition.
+func (e *engine) noteReplayStep() {
+	e.rep.ReplaySteps++
+	if e.shared != nil {
+		e.shared.replaySteps.Add(1)
+	}
+}
+
+// pathDecisions returns a copy of the full decision sequence of the
+// current path: the base prefix plus the current stack choices.
+func (e *engine) pathDecisions() []Decision {
+	dec := make([]Decision, 0, len(e.base)+len(e.stack))
+	dec = append(dec, e.base...)
+	for _, en := range e.stack {
+		dec = append(dec, Decision{Toss: en.isToss, Value: en.choice()})
+	}
+	return dec
+}
+
+// cover records the visible-operation site process p is about to
+// execute.
+func (e *engine) cover(p int) {
+	proc, node := e.sys.Procs[p].At()
+	if node < 0 {
+		return
+	}
+	if off, ok := e.sites.offsets[proc]; ok {
+		e.covered.set(off + node)
+	}
+}
+
+// schedDepth counts scheduling decisions along the current path.
+func (e *engine) schedDepth() int {
+	d := e.baseSched
+	for _, en := range e.stack {
+		if !en.isToss {
+			d++
+		}
+	}
+	return d
+}
+
+func (e *engine) deadlockMsg() string {
+	var parts []string
+	for i, p := range e.sys.Procs {
+		if p.Status() != interp.Running {
+			continue
+		}
+		op, obj, _ := p.PendingOp()
+		parts = append(parts, fmt.Sprintf("P%d blocked on %s(%s)", i, op, obj))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// scheduleOptions computes the transitions to explore from the current
+// global state: a persistent set (unless disabled) minus the sleep set,
+// together with the object each pending operation targets.
+func (e *engine) scheduleOptions() (options []int, objs []string) {
+	enabled := e.sys.EnabledProcs()
+	var set []int
+	if e.opt.NoPOR {
+		set = enabled
+	} else {
+		set = e.persistentSet(enabled)
+	}
+	sleep := e.pendingSleep
+	for _, p := range set {
+		if !e.opt.NoSleep && sleep != nil {
+			if _, asleep := sleep[p]; asleep {
+				continue
+			}
+		}
+		options = append(options, p)
+		_, obj, _ := e.sys.Procs[p].PendingOp()
+		objs = append(objs, obj)
+	}
+	return options, objs
+}
+
+// persistentSet returns a persistent subset of the enabled processes,
+// computed from static object footprints:
+//
+//   - if some enabled process's pending operation targets an object no
+//     other running process can ever touch (or targets no object at
+//     all, like VS_assert), that single process is persistent;
+//   - otherwise, grow a closure from the first enabled process by
+//     footprint overlap and return its enabled members.
+func (e *engine) persistentSet(enabled []int) []int {
+	if len(enabled) <= 1 {
+		return enabled
+	}
+	for _, p := range enabled {
+		_, obj, _ := e.sys.Procs[p].PendingOp()
+		if obj == "" {
+			return []int{p}
+		}
+		private := true
+		for q, proc := range e.sys.Procs {
+			if q == p || proc.Status() != interp.Running {
+				continue
+			}
+			if e.footprint[q][obj] {
+				private = false
+				break
+			}
+		}
+		if private {
+			return []int{p}
+		}
+	}
+
+	inS := make(map[int]bool)
+	inS[enabled[0]] = true
+	for changed := true; changed; {
+		changed = false
+		for q, proc := range e.sys.Procs {
+			if inS[q] || proc.Status() != interp.Running {
+				continue
+			}
+			for m := range inS {
+				if overlap(e.footprint[q], e.footprint[m]) {
+					inS[q] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	var out []int
+	for _, p := range enabled {
+		if inS[p] {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return enabled
+	}
+	return out
+}
+
+func overlap(a, b map[string]bool) bool {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	for k := range a {
+		if b[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// childSleep computes the sleep set for the subtree under the current
+// option of en: the inherited sleepers plus the previously explored
+// options, minus everything dependent on the chosen transition (two
+// transitions are dependent iff they target the same object).
+func childSleep(en *entry) map[int]string {
+	chosenObj := en.objs[en.cursor]
+	out := make(map[int]string, len(en.sleep)+en.cursor)
+	for p, obj := range en.sleep {
+		if obj != chosenObj || obj == "" {
+			out[p] = obj
+		}
+	}
+	for i := 0; i < en.cursor; i++ {
+		p, obj := en.options[i], en.objs[i]
+		if obj != chosenObj || obj == "" {
+			out[p] = obj
+		}
+	}
+	delete(out, en.options[en.cursor])
+	return out
+}
+
+// leafOutcome records a path ending caused by an abnormal outcome.
+func (e *engine) leafOutcome(out *interp.Outcome) {
+	switch out.Kind {
+	case interp.OutViolation:
+		e.leaf(LeafViolation, out.Msg)
+	case interp.OutTrap:
+		e.leaf(LeafTrap, out.Msg)
+	case interp.OutDivergence:
+		e.leaf(LeafDivergence, out.Msg)
+	case interp.OutNeedToss:
+		// The explorer's chooser always supplies outcomes.
+		panic("explore: unexpected NeedToss outcome")
+	}
+}
+
+// leaf records the end of a path.
+func (e *engine) leaf(kind LeafKind, msg string) {
+	r := e.rep
+	r.Paths++
+	if e.shared != nil {
+		e.shared.paths.Add(1)
+	}
+	switch kind {
+	case LeafTerminated:
+		r.Terminated++
+	case LeafDeadlock:
+		r.Deadlocks++
+	case LeafViolation:
+		r.Violations++
+	case LeafTrap:
+		r.Traps++
+	case LeafDivergence:
+		r.Divergences++
+	case LeafDepth:
+		r.DepthHits++
+	case LeafSleepPruned:
+		r.SleepPrunes++
+	case LeafCachePruned:
+		r.CachePrunes++
+	}
+	interesting := kind == LeafDeadlock || kind == LeafViolation || kind == LeafTrap || kind == LeafDivergence
+	if interesting {
+		if e.shared != nil {
+			e.shared.incidents.Add(1)
+			if r.StatesAtFirstIncident == 0 {
+				r.StatesAtFirstIncident = e.shared.states.Load()
+			}
+		} else if r.StatesAtFirstIncident == 0 {
+			r.StatesAtFirstIncident = r.States
+		}
+	}
+	if interesting {
+		e.recordSample(kind, msg)
+	}
+	if e.opt.OnLeaf != nil {
+		if e.leafMu != nil {
+			e.leafMu.Lock()
+		}
+		e.opt.OnLeaf(kind, e.trace)
+		if e.leafMu != nil {
+			e.leafMu.Unlock()
+		}
+	}
+	if e.opt.StopOnViolation && (kind == LeafViolation || kind == LeafTrap) {
+		e.halt()
+	}
+	if e.opt.StopOnIncident && interesting {
+		e.halt()
+	}
+}
+
+// recordSample stores an incident sample, bounded by MaxIncidents. The
+// sequential engine keeps the first MaxIncidents in discovery order
+// (legacy behavior); a parallel engine keeps the MaxIncidents smallest
+// under sampleLess so the merged selection is independent of work
+// distribution.
+func (e *engine) recordSample(kind LeafKind, msg string) {
+	r := e.rep
+	full := len(r.Samples) >= e.opt.MaxIncidents
+	if full && e.shared == nil {
+		return
+	}
+	in := &Incident{
+		Kind: kind, Msg: msg, Depth: e.schedDepth(),
+		Trace:     append([]interp.Event(nil), e.trace...),
+		Decisions: e.pathDecisions(),
+	}
+	if full {
+		// Parallel bounded insert: replace the largest sample if the
+		// new one orders before it.
+		last := r.Samples[len(r.Samples)-1]
+		if !sampleLess(in, last) {
+			return
+		}
+		r.Samples[len(r.Samples)-1] = in
+	} else {
+		r.Samples = append(r.Samples, in)
+	}
+	sortSamples(r.Samples)
+}
+
+// maybeProgress delivers the sequential engine's periodic progress
+// callback, checked every 4096 states to keep the hot loop cheap.
+func (e *engine) maybeProgress() {
+	if e.opt.Progress == nil || e.rep.States&4095 != 0 {
+		return
+	}
+	now := time.Now()
+	if now.Sub(e.lastProgress) < e.opt.ProgressEvery {
+		return
+	}
+	e.lastProgress = now
+	e.opt.Progress(Stats{
+		States:      e.rep.States,
+		Transitions: e.rep.Transitions,
+		ReplaySteps: e.rep.ReplaySteps,
+		Paths:       e.rep.Paths,
+		Incidents:   e.rep.Incidents(),
+		Workers:     0,
+		Elapsed:     now.Sub(e.start),
+	})
+}
+
+// fnv1a hashes the fingerprint bytes (64-bit FNV-1a): a deterministic
+// streaming hash, so state-cache pruning does not vary across runs.
+func fnv1a(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}

@@ -9,12 +9,35 @@
 // static object footprints, plus sleep sets — and it detects deadlocks,
 // assertion violations, runtime errors, and divergences up to a depth
 // bound.
+//
+// The engine is layered:
+//
+//   - engine.go — the stateless DFS core, replaying a decision prefix
+//     and extending paths depth-first (shared by both modes);
+//   - frontier.go — the work-unit abstraction (a schedule/toss prefix
+//     plus its pending sibling choices) behind a sharded work-stealing
+//     deque;
+//   - worker.go — N workers, each owning a private interp.System,
+//     claiming prefixes, DFS-ing their subtrees, and spilling
+//     unexplored sibling subtrees back to the frontier;
+//   - stats.go — atomic counters and periodic progress callbacks;
+//   - merge.go — deterministic combination of per-worker partial
+//     reports into one Report.
+//
+// Options.Workers selects the mode: 0 preserves the classic sequential
+// exploration order exactly; N >= 1 runs the parallel engine. Because
+// stateless DFS explores independent schedule-prefix subtrees with
+// deterministic replay, the parallel counters (states, transitions,
+// paths, replays) of a complete search are identical to the sequential
+// ones regardless of worker count or scheduling.
 package explore
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"reclose/internal/ast"
 	"reclose/internal/cfg"
@@ -29,6 +52,9 @@ type Options struct {
 	MaxDepth int
 	// MaxStates aborts the whole search after visiting this many global
 	// states; 0 means unlimited. The report is then marked Truncated.
+	// With Workers > 0 the bound is enforced against a shared atomic
+	// counter, so the final state count may overshoot by up to the
+	// number of workers.
 	MaxStates int64
 	// NoPOR disables persistent-set reduction (all enabled processes are
 	// scheduled at every state).
@@ -39,14 +65,17 @@ type Options struct {
 	// fingerprint was already visited are pruned. VeriSoft itself stores
 	// no states; this exists to measure the trade-off. It is unsound in
 	// combination with depth bounds (a state first reached at a deep
-	// point prunes shallower revisits) and is off by default.
+	// point prunes shallower revisits) and is off by default. The cache
+	// is a whole-search memo and therefore forces sequential mode:
+	// Workers is ignored when StateCache is set.
 	StateCache bool
 	// MaxIncidents bounds the recorded incident samples per kind;
 	// counters are exact regardless. Default 16.
 	MaxIncidents int
 	// OnLeaf, if non-nil, is invoked at the end of every explored path
 	// with the leaf kind and the visible trace of the path. The trace
-	// slice is reused; copy it to retain.
+	// slice is reused; copy it to retain. With Workers > 0 the callback
+	// is serialized under a mutex but invoked in nondeterministic order.
 	OnLeaf func(kind LeafKind, trace []interp.Event)
 	// StopOnViolation aborts the search at the first assertion violation
 	// or runtime error.
@@ -54,6 +83,56 @@ type Options struct {
 	// StopOnIncident aborts the search at the first deadlock, violation,
 	// runtime error, or divergence (used by ShortestWitness).
 	StopOnIncident bool
+
+	// Workers selects the exploration engine: 0 runs the classic
+	// sequential depth-first search, preserving today's exact
+	// exploration order; N >= 1 runs the parallel work-stealing engine
+	// with N workers; a negative value uses runtime.GOMAXPROCS(0)
+	// workers.
+	Workers int
+	// SpillDepth is the scheduling depth above which workers spill
+	// unexplored sibling subtrees back to the shared frontier (parallel
+	// engine only); deeper siblings are explored in-worker by ordinary
+	// backtracking. 0 means the default (16). Spilling is unconditional
+	// below the bound, which keeps the set of work units — and hence
+	// every merged counter — independent of worker timing.
+	SpillDepth int
+	// Progress, if non-nil, is invoked periodically with a snapshot of
+	// the running search's counters.
+	Progress func(Stats)
+	// ProgressEvery is the progress callback period; 0 means 1s.
+	ProgressEvery time.Duration
+}
+
+// defaultSpillDepth bounds frontier spilling when Options.SpillDepth is
+// zero: deep enough to fragment medium workloads into hundreds of
+// stealable subtrees, shallow enough that the spilled prefixes stay
+// short.
+const defaultSpillDepth = 16
+
+// withDefaults normalizes zero-valued options.
+func (opt Options) withDefaults() Options {
+	if opt.MaxDepth <= 0 {
+		opt.MaxDepth = 1000000
+	}
+	if opt.MaxIncidents <= 0 {
+		opt.MaxIncidents = 16
+	}
+	if opt.SpillDepth <= 0 {
+		opt.SpillDepth = defaultSpillDepth
+	}
+	if opt.Workers < 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opt.StateCache {
+		// The state cache is a whole-search memo; splitting it across
+		// workers would make pruning depend on work distribution.
+		opt.Workers = 0
+	}
+	if opt.ProgressEvery <= 0 {
+		opt.ProgressEvery = time.Second
+	}
+	return opt
 }
 
 // LeafKind classifies path endings.
@@ -120,13 +199,15 @@ type Report struct {
 	States      int64 // global states visited
 	Transitions int64 // transitions executed during forward exploration
 	Paths       int64 // completed paths (leaves)
-	Replays     int64 // prefix re-executions (backtracks)
+	Replays     int64 // prefix re-executions (backtracks and work-unit claims)
+	ReplaySteps int64 // transitions re-executed while replaying prefixes
 	MaxDepth    int   // deepest path seen
 	Truncated   bool  // search aborted by MaxStates or StopOnViolation
 
 	// StatesAtFirstIncident is the number of states visited when the
 	// first deadlock, violation, trap, or divergence was found (0 if
-	// none was found).
+	// none was found). In parallel runs it is a snapshot of the shared
+	// state counter and therefore approximate.
 	StatesAtFirstIncident int64
 
 	Terminated  int64
@@ -144,6 +225,12 @@ type Report struct {
 	OpsCovered int
 	OpsTotal   int
 
+	// Workers is the number of parallel workers that produced the
+	// report (0 for a sequential search).
+	Workers int
+	// WorkerStats carries per-worker utilization of a parallel run.
+	WorkerStats []WorkerStat
+
 	Samples []*Incident
 }
 
@@ -153,6 +240,25 @@ func (r *Report) String() string {
 		"states=%d transitions=%d paths=%d replays=%d maxdepth=%d deadlocks=%d violations=%d traps=%d divergences=%d depth-hits=%d truncated=%t",
 		r.States, r.Transitions, r.Paths, r.Replays, r.MaxDepth,
 		r.Deadlocks, r.Violations, r.Traps, r.Divergences, r.DepthHits, r.Truncated)
+}
+
+// Incidents returns the total number of deadlocks, violations, traps,
+// and divergences.
+func (r *Report) Incidents() int64 {
+	return r.Deadlocks + r.Violations + r.Traps + r.Divergences
+}
+
+// Summary renders the one-line run summary printed by cmd/verisoft and
+// the experiment harness (states, transitions, workers, wall time,
+// incidents).
+func (r *Report) Summary(wall time.Duration) string {
+	rate := 0.0
+	if s := wall.Seconds(); s > 0 {
+		rate = float64(r.Transitions) / s
+	}
+	return fmt.Sprintf("summary: states=%d transitions=%d paths=%d incidents=%d workers=%d wall=%s trans/s=%.0f",
+		r.States, r.Transitions, r.Paths, r.Incidents(), r.Workers,
+		wall.Round(time.Millisecond), rate)
 }
 
 // FirstIncident returns the first recorded sample of the given kind, or
@@ -166,70 +272,68 @@ func (r *Report) FirstIncident(kind LeafKind) *Incident {
 	return nil
 }
 
-// entry is one decision point on the DFS stack.
-type entry struct {
-	isToss  bool
-	options []int
-	cursor  int
-	// Scheduling entries record, per option, the object its pending
-	// visible operation targets ("" for VS_assert), for sleep-set
-	// updates, plus the sleep set inherited at this state.
-	objs  []string
-	sleep map[int]string // proc index -> object recorded when it fell asleep
-}
-
-func (e *entry) choice() int { return e.options[e.cursor] }
-
-// Explorer drives the search over one system.
-type Explorer struct {
-	sys *interp.System
-	opt Options
-
-	// footprint[i] is the set of objects process i can ever operate on
-	// (static over-approximation via the call graph).
-	footprint []map[string]bool
-
-	stack     []*entry
-	replayIdx int
-	trace     []interp.Event
-	report    *Report
-	cache     map[string]bool
-	covered   map[[2]interface{}]bool // (proc name, node id) of executed visible ops
-	// pendingSleep is the sleep set to attach to the next scheduling
-	// entry (computed when its parent's option was executed).
-	pendingSleep map[int]string
-	stop         bool
-}
-
-// New returns an explorer over a closed unit.
-func New(u *cfg.Unit, opt Options) (*Explorer, error) {
-	sys, err := interp.NewSystem(u)
-	if err != nil {
-		return nil, err
-	}
-	if opt.MaxDepth <= 0 {
-		opt.MaxDepth = 1000000
-	}
-	if opt.MaxIncidents <= 0 {
-		opt.MaxIncidents = 16
-	}
-	e := &Explorer{sys: sys, opt: opt}
-	e.footprint = footprints(u)
-	return e, nil
-}
-
 // Explore runs the search to completion (or truncation) and returns the
-// report.
+// report. Options.Workers selects between the sequential engine (0) and
+// the parallel work-stealing engine (>= 1).
 func Explore(u *cfg.Unit, opt Options) (*Report, error) {
-	e, err := New(u, opt)
+	opt = opt.withDefaults()
+	if opt.Workers > 0 {
+		return runParallel(u, opt)
+	}
+	e, err := newExplorer(u, opt)
 	if err != nil {
 		return nil, err
 	}
 	return e.Run(), nil
 }
 
+// Explorer drives a sequential search over one system. It is a thin
+// wrapper over the DFS engine; parallel searches go through Explore
+// with Options.Workers set.
+type Explorer struct {
+	eng *engine
+}
+
+// New returns a sequential explorer over a closed unit.
+func New(u *cfg.Unit, opt Options) (*Explorer, error) {
+	return newExplorer(u, opt.withDefaults())
+}
+
+func newExplorer(u *cfg.Unit, opt Options) (*Explorer, error) {
+	sys, err := interp.NewSystem(u)
+	if err != nil {
+		return nil, err
+	}
+	eng := newEngine(sys, opt, footprints(u), newSiteTable(u))
+	return &Explorer{eng: eng}, nil
+}
+
+// Run executes the depth-first search.
+func (x *Explorer) Run() *Report {
+	e := x.eng
+	e.reset()
+	if e.opt.StateCache {
+		e.cache = make(map[uint64]bool)
+	}
+	for {
+		e.runPath()
+		if e.stop {
+			e.rep.Truncated = true
+			break
+		}
+		if !e.backtrack() {
+			break
+		}
+		e.rep.Replays++
+	}
+	e.rep.OpsCovered = e.covered.count()
+	e.rep.OpsTotal = e.sites.total
+	return e.rep
+}
+
 // footprints computes, per process, the set of objects transitively
-// reachable from its top-level procedure through the call graph.
+// reachable from its top-level procedure through the call graph. The
+// result is read-only and shared by every worker of a parallel search.
 func footprints(u *cfg.Unit) []map[string]bool {
 	mentions := make(map[string]map[string]bool, len(u.Procs)) // proc -> objects
 	calls := make(map[string][]string, len(u.Procs))           // proc -> callees
@@ -275,389 +379,105 @@ func footprints(u *cfg.Unit) []map[string]bool {
 	return out
 }
 
-// Run executes the depth-first search.
-func (e *Explorer) Run() *Report {
-	e.report = &Report{}
-	if e.opt.StateCache {
-		e.cache = make(map[string]bool)
-	}
-	e.stack = e.stack[:0]
-	e.covered = make(map[[2]interface{}]bool)
-	for {
-		e.runPath()
-		if e.stop {
-			e.report.Truncated = true
-			break
-		}
-		if !e.backtrack() {
-			break
-		}
-		e.report.Replays++
-	}
-	e.report.OpsCovered = len(e.covered)
-	e.report.OpsTotal = countVisibleOps(e.sys.Unit)
-	return e.report
+// siteTable indexes every CFG node of the unit into one flat coverage
+// bitmap: per-worker coverage is a bitmap ORed together by the merge
+// layer. Node IDs are dense per graph, so a site's index is its graph's
+// offset plus its node ID.
+type siteTable struct {
+	offsets map[string]int // proc name -> first bitmap index of its nodes
+	bits    int            // total bitmap width (all nodes)
+	total   int            // visible-operation sites (builtin call nodes)
 }
 
-// countVisibleOps counts the builtin call nodes of the unit (the
-// visible-operation sites coverage is measured against).
-func countVisibleOps(u *cfg.Unit) int {
-	total := 0
+func newSiteTable(u *cfg.Unit) *siteTable {
+	t := &siteTable{offsets: make(map[string]int, len(u.Order))}
 	for _, name := range u.Order {
-		for _, n := range u.Procs[name].Nodes {
+		g := u.Procs[name]
+		t.offsets[name] = t.bits
+		t.bits += len(g.Nodes)
+		for _, n := range g.Nodes {
 			if n.Kind == cfg.NCall && sem.IsBuiltin(n.CallStmt().Name.Name) {
-				total++
+				t.total++
 			}
 		}
 	}
-	return total
+	return t
 }
 
-// backtrack advances the deepest decision point with options left,
-// popping exhausted entries. It reports whether the search continues.
-func (e *Explorer) backtrack() bool {
-	for len(e.stack) > 0 {
-		top := e.stack[len(e.stack)-1]
-		top.cursor++
-		if top.cursor < len(top.options) {
-			return true
-		}
-		e.stack = e.stack[:len(e.stack)-1]
-	}
-	return false
+// coverage is a bitmap over the unit's CFG nodes; only visible-operation
+// sites are ever set.
+type coverage []uint64
+
+func newCoverage(t *siteTable) coverage {
+	return make(coverage, (t.bits+63)/64)
 }
 
-// chooser returns the Chooser used during one path execution: it
-// replays toss entries from the stack prefix and materializes new toss
-// entries at the frontier (always starting with outcome 0).
-func (e *Explorer) chooser() interp.Chooser {
-	return interp.ChooserFunc(func(bound int) (int, bool) {
-		if e.replayIdx < len(e.stack) {
-			en := e.stack[e.replayIdx]
-			if !en.isToss {
-				// A scheduling entry where a toss was expected: the
-				// replay diverged, which indicates nondeterminism
-				// outside the recorded decisions. Fail loudly.
-				panic("explore: replay mismatch (expected toss entry)")
-			}
-			e.replayIdx++
-			return en.choice(), true
-		}
-		opts := make([]int, bound+1)
-		for i := range opts {
-			opts[i] = i
-		}
-		e.stack = append(e.stack, &entry{isToss: true, options: opts})
-		e.replayIdx = len(e.stack)
-		return 0, true
-	})
-}
+func (c coverage) set(i int) { c[i>>6] |= 1 << (uint(i) & 63) }
 
-// runPath (re)executes from the initial state through the current stack
-// decisions and then extends the path depth-first until it ends.
-func (e *Explorer) runPath() {
-	e.sys.Reset()
-	e.replayIdx = 0
-	e.trace = e.trace[:0]
-	e.pendingSleep = nil
-	ch := e.chooser()
-
-	if out := e.sys.Init(ch); out != nil {
-		e.leafOutcome(out)
-		return
-	}
-
-	for {
-		// Replay pending scheduling decisions (the chooser replays toss
-		// decisions transparently during Step).
-		if e.replayIdx < len(e.stack) {
-			en := e.stack[e.replayIdx]
-			if en.isToss {
-				panic("explore: replay mismatch (unexpected toss entry)")
-			}
-			e.replayIdx++
-			p := en.choice()
-			e.pendingSleep = childSleep(en)
-			e.cover(p)
-			ev, out := e.sys.Step(p, ch)
-			e.trace = append(e.trace, ev)
-			if out != nil {
-				e.leafOutcome(out)
-				return
-			}
-			continue
-		}
-
-		// Frontier: we are at a fresh global state.
-		e.report.States++
-		if e.opt.MaxStates > 0 && e.report.States >= e.opt.MaxStates {
-			e.stop = true
-			return
-		}
-		depth := e.schedDepth()
-		if depth > e.report.MaxDepth {
-			e.report.MaxDepth = depth
-		}
-
-		if e.sys.AllTerminated() {
-			e.leaf(LeafTerminated, "all processes terminated", nil)
-			return
-		}
-		if e.sys.Deadlocked() {
-			e.leaf(LeafDeadlock, e.deadlockMsg(), nil)
-			return
-		}
-		if depth >= e.opt.MaxDepth {
-			e.leaf(LeafDepth, "depth bound reached", nil)
-			return
-		}
-		if e.cache != nil {
-			fp := e.sys.Fingerprint()
-			if e.cache[fp] {
-				e.leaf(LeafCachePruned, "state already visited", nil)
-				return
-			}
-			e.cache[fp] = true
-		}
-
-		options, objs := e.scheduleOptions()
-		if len(options) == 0 {
-			e.leaf(LeafSleepPruned, "all enabled transitions asleep", nil)
-			return
-		}
-		en := &entry{options: options, objs: objs, sleep: e.pendingSleep}
-		e.stack = append(e.stack, en)
-		e.replayIdx = len(e.stack)
-
-		p := en.choice()
-		e.pendingSleep = childSleep(en)
-		e.report.Transitions++
-		e.cover(p)
-		ev, out := e.sys.Step(p, ch)
-		e.trace = append(e.trace, ev)
-		if out != nil {
-			e.leafOutcome(out)
-			return
-		}
+func (c coverage) or(d coverage) {
+	for i := range c {
+		c[i] |= d[i]
 	}
 }
 
-// cover records the visible-operation site process p is about to
-// execute.
-func (e *Explorer) cover(p int) {
-	proc, node := e.sys.Procs[p].At()
-	if node >= 0 {
-		e.covered[[2]interface{}{proc, node}] = true
+func (c coverage) count() int {
+	n := 0
+	for _, w := range c {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
 	}
+	return n
 }
 
-// schedDepth counts scheduling decisions on the stack.
-func (e *Explorer) schedDepth() int {
-	d := 0
-	for _, en := range e.stack {
-		if !en.isToss {
-			d++
-		}
-	}
-	return d
-}
-
-func (e *Explorer) deadlockMsg() string {
-	var parts []string
-	for i, p := range e.sys.Procs {
-		if p.Status() != interp.Running {
-			continue
-		}
-		op, obj, _ := p.PendingOp()
-		parts = append(parts, fmt.Sprintf("P%d blocked on %s(%s)", i, op, obj))
-	}
-	return strings.Join(parts, ", ")
-}
-
-// scheduleOptions computes the transitions to explore from the current
-// global state: a persistent set (unless disabled) minus the sleep set,
-// together with the object each pending operation targets.
-func (e *Explorer) scheduleOptions() (options []int, objs []string) {
-	enabled := e.sys.EnabledProcs()
-	var set []int
-	if e.opt.NoPOR {
-		set = enabled
-	} else {
-		set = e.persistentSet(enabled)
-	}
-	sleep := e.pendingSleep
-	for _, p := range set {
-		if !e.opt.NoSleep && sleep != nil {
-			if _, asleep := sleep[p]; asleep {
-				continue
-			}
-		}
-		options = append(options, p)
-		_, obj, _ := e.sys.Procs[p].PendingOp()
-		objs = append(objs, obj)
-	}
-	return options, objs
-}
-
-// persistentSet returns a persistent subset of the enabled processes,
-// computed from static object footprints:
-//
-//   - if some enabled process's pending operation targets an object no
-//     other running process can ever touch (or targets no object at
-//     all, like VS_assert), that single process is persistent;
-//   - otherwise, grow a closure from the first enabled process by
-//     footprint overlap and return its enabled members.
-func (e *Explorer) persistentSet(enabled []int) []int {
-	if len(enabled) <= 1 {
-		return enabled
-	}
-	for _, p := range enabled {
-		_, obj, _ := e.sys.Procs[p].PendingOp()
-		if obj == "" {
-			return []int{p}
-		}
-		private := true
-		for q, proc := range e.sys.Procs {
-			if q == p || proc.Status() != interp.Running {
-				continue
-			}
-			if e.footprint[q][obj] {
-				private = false
-				break
-			}
-		}
-		if private {
-			return []int{p}
-		}
-	}
-
-	inS := make(map[int]bool)
-	inS[enabled[0]] = true
-	for changed := true; changed; {
-		changed = false
-		for q, proc := range e.sys.Procs {
-			if inS[q] || proc.Status() != interp.Running {
-				continue
-			}
-			for m := range inS {
-				if overlap(e.footprint[q], e.footprint[m]) {
-					inS[q] = true
-					changed = true
-					break
-				}
-			}
-		}
-	}
-	var out []int
-	for _, p := range enabled {
-		if inS[p] {
-			out = append(out, p)
-		}
-	}
-	if len(out) == 0 {
-		return enabled
-	}
-	return out
-}
-
-func overlap(a, b map[string]bool) bool {
-	if len(b) < len(a) {
-		a, b = b, a
-	}
-	for k := range a {
-		if b[k] {
-			return true
-		}
-	}
-	return false
-}
-
-// childSleep computes the sleep set for the subtree under the current
-// option of en: the inherited sleepers plus the previously explored
-// options, minus everything dependent on the chosen transition (two
-// transitions are dependent iff they target the same object).
-func childSleep(en *entry) map[int]string {
-	chosenObj := en.objs[en.cursor]
-	out := make(map[int]string, len(en.sleep)+en.cursor)
-	for p, obj := range en.sleep {
-		if obj != chosenObj || obj == "" {
-			out[p] = obj
-		}
-	}
-	for i := 0; i < en.cursor; i++ {
-		p, obj := en.options[i], en.objs[i]
-		if obj != chosenObj || obj == "" {
-			out[p] = obj
-		}
-	}
-	delete(out, en.options[en.cursor])
-	return out
-}
-
-// leafOutcome records a path ending caused by an abnormal outcome.
-func (e *Explorer) leafOutcome(out *interp.Outcome) {
-	switch out.Kind {
-	case interp.OutViolation:
-		e.leaf(LeafViolation, out.Msg, out)
-	case interp.OutTrap:
-		e.leaf(LeafTrap, out.Msg, out)
-	case interp.OutDivergence:
-		e.leaf(LeafDivergence, out.Msg, out)
-	case interp.OutNeedToss:
-		// The explorer's chooser always supplies outcomes.
-		panic("explore: unexpected NeedToss outcome")
-	}
-}
-
-// leaf records the end of a path.
-func (e *Explorer) leaf(kind LeafKind, msg string, _ *interp.Outcome) {
-	r := e.report
-	r.Paths++
-	switch kind {
-	case LeafTerminated:
-		r.Terminated++
-	case LeafDeadlock:
-		r.Deadlocks++
-	case LeafViolation:
-		r.Violations++
-	case LeafTrap:
-		r.Traps++
-	case LeafDivergence:
-		r.Divergences++
-	case LeafDepth:
-		r.DepthHits++
-	case LeafSleepPruned:
-		r.SleepPrunes++
-	case LeafCachePruned:
-		r.CachePrunes++
-	}
-	interesting := kind == LeafDeadlock || kind == LeafViolation || kind == LeafTrap || kind == LeafDivergence
-	if interesting && r.StatesAtFirstIncident == 0 {
-		r.StatesAtFirstIncident = r.States
-	}
-	if interesting && len(r.Samples) < e.opt.MaxIncidents {
-		tr := make([]interp.Event, len(e.trace))
-		copy(tr, e.trace)
-		dec := make([]Decision, 0, len(e.stack))
-		for _, en := range e.stack {
-			dec = append(dec, Decision{Toss: en.isToss, Value: en.choice()})
-		}
-		r.Samples = append(r.Samples, &Incident{
-			Kind: kind, Msg: msg, Depth: e.schedDepth(), Trace: tr, Decisions: dec,
-		})
-	}
-	if e.opt.OnLeaf != nil {
-		e.opt.OnLeaf(kind, e.trace)
-	}
-	if e.opt.StopOnViolation && (kind == LeafViolation || kind == LeafTrap) {
-		e.stop = true
-	}
-	if e.opt.StopOnIncident && interesting {
-		e.stop = true
-	}
-	sortSamples(r.Samples)
-}
-
+// sortSamples orders incident samples for presentation: shallowest
+// first, ties broken by the lexicographic order of their decision
+// sequences (which is exactly sequential DFS discovery order), so the
+// ordering is stable regardless of worker count or scheduling.
 func sortSamples(s []*Incident) {
-	sort.SliceStable(s, func(i, j int) bool { return s[i].Depth < s[j].Depth })
+	sort.SliceStable(s, func(i, j int) bool { return sampleLess(s[i], s[j]) })
+}
+
+func sampleLess(a, b *Incident) bool {
+	if a.Depth != b.Depth {
+		return a.Depth < b.Depth
+	}
+	if c := compareDecisions(a.Decisions, b.Decisions); c != 0 {
+		return c < 0
+	}
+	return a.Msg < b.Msg
+}
+
+// compareDecisions orders decision sequences lexicographically. Since
+// sibling options are generated in ascending order, this is sequential
+// DFS preorder.
+func compareDecisions(a, b []Decision) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i].Value != b[i].Value {
+			if a[i].Value < b[i].Value {
+				return -1
+			}
+			return 1
+		}
+		if a[i].Toss != b[i].Toss {
+			// A toss and a scheduling decision at the same position
+			// cannot happen on a deterministic replay tree, but order
+			// them anyway: toss first.
+			if a[i].Toss {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
 }

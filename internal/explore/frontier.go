@@ -1,0 +1,144 @@
+package explore
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// workUnit is the unit of parallel work: a decision prefix reaching a
+// scheduling point, the sibling options pending at that point, and the
+// index of the first option this unit covers. A worker claiming a unit
+// with several remaining options splits it — it pushes back a unit for
+// options[from+1:] and explores only options[from] — so every sibling
+// subtree of a spilled decision point becomes exactly one unit,
+// independent of which worker claims what when.
+//
+// All slices and the sleep map are immutable once published: units are
+// shared between goroutines read-only.
+type workUnit struct {
+	prefix  []Decision
+	options []int
+	objs    []string
+	sleep   map[int]string
+	from    int
+	root    bool // the initial unit: empty prefix, whole tree
+}
+
+// frontierShard is one lock-sharded LIFO stack of work units. The
+// padding keeps shards on distinct cache lines.
+type frontierShard struct {
+	mu    sync.Mutex
+	units []*workUnit
+	_     [64]byte
+}
+
+// frontier is the shared work pool: one shard per worker. A worker
+// pushes and pops its own shard LIFO (preserving depth-first locality)
+// and steals the oldest unit (FIFO) from sibling shards when its own is
+// empty — stolen units are the shallowest, i.e. the largest subtrees.
+type frontier struct {
+	shards []frontierShard
+
+	// inflight counts units pushed but not yet fully processed; the
+	// search is complete when it reaches zero. queued counts units
+	// currently sitting in some shard. units counts every push, for
+	// progress reporting.
+	inflight atomic.Int64
+	queued   atomic.Int64
+	units    atomic.Int64
+
+	stop *atomic.Bool // the search's global stop flag
+
+	mu   sync.Mutex // guards cond only; shard data has its own locks
+	cond *sync.Cond
+}
+
+func newFrontier(shards int, stop *atomic.Bool) *frontier {
+	f := &frontier{shards: make([]frontierShard, shards), stop: stop}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// push publishes a unit on the given worker's shard and wakes one
+// sleeping worker. Signalling under f.mu pairs with the re-check inside
+// claim's wait loop, so a wakeup cannot be lost.
+func (f *frontier) push(worker int, u *workUnit) {
+	f.inflight.Add(1)
+	f.units.Add(1)
+	s := &f.shards[worker%len(f.shards)]
+	s.mu.Lock()
+	s.units = append(s.units, u)
+	s.mu.Unlock()
+	f.queued.Add(1)
+	f.mu.Lock()
+	f.cond.Signal()
+	f.mu.Unlock()
+}
+
+// claim blocks until a unit is available and returns it, or returns nil
+// when the search is over (no units queued or in flight) or has been
+// stopped. The caller must call done exactly once per claimed unit.
+func (f *frontier) claim(worker int) *workUnit {
+	for {
+		if f.stop.Load() {
+			return nil
+		}
+		if u := f.take(worker); u != nil {
+			return u
+		}
+		f.mu.Lock()
+		for f.queued.Load() == 0 && f.inflight.Load() > 0 && !f.stop.Load() {
+			f.cond.Wait()
+		}
+		f.mu.Unlock()
+		if f.queued.Load() == 0 && f.inflight.Load() == 0 {
+			return nil
+		}
+	}
+}
+
+// take pops the newest unit from the worker's own shard, else steals
+// the oldest unit from a sibling shard.
+func (f *frontier) take(worker int) *workUnit {
+	n := len(f.shards)
+	home := worker % n
+	s := &f.shards[home]
+	s.mu.Lock()
+	if k := len(s.units); k > 0 {
+		u := s.units[k-1]
+		s.units[k-1] = nil
+		s.units = s.units[:k-1]
+		s.mu.Unlock()
+		f.queued.Add(-1)
+		return u
+	}
+	s.mu.Unlock()
+	for i := 1; i < n; i++ {
+		v := &f.shards[(home+i)%n]
+		v.mu.Lock()
+		if len(v.units) > 0 {
+			u := v.units[0]
+			v.units = v.units[1:]
+			v.mu.Unlock()
+			f.queued.Add(-1)
+			return u
+		}
+		v.mu.Unlock()
+	}
+	return nil
+}
+
+// done retires a claimed unit; the last retirement wakes every sleeping
+// worker so they can observe termination.
+func (f *frontier) done() {
+	if f.inflight.Add(-1) == 0 {
+		f.wake()
+	}
+}
+
+// wake broadcasts to all sleeping workers (termination or stop).
+func (f *frontier) wake() {
+	f.mu.Lock()
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}

@@ -1,0 +1,66 @@
+package explore
+
+import "time"
+
+// merge combines the workers' partial reports into one Report. Every
+// counter is a plain sum, coverage bitmaps are ORed, and incident
+// samples are re-sorted under the same deterministic order each worker
+// maintained locally — so for a complete (non-truncated) search the
+// merged report is identical regardless of worker count or scheduling.
+func merge(workers []*worker, opt Options, shared *sharedState, sites *siteTable, wall time.Duration) *Report {
+	rep := &Report{
+		Workers:     opt.Workers,
+		WorkerStats: make([]WorkerStat, len(workers)),
+	}
+	covered := newCoverage(sites)
+	var samples []*Incident
+	for i, w := range workers {
+		r := w.eng.rep
+		rep.States += r.States
+		rep.Transitions += r.Transitions
+		rep.Paths += r.Paths
+		rep.Replays += r.Replays
+		rep.ReplaySteps += r.ReplaySteps
+		if r.MaxDepth > rep.MaxDepth {
+			rep.MaxDepth = r.MaxDepth
+		}
+		rep.Terminated += r.Terminated
+		rep.Deadlocks += r.Deadlocks
+		rep.Violations += r.Violations
+		rep.Traps += r.Traps
+		rep.Divergences += r.Divergences
+		rep.DepthHits += r.DepthHits
+		rep.SleepPrunes += r.SleepPrunes
+		rep.CachePrunes += r.CachePrunes
+		if r.StatesAtFirstIncident > 0 &&
+			(rep.StatesAtFirstIncident == 0 || r.StatesAtFirstIncident < rep.StatesAtFirstIncident) {
+			rep.StatesAtFirstIncident = r.StatesAtFirstIncident
+		}
+		covered.or(w.eng.covered)
+		samples = append(samples, r.Samples...)
+		busy := w.busy
+		util := 0.0
+		if wall > 0 {
+			util = float64(busy) / float64(wall)
+		}
+		rep.WorkerStats[i] = WorkerStat{
+			Units:       w.units,
+			States:      r.States,
+			Paths:       r.Paths,
+			Busy:        busy,
+			Utilization: util,
+		}
+	}
+	rep.Truncated = shared.stopped()
+	rep.OpsCovered = covered.count()
+	rep.OpsTotal = sites.total
+
+	// Each worker kept its MaxIncidents best samples under sampleLess,
+	// so the global best MaxIncidents are all present in the union.
+	sortSamples(samples)
+	if len(samples) > opt.MaxIncidents {
+		samples = samples[:opt.MaxIncidents]
+	}
+	rep.Samples = samples
+	return rep
+}

@@ -1,0 +1,99 @@
+package explore
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stats is a live snapshot of a running search, delivered through
+// Options.Progress.
+type Stats struct {
+	States      int64
+	Transitions int64
+	ReplaySteps int64
+	Paths       int64
+	Incidents   int64
+	// FrontierUnits is the number of work units currently queued on the
+	// frontier (0 for a sequential search).
+	FrontierUnits int64
+	Workers       int
+	Elapsed       time.Duration
+}
+
+// sharedState holds the atomic counters shared by all workers of a
+// parallel search: the source of progress snapshots, the MaxStates
+// bound, and the global stop flag.
+type sharedState struct {
+	states      atomic.Int64
+	transitions atomic.Int64
+	replaySteps atomic.Int64
+	paths       atomic.Int64
+	incidents   atomic.Int64
+
+	maxStates int64 // 0 = unbounded
+	stop      atomic.Bool
+	// wake, if non-nil, is invoked once when the stop flag flips, so
+	// workers sleeping on the frontier observe it.
+	wake func()
+}
+
+func (s *sharedState) stopped() bool { return s.stop.Load() }
+
+func (s *sharedState) requestStop() {
+	if s.stop.CompareAndSwap(false, true) && s.wake != nil {
+		s.wake()
+	}
+}
+
+func (s *sharedState) snapshot(workers int, f *frontier, start time.Time) Stats {
+	return Stats{
+		States:        s.states.Load(),
+		Transitions:   s.transitions.Load(),
+		ReplaySteps:   s.replaySteps.Load(),
+		Paths:         s.paths.Load(),
+		Incidents:     s.incidents.Load(),
+		FrontierUnits: f.queued.Load(),
+		Workers:       workers,
+		Elapsed:       time.Since(start),
+	}
+}
+
+// WorkerStat reports one worker's share of a parallel search.
+type WorkerStat struct {
+	Units  int64 // work units claimed
+	States int64 // global states this worker visited
+	Paths  int64 // paths this worker completed
+	Busy   time.Duration
+	// Utilization is Busy divided by the search's wall-clock time.
+	Utilization float64
+}
+
+// startProgress launches the progress ticker of a parallel search and
+// returns a function that stops it (delivering one final snapshot).
+func startProgress(opt Options, shared *sharedState, f *frontier, start time.Time) (stop func()) {
+	if opt.Progress == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(opt.ProgressEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				opt.Progress(shared.snapshot(opt.Workers, f, start))
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+		opt.Progress(shared.snapshot(opt.Workers, f, start))
+	}
+}

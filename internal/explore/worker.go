@@ -1,0 +1,139 @@
+package explore
+
+import (
+	"sync"
+	"time"
+
+	"reclose/internal/cfg"
+	"reclose/internal/interp"
+)
+
+// worker is one parallel search worker: a private interpreter system
+// plus a DFS engine, claiming work units from the shared frontier.
+type worker struct {
+	id  int
+	eng *engine
+	f   *frontier
+
+	units int64
+	busy  time.Duration
+}
+
+// runParallel executes a parallel work-stealing search with
+// opt.Workers workers and merges their partial reports.
+func runParallel(u *cfg.Unit, opt Options) (*Report, error) {
+	shared := &sharedState{maxStates: opt.MaxStates}
+	f := newFrontier(opt.Workers, &shared.stop)
+	shared.wake = f.wake
+
+	fps := footprints(u)
+	sites := newSiteTable(u)
+	var leafMu sync.Mutex
+
+	workers := make([]*worker, opt.Workers)
+	for i := range workers {
+		sys, err := interp.NewSystem(u)
+		if err != nil {
+			return nil, err
+		}
+		eng := newEngine(sys, opt, fps, sites)
+		eng.shared = shared
+		eng.leafMu = &leafMu
+		workers[i] = &worker{id: i, eng: eng, f: f}
+	}
+
+	// Seed the search with the whole tree as one root unit.
+	f.push(0, &workUnit{root: true})
+
+	start := time.Now()
+	stopProgress := startProgress(opt, shared, f, start)
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			w.run()
+		}(w)
+	}
+	wg.Wait()
+	stopProgress()
+
+	return merge(workers, opt, shared, sites, time.Since(start)), nil
+}
+
+// run is the worker loop: claim a unit, explore its subtree, retire it.
+func (w *worker) run() {
+	e := w.eng
+	e.spill = func(u *workUnit) { w.f.push(w.id, u) }
+	for {
+		u := w.f.claim(w.id)
+		if u == nil {
+			return
+		}
+		t0 := time.Now()
+		w.process(u)
+		w.busy += time.Since(t0)
+		w.units++
+		w.f.done()
+		if e.stop {
+			return
+		}
+	}
+}
+
+// process explores the subtree of one claimed work unit: it splits off
+// the unit's remaining sibling options, replays the unit's prefix
+// statelessly, and DFS-es the subtree of its own option, spilling
+// shallow sibling subtrees back to the frontier as it goes.
+func (w *worker) process(u *workUnit) {
+	e := w.eng
+
+	// Claim-splitting: hand the remaining sibling options straight back
+	// so other workers can start on them while we replay.
+	if !u.root && u.from+1 < len(u.options) {
+		w.f.push(w.id, &workUnit{
+			prefix:  u.prefix,
+			options: u.options,
+			objs:    u.objs,
+			sleep:   u.sleep,
+			from:    u.from + 1,
+		})
+	}
+
+	e.base = nil
+	e.baseSched = 0
+	e.stack = e.stack[:0]
+	if !u.root {
+		e.base = u.prefix
+		for _, d := range u.prefix {
+			if !d.Toss {
+				e.baseSched++
+			}
+		}
+		// The unit's decision point becomes the bottom stack entry,
+		// positioned at the claimed option. Slicing to from+1 makes it
+		// exhausted after this one option; earlier indices stay visible
+		// so childSleep reconstructs the same sleep sets the sequential
+		// search would.
+		e.stack = append(e.stack, &entry{
+			options: u.options[:u.from+1],
+			objs:    u.objs[:u.from+1],
+			sleep:   u.sleep,
+			cursor:  u.from,
+		})
+		// Reaching the unit's subtree re-executes a prefix: one replay,
+		// exactly as the sequential engine counts one per backtrack.
+		e.rep.Replays++
+	}
+
+	for {
+		e.runPath()
+		if e.stop {
+			return
+		}
+		if !e.backtrack() {
+			return
+		}
+		e.rep.Replays++
+	}
+}

@@ -3,6 +3,7 @@ package interp
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"reclose/internal/ast"
@@ -136,6 +137,10 @@ type System struct {
 	// exceeding it reports divergence (the paper's VeriSoft uses a
 	// timeout for the same purpose).
 	MaxInvisible int
+
+	// nameScratch is reused by AppendFingerprint when sorting frame
+	// variable names, keeping the fingerprint hot path allocation-free.
+	nameScratch []string
 }
 
 // DefaultMaxInvisible is the default divergence bound.
@@ -144,6 +149,11 @@ const DefaultMaxInvisible = 100000
 // NewSystem builds a System for a closed unit. Open units (with declared
 // environment parameters or env-facing channels that have not been
 // closed or stubbed) are rejected: they are not self-executable.
+//
+// A System never mutates the unit or its AST: multiple Systems built
+// over the same *cfg.Unit may execute concurrently (one per goroutine),
+// which is what the parallel explorer's per-worker replay relies on. A
+// single System is not safe for concurrent use.
 func NewSystem(u *cfg.Unit) (*System, error) {
 	if u.IsOpen() {
 		return nil, fmt.Errorf("interp: unit is open (declares an environment interface); close it first")
@@ -511,53 +521,92 @@ func (s *System) execVisible(p *Proc, ch Chooser) (ev Event, out *Outcome) {
 // global state: object states, per-process control points, and stores.
 // Used only by the optional state-hashing mode (an ablation; VeriSoft
 // itself stores no states).
-func (s *System) Fingerprint() string {
-	var b strings.Builder
+func (s *System) Fingerprint() string { return string(s.AppendFingerprint(nil)) }
+
+// AppendFingerprint appends the canonical state fingerprint to dst and
+// returns the extended slice. It renders the same content as
+// Fingerprint without materializing an intermediate string: the caller
+// can reuse dst across calls (dst[:0]) and hash the bytes in a
+// streaming fashion, which is what the explorer's state-cache hot path
+// does. It reuses internal scratch space and is therefore not safe for
+// concurrent calls on the same System.
+func (s *System) AppendFingerprint(dst []byte) []byte {
 	for _, name := range s.objSeq {
-		b.WriteString(s.objects[name].Fingerprint())
-		b.WriteByte(';')
+		dst = s.objects[name].AppendFingerprint(dst)
+		dst = append(dst, ';')
 	}
 	for _, p := range s.Procs {
-		fmt.Fprintf(&b, "|P%d:%d", p.Index, p.status)
+		dst = append(dst, '|', 'P')
+		dst = strconv.AppendInt(dst, int64(p.Index), 10)
+		dst = append(dst, ':')
+		dst = strconv.AppendInt(dst, int64(p.status), 10)
 		if p.status != Running {
 			continue
 		}
 		// Label cells by frame position and name so pointer values
-		// fingerprint stably.
-		labels := make(map[*Cell]string)
-		for fi, f := range p.stack {
-			for _, name := range sortedVarNames(f.vars) {
-				labels[f.vars[name]] = fmt.Sprintf("f%d.%s", fi, name)
+		// fingerprint stably. The label map is only needed when the
+		// process actually holds pointer values.
+		var labels map[*Cell]string
+		if procHoldsPointer(p) {
+			labels = make(map[*Cell]string)
+			for fi, f := range p.stack {
+				for _, name := range s.sortedVarNames(f.vars) {
+					labels[f.vars[name]] = fmt.Sprintf("f%d.%s", fi, name)
+				}
 			}
 		}
 		for fi, f := range p.stack {
-			fmt.Fprintf(&b, "/%s", f.graph.g.ProcName)
+			dst = append(dst, '/')
+			dst = append(dst, f.graph.g.ProcName...)
 			if fi == len(p.stack)-1 {
-				fmt.Fprintf(&b, "@n%d", p.cur.ID)
+				dst = append(dst, '@', 'n')
+				dst = strconv.AppendInt(dst, int64(p.cur.ID), 10)
 			} else {
-				fmt.Fprintf(&b, "@c%d", p.stack[fi+1].callNode)
+				dst = append(dst, '@', 'c')
+				dst = strconv.AppendInt(dst, int64(p.stack[fi+1].callNode), 10)
 			}
-			for _, name := range sortedVarNames(f.vars) {
+			for _, name := range s.sortedVarNames(f.vars) {
 				v := f.vars[name].V
+				dst = append(dst, ',')
+				dst = append(dst, name...)
+				dst = append(dst, '=')
 				if v.Kind == KPtr {
-					fmt.Fprintf(&b, ",%s=&%s", name, labels[v.Ptr.Cell])
+					dst = append(dst, '&')
+					dst = append(dst, labels[v.Ptr.Cell]...)
 					if v.Ptr.Elem >= 0 {
-						fmt.Fprintf(&b, "[%d]", v.Ptr.Elem)
+						dst = append(dst, '[')
+						dst = strconv.AppendInt(dst, int64(v.Ptr.Elem), 10)
+						dst = append(dst, ']')
 					}
 				} else {
-					fmt.Fprintf(&b, ",%s=%s", name, v)
+					dst = v.AppendString(dst)
 				}
 			}
 		}
 	}
-	return b.String()
+	return dst
 }
 
-func sortedVarNames(m map[string]*Cell) []string {
-	out := make([]string, 0, len(m))
+// procHoldsPointer reports whether any live variable of p is a pointer.
+func procHoldsPointer(p *Proc) bool {
+	for _, f := range p.stack {
+		for _, c := range f.vars {
+			if c.V.Kind == KPtr {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sortedVarNames returns the variable names of one frame in sorted
+// order, reusing the System's scratch slice between calls.
+func (s *System) sortedVarNames(m map[string]*Cell) []string {
+	out := s.nameScratch[:0]
 	for n := range m {
 		out = append(out, n)
 	}
 	sort.Strings(out)
+	s.nameScratch = out
 	return out
 }

@@ -11,7 +11,7 @@ package interp
 
 import (
 	"fmt"
-	"strings"
+	"strconv"
 )
 
 // Kind classifies runtime values.
@@ -94,32 +94,38 @@ func (v Value) IsUndef() bool { return v.Kind == KUndef }
 
 // String renders the value deterministically (used in traces and state
 // fingerprints).
-func (v Value) String() string {
+func (v Value) String() string { return string(v.AppendString(nil)) }
+
+// AppendString appends the canonical rendering of v to dst and returns
+// the extended slice. It is the allocation-free form of String used on
+// the fingerprinting hot path.
+func (v Value) AppendString(dst []byte) []byte {
 	switch v.Kind {
 	case KUndef:
-		return "undef"
+		return append(dst, "undef"...)
 	case KInt:
-		return fmt.Sprintf("%d", v.I)
+		return strconv.AppendInt(dst, v.I, 10)
 	case KBool:
-		return fmt.Sprintf("%t", v.B)
+		return strconv.AppendBool(dst, v.B)
 	case KPtr:
+		dst = append(dst, "&cell"...)
 		if v.Ptr.Elem >= 0 {
-			return fmt.Sprintf("&cell[%d]", v.Ptr.Elem)
+			dst = append(dst, '[')
+			dst = strconv.AppendInt(dst, int64(v.Ptr.Elem), 10)
+			dst = append(dst, ']')
 		}
-		return "&cell"
+		return dst
 	case KArray:
-		var b strings.Builder
-		b.WriteByte('[')
+		dst = append(dst, '[')
 		for i, e := range v.Arr {
 			if i > 0 {
-				b.WriteByte(' ')
+				dst = append(dst, ' ')
 			}
-			b.WriteString(e.String())
+			dst = e.AppendString(dst)
 		}
-		b.WriteByte(']')
-		return b.String()
+		return append(dst, ']')
 	}
-	return "?"
+	return append(dst, '?')
 }
 
 // Equal reports deep value equality. Pointers compare by identity;
