@@ -42,6 +42,7 @@ func main() {
 		"E8":  func() { experiments.E8Redundancy(w, cfg) },
 		"E9":  func() { experiments.E9Partitioning(w, cfg) },
 		"E10": func() { experiments.E10Optimizations(w, cfg) },
+		"E11": func() { experiments.E11Resilience(w, cfg) },
 	}
 	if *only != "" {
 		run, ok := runners[*only]

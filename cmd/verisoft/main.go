@@ -10,13 +10,23 @@
 // Open programs are closed first: automatically with the paper's
 // transformation (default), or naively by composing an explicit most
 // general environment over a finite domain (-naive D).
+//
+// Long runs are resilient: -timeout bounds wall-clock time, -checkpoint
+// periodically persists the search frontier, -resume continues from a
+// checkpoint, and SIGINT/SIGTERM stop the search gracefully (writing a
+// final checkpoint when -checkpoint is set). Exit codes are
+// CI-friendly: 0 clean, 1 error, 2 usage, 3 incidents found, 4 search
+// incomplete (timeout, budget, or interrupt) without incidents.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"reclose/internal/cfg"
@@ -39,6 +49,11 @@ var (
 	workers    = flag.Int("workers", 0, "parallel search workers (0 = sequential, -1 = GOMAXPROCS)")
 	spillDepth = flag.Int("spill-depth", 0, "depth above which workers spill sibling subtrees to the shared frontier (0 = default 16)")
 	progress   = flag.Duration("progress", 0, "print progress lines at this interval (0 = off)")
+
+	timeout   = flag.Duration("timeout", 0, "wall-clock budget for the search; on expiry the partial result is reported (0 = unlimited)")
+	ckptFile  = flag.String("checkpoint", "", "write checkpoint snapshots to this file (periodically with -checkpoint-every, and on interrupt or budget exhaustion)")
+	ckptEvery = flag.Duration("checkpoint-every", 0, "period between checkpoints (requires -checkpoint; 0 = only final)")
+	resumeFrm = flag.String("resume", "", "resume the search from a checkpoint file written by -checkpoint")
 )
 
 func main() {
@@ -47,25 +62,27 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if err := run(); err != nil {
+	code, err := run()
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "verisoft: %v\n", err)
 		os.Exit(1)
 	}
+	os.Exit(code)
 }
 
-func run() error {
+func run() (int, error) {
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
 	src, err := readSource(flag.Arg(0))
 	if err != nil {
-		return err
+		return 1, err
 	}
 
 	unit, how, err := prepare(string(src))
 	if err != nil {
-		return err
+		return 1, err
 	}
 	fmt.Printf("prepared system: %s\n", how)
 
@@ -79,6 +96,7 @@ func run() error {
 		MaxIncidents:    *samples,
 		Workers:         *workers,
 		SpillDepth:      *spillDepth,
+		Timeout:         *timeout,
 	}
 	if *progress > 0 {
 		opt.ProgressEvery = *progress
@@ -88,12 +106,30 @@ func run() error {
 				st.Elapsed.Round(time.Millisecond))
 		}
 	}
+	if *ckptFile != "" && *ckptEvery > 0 {
+		opt.CheckpointEvery = *ckptEvery
+		opt.Checkpoint = func(s *explore.Snapshot) {
+			if err := writeSnapshot(*ckptFile, s); err != nil {
+				fmt.Fprintf(os.Stderr, "verisoft: checkpoint: %v\n", err)
+			}
+		}
+	}
+
+	// SIGINT/SIGTERM stop the search gracefully: workers drain to path
+	// boundaries, the partial report is printed, and — with -checkpoint
+	// — the remaining work is persisted. A second signal kills the
+	// process (signal.NotifyContext restores default handling once the
+	// context is cancelled).
+	ctx, restore := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer restore()
+
 	start := time.Now()
 	var rep *explore.Report
-	if *shortest {
+	switch {
+	case *shortest:
 		in, r, err := explore.ShortestWitness(unit, opt)
 		if err != nil {
-			return err
+			return 1, err
 		}
 		rep = r
 		if in != nil {
@@ -101,16 +137,33 @@ func run() error {
 		} else {
 			fmt.Println("no incident within the depth limit")
 		}
-	} else {
-		r, err := explore.Explore(unit, opt)
+	case *resumeFrm != "":
+		data, err := os.ReadFile(*resumeFrm)
 		if err != nil {
-			return err
+			return 1, err
 		}
-		rep = r
+		snap, err := explore.DecodeSnapshot(data)
+		if err != nil {
+			return 1, err
+		}
+		fmt.Printf("resuming: %d work units, %d states already explored\n",
+			len(snap.Units), snap.Counters.States)
+		rep, err = explore.ResumeContext(ctx, unit, snap, opt)
+		if err != nil {
+			return 1, err
+		}
+	default:
+		rep, err = explore.ExploreContext(ctx, unit, opt)
+		if err != nil {
+			return 1, err
+		}
 	}
 	elapsed := time.Since(start)
 
 	fmt.Printf("search: %s\n", rep)
+	if rep.Incomplete {
+		fmt.Printf("incomplete: search stopped early (%s); counters cover the explored part only\n", rep.Cause)
+	}
 	fmt.Printf("elapsed: %v (%.0f transitions/s)\n", elapsed.Round(time.Millisecond),
 		float64(rep.Transitions)/elapsed.Seconds())
 	if rep.Workers > 0 {
@@ -121,9 +174,9 @@ func run() error {
 		}
 	}
 	verdict := "no deadlocks, violations, or errors found"
-	if rep.Deadlocks+rep.Violations+rep.Traps+rep.Divergences > 0 {
-		verdict = fmt.Sprintf("FOUND: %d deadlock(s), %d violation(s), %d error(s), %d divergence(s)",
-			rep.Deadlocks, rep.Violations, rep.Traps, rep.Divergences)
+	if rep.Incidents() > 0 {
+		verdict = fmt.Sprintf("FOUND: %d deadlock(s), %d violation(s), %d error(s), %d divergence(s), %d internal error(s)",
+			rep.Deadlocks, rep.Violations, rep.Traps, rep.Divergences, rep.InternalErrors)
 	}
 	fmt.Printf("coverage: %d/%d visible operations exercised\n", rep.OpsCovered, rep.OpsTotal)
 	fmt.Println(verdict)
@@ -145,7 +198,7 @@ func run() error {
 			}
 		})
 		if err != nil {
-			return fmt.Errorf("replay: %w", err)
+			return 1, fmt.Errorf("replay: %w", err)
 		}
 		if out != nil {
 			fmt.Printf("  outcome: %s\n", out)
@@ -153,10 +206,43 @@ func run() error {
 			fmt.Println("  outcome: final state reached (see incident kind)")
 		}
 	}
-	if rep.Deadlocks+rep.Violations+rep.Traps > 0 {
-		os.Exit(3)
+
+	// A final checkpoint preserves the remaining work of an interrupted
+	// or budget-cut search.
+	if *ckptFile != "" && rep.Incomplete {
+		if snap := rep.Snapshot(); snap != nil {
+			if err := writeSnapshot(*ckptFile, snap); err != nil {
+				return 1, fmt.Errorf("final checkpoint: %w", err)
+			}
+			fmt.Printf("checkpoint: remaining work written to %s (%d units); resume with -resume %s\n",
+				*ckptFile, len(snap.Units), *ckptFile)
+		}
 	}
-	return nil
+
+	// Exit codes, in priority order: incidents beat incompleteness
+	// (a partial search that already found a bug should fail CI the
+	// same way a complete one does).
+	switch {
+	case rep.Incidents() > 0:
+		return 3, nil
+	case rep.Incomplete:
+		return 4, nil
+	}
+	return 0, nil
+}
+
+// writeSnapshot persists a snapshot atomically (write temp + rename), so
+// a crash mid-write never corrupts the previous checkpoint.
+func writeSnapshot(path string, s *explore.Snapshot) error {
+	data, err := s.Encode()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // prepare closes the program if it is open.

@@ -1,0 +1,374 @@
+package explore
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"reclose/internal/cfg"
+	"reclose/internal/interp"
+)
+
+// SnapshotVersion is the checkpoint format version written into every
+// snapshot; DecodeSnapshot and Resume reject any other version.
+const SnapshotVersion = 1
+
+// Snapshot is a serializable checkpoint of a search: the merged partial
+// counters, coverage, and incident samples of the explored part, plus
+// the unexplored remainder as a list of decision-prefix work units
+// (unclaimed frontier plus the residual subtrees of in-flight paths).
+// Because the explorer is stateless, a decision prefix is all it takes
+// to reconstruct any point of the search — no interpreter state is
+// serialized. Snapshots are produced by Options.Checkpoint or
+// Report.Snapshot, persisted as JSON via Encode, and consumed by
+// Resume.
+type Snapshot struct {
+	Version int `json:"version"`
+
+	// Program identity, checked on resume: a snapshot only resumes
+	// against a unit with the same process count and CFG site count.
+	Processes int `json:"processes"`
+	SiteBits  int `json:"site_bits"`
+
+	Counters snapCounters   `json:"counters"`
+	Coverage string         `json:"coverage,omitempty"` // hex bitmap over CFG sites
+	Samples  []snapIncident `json:"samples,omitempty"`
+	Units    []snapUnit     `json:"units,omitempty"`
+}
+
+// snapCounters mirrors the Report counters that carry across a
+// checkpoint cut.
+type snapCounters struct {
+	States                int64 `json:"states"`
+	Transitions           int64 `json:"transitions"`
+	Paths                 int64 `json:"paths"`
+	Replays               int64 `json:"replays"`
+	ReplaySteps           int64 `json:"replay_steps"`
+	MaxDepth              int   `json:"max_depth"`
+	Terminated            int64 `json:"terminated"`
+	Deadlocks             int64 `json:"deadlocks"`
+	Violations            int64 `json:"violations"`
+	Traps                 int64 `json:"traps"`
+	Divergences           int64 `json:"divergences"`
+	DepthHits             int64 `json:"depth_hits"`
+	SleepPrunes           int64 `json:"sleep_prunes"`
+	CachePrunes           int64 `json:"cache_prunes"`
+	InternalErrors        int64 `json:"internal_errors"`
+	StatesAtFirstIncident int64 `json:"states_at_first_incident,omitempty"`
+}
+
+// snapDecision is one recorded decision.
+type snapDecision struct {
+	Toss  bool `json:"toss,omitempty"`
+	Value int  `json:"value"`
+}
+
+// snapUnit is one serialized work unit. Sleep keys are process indices
+// rendered as decimal strings (JSON object keys must be strings).
+type snapUnit struct {
+	Prefix  []snapDecision    `json:"prefix,omitempty"`
+	Options []int             `json:"options,omitempty"`
+	Objs    []string          `json:"objs,omitempty"`
+	Sleep   map[string]string `json:"sleep,omitempty"`
+	From    int               `json:"from,omitempty"`
+	Root    bool              `json:"root,omitempty"`
+	Toss    bool              `json:"toss,omitempty"`
+	Cont    bool              `json:"cont,omitempty"`
+}
+
+// snapIncident is one serialized incident sample. The trace is not
+// stored: it is rebuilt on resume by replaying the decision sequence.
+type snapIncident struct {
+	Kind      string         `json:"kind"`
+	Msg       string         `json:"msg"`
+	Depth     int            `json:"depth"`
+	Decisions []snapDecision `json:"decisions,omitempty"`
+}
+
+// Encode renders the snapshot as versioned, human-readable JSON.
+func (s *Snapshot) Encode() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// DecodeSnapshot parses a snapshot previously rendered by Encode and
+// validates its version.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("explore: malformed snapshot: %w", err)
+	}
+	if s.Version != SnapshotVersion {
+		return nil, fmt.Errorf("explore: snapshot version %d, want %d", s.Version, SnapshotVersion)
+	}
+	return &s, nil
+}
+
+// Snapshot returns the remaining-work snapshot of an Incomplete report,
+// ready for Resume; it returns nil for a complete report (there is
+// nothing left to resume).
+func (r *Report) Snapshot() *Snapshot {
+	if !r.Incomplete || r.cov == nil {
+		return nil
+	}
+	return buildSnapshot(r, r.pending)
+}
+
+// buildSnapshot serializes a merged partial report plus the unexplored
+// units. rep must come from accum.finalize (it carries the coverage
+// bitmap and program identity).
+func buildSnapshot(rep *Report, units []*workUnit) *Snapshot {
+	s := &Snapshot{
+		Version:   SnapshotVersion,
+		Processes: rep.procs,
+		SiteBits:  rep.bits,
+		Counters: snapCounters{
+			States:                rep.States,
+			Transitions:           rep.Transitions,
+			Paths:                 rep.Paths,
+			Replays:               rep.Replays,
+			ReplaySteps:           rep.ReplaySteps,
+			MaxDepth:              rep.MaxDepth,
+			Terminated:            rep.Terminated,
+			Deadlocks:             rep.Deadlocks,
+			Violations:            rep.Violations,
+			Traps:                 rep.Traps,
+			Divergences:           rep.Divergences,
+			DepthHits:             rep.DepthHits,
+			SleepPrunes:           rep.SleepPrunes,
+			CachePrunes:           rep.CachePrunes,
+			InternalErrors:        rep.InternalErrors,
+			StatesAtFirstIncident: rep.StatesAtFirstIncident,
+		},
+		Coverage: hex.EncodeToString(covBytes(rep.cov)),
+	}
+	for _, in := range rep.Samples {
+		s.Samples = append(s.Samples, snapIncident{
+			Kind:      in.Kind.String(),
+			Msg:       in.Msg,
+			Depth:     in.Depth,
+			Decisions: snapFromDecisions(in.Decisions),
+		})
+	}
+	for _, u := range units {
+		s.Units = append(s.Units, snapFromUnit(u))
+	}
+	return s
+}
+
+// parSnapshot assembles a checkpoint of a parallel search between
+// rounds: all engine reports are already folded into the accumulator.
+func parSnapshot(a *accum, units []*workUnit) *Snapshot {
+	c := a.clone()
+	rep := c.finalize(0, nil)
+	return buildSnapshot(rep, units)
+}
+
+// seqSnapshot assembles a checkpoint of a sequential search at a path
+// boundary: the accumulator (restored totals) plus the engine's live
+// partial report.
+func seqSnapshot(a *accum, e *engine, units []*workUnit) *Snapshot {
+	c := a.clone()
+	c.addEngine(e)
+	rep := c.finalize(0, nil)
+	return buildSnapshot(rep, units)
+}
+
+// restoredState is a decoded, validated snapshot ready to seed a
+// search: partial counters and samples (with traces rebuilt), the
+// coverage bitmap, and the unexplored work units.
+type restoredState struct {
+	rep     *Report
+	covered coverage
+	units   []*workUnit
+}
+
+// restoreSnapshot validates a snapshot against the unit it is about to
+// resume and converts it back into engine structures. Structural
+// problems (wrong version, wrong program identity, malformed units)
+// fail here with an error; semantically stale decision prefixes are
+// caught later, at replay time, where the per-path recovery isolates
+// them into internal-error incidents.
+func restoreSnapshot(u *cfg.Unit, snap *Snapshot) (*restoredState, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("explore: nil snapshot")
+	}
+	if snap.Version != SnapshotVersion {
+		return nil, fmt.Errorf("explore: snapshot version %d, want %d", snap.Version, SnapshotVersion)
+	}
+	sites := newSiteTable(u)
+	if snap.Processes != len(u.Processes) || snap.SiteBits != sites.bits {
+		return nil, fmt.Errorf(
+			"explore: snapshot does not match program (snapshot: %d processes, %d sites; program: %d processes, %d sites)",
+			snap.Processes, snap.SiteBits, len(u.Processes), sites.bits)
+	}
+	covered, err := covFromHex(snap.Coverage, sites)
+	if err != nil {
+		return nil, err
+	}
+
+	c := snap.Counters
+	rep := &Report{
+		States:                c.States,
+		Transitions:           c.Transitions,
+		Paths:                 c.Paths,
+		Replays:               c.Replays,
+		ReplaySteps:           c.ReplaySteps,
+		MaxDepth:              c.MaxDepth,
+		Terminated:            c.Terminated,
+		Deadlocks:             c.Deadlocks,
+		Violations:            c.Violations,
+		Traps:                 c.Traps,
+		Divergences:           c.Divergences,
+		DepthHits:             c.DepthHits,
+		SleepPrunes:           c.SleepPrunes,
+		CachePrunes:           c.CachePrunes,
+		InternalErrors:        c.InternalErrors,
+		StatesAtFirstIncident: c.StatesAtFirstIncident,
+	}
+	for i, si := range snap.Samples {
+		kind, ok := leafKindFromString(si.Kind)
+		if !ok {
+			return nil, fmt.Errorf("explore: snapshot sample %d has unknown kind %q", i, si.Kind)
+		}
+		in := &Incident{
+			Kind:      kind,
+			Msg:       si.Msg,
+			Depth:     si.Depth,
+			Decisions: decisionsFromSnap(si.Decisions),
+		}
+		// Rebuild the trace by replaying the decisions; a failed replay
+		// (stale snapshot) leaves the trace empty rather than failing
+		// the resume — the counters and the sample itself still stand.
+		var trace []interp.Event
+		if _, _, err := Replay(u, in.Decisions, func(st ReplayStep) {
+			if st.HasEvent {
+				trace = append(trace, st.Event)
+			}
+		}); err == nil {
+			in.Trace = trace
+		}
+		rep.Samples = append(rep.Samples, in)
+	}
+
+	units := make([]*workUnit, 0, len(snap.Units))
+	for i, su := range snap.Units {
+		wu, err := unitFromSnap(&su)
+		if err != nil {
+			return nil, fmt.Errorf("explore: snapshot unit %d: %w", i, err)
+		}
+		units = append(units, wu)
+	}
+	return &restoredState{rep: rep, covered: covered, units: units}, nil
+}
+
+// snapFromUnit serializes one work unit.
+func snapFromUnit(u *workUnit) snapUnit {
+	su := snapUnit{
+		Prefix:  snapFromDecisions(u.prefix),
+		Options: u.options,
+		Objs:    u.objs,
+		From:    u.from,
+		Root:    u.root,
+		Toss:    u.toss,
+		Cont:    u.cont,
+	}
+	if len(u.sleep) > 0 {
+		su.Sleep = make(map[string]string, len(u.sleep))
+		for p, obj := range u.sleep {
+			su.Sleep[strconv.Itoa(p)] = obj
+		}
+	}
+	return su
+}
+
+// unitFromSnap deserializes one work unit, rejecting structurally
+// malformed ones (the engine indexes into these slices unchecked).
+func unitFromSnap(su *snapUnit) (*workUnit, error) {
+	u := &workUnit{
+		prefix:  decisionsFromSnap(su.Prefix),
+		options: su.Options,
+		objs:    su.Objs,
+		from:    su.From,
+		root:    su.Root,
+		toss:    su.Toss,
+		cont:    su.Cont,
+	}
+	if len(su.Sleep) > 0 {
+		u.sleep = make(map[int]string, len(su.Sleep))
+		for k, obj := range su.Sleep {
+			p, err := strconv.Atoi(k)
+			if err != nil {
+				return nil, fmt.Errorf("bad sleep key %q", k)
+			}
+			u.sleep[p] = obj
+		}
+	}
+	if u.root || u.cont {
+		return u, nil
+	}
+	if u.from < 0 || u.from >= len(u.options) {
+		return nil, fmt.Errorf("option index %d out of range (have %d options)", u.from, len(u.options))
+	}
+	if !u.toss && len(u.objs) != len(u.options) {
+		return nil, fmt.Errorf("have %d objs for %d options", len(u.objs), len(u.options))
+	}
+	return u, nil
+}
+
+func snapFromDecisions(dec []Decision) []snapDecision {
+	if len(dec) == 0 {
+		return nil
+	}
+	out := make([]snapDecision, len(dec))
+	for i, d := range dec {
+		out[i] = snapDecision{Toss: d.Toss, Value: d.Value}
+	}
+	return out
+}
+
+func decisionsFromSnap(sd []snapDecision) []Decision {
+	if len(sd) == 0 {
+		return nil
+	}
+	out := make([]Decision, len(sd))
+	for i, d := range sd {
+		out[i] = Decision{Toss: d.Toss, Value: d.Value}
+	}
+	return out
+}
+
+// covBytes renders a coverage bitmap as little-endian bytes.
+func covBytes(c coverage) []byte {
+	out := make([]byte, 8*len(c))
+	for i, w := range c {
+		for j := 0; j < 8; j++ {
+			out[8*i+j] = byte(w >> (8 * j))
+		}
+	}
+	return out
+}
+
+// covFromHex parses a hex coverage bitmap, validating its width against
+// the unit's site table.
+func covFromHex(s string, sites *siteTable) (coverage, error) {
+	c := newCoverage(sites)
+	if s == "" {
+		return c, nil
+	}
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("explore: malformed snapshot coverage: %w", err)
+	}
+	if len(b) != 8*len(c) {
+		return nil, fmt.Errorf("explore: snapshot coverage is %d bytes, want %d", len(b), 8*len(c))
+	}
+	for i := range c {
+		var w uint64
+		for j := 7; j >= 0; j-- {
+			w = w<<8 | uint64(b[8*i+j])
+		}
+		c[i] = w
+	}
+	return c, nil
+}

@@ -1,0 +1,340 @@
+package explore_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"reclose/internal/core"
+	"reclose/internal/explore"
+	"reclose/internal/interp"
+	"reclose/internal/progs"
+)
+
+// resultDigest renders everything an interrupted-and-resumed search must
+// reproduce from an uninterrupted one: every counter except Replays and
+// ReplaySteps (resuming re-replays unit prefixes, so those two
+// legitimately differ), coverage, and every sample with its decisions.
+func resultDigest(rep *explore.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "states=%d transitions=%d paths=%d maxdepth=%d\n",
+		rep.States, rep.Transitions, rep.Paths, rep.MaxDepth)
+	fmt.Fprintf(&b, "terminated=%d deadlocks=%d violations=%d traps=%d divergences=%d depth-hits=%d sleep-prunes=%d cache-prunes=%d internal-errors=%d\n",
+		rep.Terminated, rep.Deadlocks, rep.Violations, rep.Traps, rep.Divergences,
+		rep.DepthHits, rep.SleepPrunes, rep.CachePrunes, rep.InternalErrors)
+	fmt.Fprintf(&b, "coverage=%d/%d\n", rep.OpsCovered, rep.OpsTotal)
+	for _, in := range rep.Samples {
+		fmt.Fprintf(&b, "%s depth=%d msg=%q decisions=", in.Kind, in.Depth, in.Msg)
+		for _, d := range in.Decisions {
+			fmt.Fprintf(&b, "%s;", d)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// checkpointCases are models with enough paths that checkpoint cuts land
+// mid-search.
+func checkpointCases() map[string]string {
+	return map[string]string{
+		"deadlock-prone":    progs.DeadlockProne,
+		"producer-consumer": progs.ProducerConsumer,
+		"philosophers-3":    progs.Philosophers(3),
+	}
+}
+
+// interruptOnce runs a search that checkpoints after cutPaths completed
+// paths, captures the first snapshot, and cancels the search from
+// inside the checkpoint callback; it returns the snapshot (nil if the
+// search completed before the first checkpoint fired).
+func interruptOnce(t *testing.T, src string, opt explore.Options, cutPaths int64) *explore.Snapshot {
+	t.Helper()
+	closed, _, err := core.CloseSource(src)
+	if err != nil {
+		t.Fatalf("CloseSource: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var snap *explore.Snapshot
+	opt.CheckpointEveryPaths = cutPaths
+	opt.Checkpoint = func(s *explore.Snapshot) {
+		if snap == nil {
+			snap = s
+			cancel()
+		}
+	}
+	rep, err := explore.ExploreContext(ctx, closed, opt)
+	if err != nil {
+		t.Fatalf("ExploreContext: %v", err)
+	}
+	if snap != nil && !rep.Incomplete {
+		// The cancel landed after the last path; rare but legal. The
+		// snapshot is still exact, so the equivalence check still holds.
+		t.Logf("search completed despite cancel (cut=%d)", cutPaths)
+	}
+	return snap
+}
+
+// TestInterruptResumeEquivalence is the central resilience contract: a
+// search checkpointed mid-run and resumed to completion reports the
+// same states, transitions, paths, leaf counters, coverage, and
+// incident samples (kind, message, decisions) as an uninterrupted
+// sequential run — at several cut points and worker counts. With
+// workers > 1 and small cuts, the interrupt lands while stolen units
+// are in flight on several workers (mid-steal), which is exactly the
+// torn-merge hazard this exercises.
+func TestInterruptResumeEquivalence(t *testing.T) {
+	for name, src := range checkpointCases() {
+		t.Run(name, func(t *testing.T) {
+			closed, _, err := core.CloseSource(src)
+			if err != nil {
+				t.Fatalf("CloseSource: %v", err)
+			}
+			// Selection differences between the sequential (first-N) and
+			// sorted (best-N) sample bounds are not under test here.
+			base := explore.Options{MaxIncidents: 1 << 20}
+			baseline, err := explore.Explore(closed, base)
+			if err != nil {
+				t.Fatalf("baseline Explore: %v", err)
+			}
+			want := resultDigest(baseline)
+			for _, workers := range []int{0, 2, 4} {
+				for _, cut := range []int64{1, 7, 50} {
+					opt := base
+					opt.Workers = workers
+					snap := interruptOnce(t, src, opt, cut)
+					if snap == nil {
+						continue // completed before the first checkpoint
+					}
+					// Resume with a different worker count than the
+					// interrupted run to stress work-distribution
+					// independence.
+					resumeOpt := base
+					resumeOpt.Workers = workers
+					final, err := explore.Resume(closed, snap, resumeOpt)
+					if err != nil {
+						t.Fatalf("workers=%d cut=%d: Resume: %v", workers, cut, err)
+					}
+					if final.Incomplete {
+						t.Fatalf("workers=%d cut=%d: resumed run did not complete", workers, cut)
+					}
+					if got := resultDigest(final); got != want {
+						t.Errorf("workers=%d cut=%d: resumed result diverged:\n--- got ---\n%s--- want ---\n%s",
+							workers, cut, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestResumeChain interrupts and resumes repeatedly — every hop explores
+// a handful of paths, checkpoints, and aborts — until the search
+// completes, then checks the final report against the uninterrupted
+// baseline.
+func TestResumeChain(t *testing.T) {
+	closed, _, err := core.CloseSource(progs.ProducerConsumer)
+	if err != nil {
+		t.Fatalf("CloseSource: %v", err)
+	}
+	base := explore.Options{MaxIncidents: 1 << 20}
+	baseline, err := explore.Explore(closed, base)
+	if err != nil {
+		t.Fatalf("baseline Explore: %v", err)
+	}
+	want := resultDigest(baseline)
+
+	for _, workers := range []int{0, 2} {
+		var snap *explore.Snapshot
+		var final *explore.Report
+		for hop := 0; ; hop++ {
+			if hop > 2*int(baseline.Paths)+10 {
+				t.Fatalf("workers=%d: resume chain did not converge after %d hops", workers, hop)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			opt := base
+			opt.Workers = workers
+			opt.CheckpointEveryPaths = 5
+			var hopSnap *explore.Snapshot
+			opt.Checkpoint = func(s *explore.Snapshot) {
+				if hopSnap == nil {
+					hopSnap = s
+					cancel()
+				}
+			}
+			var rep *explore.Report
+			var err error
+			if snap == nil {
+				rep, err = explore.ExploreContext(ctx, closed, opt)
+			} else {
+				rep, err = explore.ResumeContext(ctx, closed, snap, opt)
+			}
+			cancel()
+			if err != nil {
+				t.Fatalf("workers=%d hop %d: %v", workers, hop, err)
+			}
+			if !rep.Incomplete {
+				final = rep
+				break
+			}
+			if hopSnap == nil {
+				t.Fatalf("workers=%d hop %d: incomplete without a snapshot", workers, hop)
+			}
+			// Round-trip every hop through the JSON encoding so the
+			// serialization itself is under test.
+			data, err := hopSnap.Encode()
+			if err != nil {
+				t.Fatalf("workers=%d hop %d: Encode: %v", workers, hop, err)
+			}
+			snap, err = explore.DecodeSnapshot(data)
+			if err != nil {
+				t.Fatalf("workers=%d hop %d: DecodeSnapshot: %v", workers, hop, err)
+			}
+		}
+		if got := resultDigest(final); got != want {
+			t.Errorf("workers=%d: chained result diverged:\n--- got ---\n%s--- want ---\n%s", workers, got, want)
+		}
+	}
+}
+
+// TestCheckpointWithoutInterrupt checks that periodic checkpoints of an
+// undisturbed search are pure observation: the final report matches a
+// checkpoint-free run, and every emitted snapshot is internally
+// consistent and itself resumable to the same result.
+func TestCheckpointWithoutInterrupt(t *testing.T) {
+	closed, _, err := core.CloseSource(progs.Philosophers(3))
+	if err != nil {
+		t.Fatalf("CloseSource: %v", err)
+	}
+	base := explore.Options{MaxIncidents: 1 << 20}
+	baseline, err := explore.Explore(closed, base)
+	if err != nil {
+		t.Fatalf("baseline Explore: %v", err)
+	}
+	want := resultDigest(baseline)
+	for _, workers := range []int{0, 3} {
+		opt := base
+		opt.Workers = workers
+		opt.CheckpointEveryPaths = 7
+		var snaps []*explore.Snapshot
+		opt.Checkpoint = func(s *explore.Snapshot) { snaps = append(snaps, s) }
+		rep, err := explore.Explore(closed, opt)
+		if err != nil {
+			t.Fatalf("workers=%d: Explore: %v", workers, err)
+		}
+		if rep.Incomplete {
+			t.Fatalf("workers=%d: checkpointed run did not complete", workers)
+		}
+		if got := resultDigest(rep); got != want {
+			t.Errorf("workers=%d: checkpointed run diverged:\n--- got ---\n%s--- want ---\n%s", workers, got, want)
+		}
+		if len(snaps) == 0 {
+			t.Fatalf("workers=%d: no checkpoints emitted (paths=%d)", workers, rep.Paths)
+		}
+		for i, s := range snaps {
+			final, err := explore.Resume(closed, s, base)
+			if err != nil {
+				t.Fatalf("workers=%d snapshot %d: Resume: %v", workers, i, err)
+			}
+			if got := resultDigest(final); got != want {
+				t.Errorf("workers=%d: resume from snapshot %d diverged:\n--- got ---\n%s--- want ---\n%s",
+					workers, i, got, want)
+			}
+		}
+	}
+}
+
+// TestCancelSnapshotResume cancels a running search via its context,
+// takes the remaining work from Report.Snapshot, and resumes it to
+// completion: the combined result must match the uninterrupted run
+// exactly (cancellation cuts land before a state is counted, so nothing
+// is counted twice).
+func TestCancelSnapshotResume(t *testing.T) {
+	closed, _, err := core.CloseSource(progs.Philosophers(3))
+	if err != nil {
+		t.Fatalf("CloseSource: %v", err)
+	}
+	// Ablations off: the unreduced space (~1000 states) is large enough
+	// that a cancellation at the 20th leaf always lands mid-search, even
+	// against the sequential engine's 64-state polling granularity.
+	base := explore.Options{MaxIncidents: 1 << 20, NoPOR: true, NoSleep: true}
+	baseline, err := explore.Explore(closed, base)
+	if err != nil {
+		t.Fatalf("baseline Explore: %v", err)
+	}
+	want := resultDigest(baseline)
+	for _, workers := range []int{0, 2} {
+		ctx, cancel := context.WithCancel(context.Background())
+		opt := base
+		opt.Workers = workers
+		var leaves atomic.Int64
+		opt.OnLeaf = func(explore.LeafKind, []interp.Event) {
+			if leaves.Add(1) == 20 {
+				cancel()
+			}
+		}
+		cut, err := explore.ExploreContext(ctx, closed, opt)
+		cancel()
+		if err != nil {
+			t.Fatalf("workers=%d: ExploreContext: %v", workers, err)
+		}
+		if !cut.Incomplete {
+			t.Fatalf("workers=%d: cancelled search not Incomplete (paths=%d of %d)",
+				workers, cut.Paths, baseline.Paths)
+		}
+		if cut.Cause != explore.StopCancelled {
+			t.Errorf("workers=%d: Cause = %s, want %s", workers, cut.Cause, explore.StopCancelled)
+		}
+		snap := cut.Snapshot()
+		if snap == nil {
+			t.Fatalf("workers=%d: Incomplete report has no snapshot", workers)
+		}
+		final, err := explore.Resume(closed, snap, base)
+		if err != nil {
+			t.Fatalf("workers=%d: Resume: %v", workers, err)
+		}
+		if final.Incomplete {
+			t.Fatalf("workers=%d: resumed run did not complete", workers)
+		}
+		if got := resultDigest(final); got != want {
+			t.Errorf("workers=%d: cancel+resume result diverged:\n--- got ---\n%s--- want ---\n%s",
+				workers, got, want)
+		}
+	}
+}
+
+// TestSnapshotValidation checks that structurally bad snapshots are
+// rejected with an error instead of corrupting a resumed search.
+func TestSnapshotValidation(t *testing.T) {
+	snap := interruptOnce(t, progs.DeadlockProne, explore.Options{}, 1)
+	if snap == nil {
+		t.Fatal("no snapshot captured")
+	}
+
+	if _, err := explore.DecodeSnapshot([]byte("{")); err == nil {
+		t.Error("DecodeSnapshot accepted truncated JSON")
+	}
+
+	data, err := snap.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	bad := strings.Replace(string(data), `"version": 1`, `"version": 99`, 1)
+	if !strings.Contains(string(data), `"version": 1`) {
+		t.Fatalf("encoded snapshot carries no version field:\n%s", data)
+	}
+	if _, err := explore.DecodeSnapshot([]byte(bad)); err == nil {
+		t.Error("DecodeSnapshot accepted version 99")
+	}
+
+	// A snapshot only resumes against the program that produced it.
+	other, _, err := core.CloseSource(progs.ProducerConsumer)
+	if err != nil {
+		t.Fatalf("CloseSource: %v", err)
+	}
+	if _, err := explore.Resume(other, snap, explore.Options{}); err == nil {
+		t.Error("Resume accepted a snapshot from a different program")
+	}
+}

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -8,6 +9,21 @@ import (
 
 	"reclose/internal/interp"
 )
+
+// ReplayMismatchError reports a divergence between a recorded decision
+// prefix and the behavior observed while re-executing it — which
+// indicates nondeterminism outside the recorded decisions, or a stale
+// or corrupted checkpoint. The engine raises it as a panic that the
+// per-path recovery isolates into an internal-error incident, so a
+// mismatch fails only the offending work unit, never the search.
+type ReplayMismatchError struct {
+	Want string // the decision shape the replay expected
+	Got  string // what the recorded sequence held instead
+}
+
+func (e *ReplayMismatchError) Error() string {
+	return fmt.Sprintf("explore: replay mismatch (expected %s, got %s)", e.Want, e.Got)
+}
 
 // entry is one decision point on the DFS stack.
 type entry struct {
@@ -40,10 +56,14 @@ type engine struct {
 
 	// base is the decision prefix of the current work unit, replayed
 	// verbatim from the initial state before the stack decisions; empty
-	// in sequential mode and for the root unit.
+	// for the root unit.
 	base      []Decision
 	baseSched int // scheduling decisions in base
 	baseIdx   int
+	// baseSleep is the pending sleep set carried by a continuation or
+	// toss work unit: it becomes the sleep context of the first fresh
+	// state after the base replay (nil otherwise).
+	baseSleep map[int]string
 
 	stack     []*entry
 	replayIdx int
@@ -57,8 +77,29 @@ type engine struct {
 	cache   map[uint64]bool // FNV-1a fingerprint hashes (StateCache)
 	fpBuf   []byte          // fingerprint scratch
 
-	ch   interp.Chooser
-	stop bool
+	ch    interp.Chooser
+	stop  bool
+	cause StopCause
+	// midPath is set when a path was cut at a fresh, not-yet-explored
+	// state (cancellation, timeout, or budget): residualUnits then
+	// emits a continuation unit for that state's subtree.
+	midPath bool
+	// pathEnded flags that the current path's leaf has been accounted;
+	// the panic recovery uses it to avoid double-counting a path when
+	// the panic came from the OnLeaf callback.
+	pathEnded bool
+	tick      int
+
+	// Sequential-mode cancellation sources (parallel searches stop via
+	// shared instead).
+	ctx      context.Context
+	deadline time.Time
+	// Restored totals of a resumed sequential search, for the MaxStates
+	// budget and progress snapshots (the engine's own counters restart
+	// at zero; the accumulator adds them to the restored totals).
+	preStates      int64
+	preTransitions int64
+	prePaths       int64
 
 	// Parallel-mode hooks; all nil/zero in sequential mode.
 	shared *sharedState
@@ -80,25 +121,74 @@ func newEngine(sys *interp.System, opt Options, fps []map[string]bool, sites *si
 	return e
 }
 
-// reset prepares the engine for a fresh search (or work unit).
+// reset prepares the engine for a fresh search (or checkpoint round).
+// The restored pre* totals and cancellation sources survive resets;
+// they belong to the whole search.
 func (e *engine) reset() {
 	e.rep = &Report{}
 	e.covered = newCoverage(e.sites)
 	e.base = nil
 	e.baseSched = 0
+	e.baseSleep = nil
 	e.stack = e.stack[:0]
 	e.stop = false
+	e.cause = StopNone
+	e.midPath = false
+	e.pathEnded = false
 	e.start = time.Now()
 	e.lastProgress = e.start
 }
 
-// halt aborts the search: locally, and globally when running under a
-// parallel frontier.
-func (e *engine) halt() {
+// halt aborts the search with the given cause: locally, and globally
+// when running under a parallel frontier.
+func (e *engine) halt(c StopCause) {
 	e.stop = true
-	if e.shared != nil {
-		e.shared.requestStop()
+	if e.cause == StopNone {
+		e.cause = c
 	}
+	if e.shared != nil {
+		e.shared.requestStop(c)
+	}
+}
+
+// checkStop polls the stop sources that can cut a path at a fresh
+// state: the shared stop flag of a parallel search, and — sequential
+// mode — the context and wall-clock deadline, sampled every 64 states
+// to keep the hot loop cheap.
+func (e *engine) checkStop() bool {
+	if e.stop {
+		return true
+	}
+	if e.shared != nil {
+		if e.shared.stopped() {
+			e.stop = true
+			if e.cause == StopNone {
+				e.cause = e.shared.cause()
+			}
+			return true
+		}
+		return false
+	}
+	if e.ctx == nil && e.deadline.IsZero() {
+		return false
+	}
+	e.tick++
+	if e.tick&63 != 0 {
+		return false
+	}
+	if e.ctx != nil {
+		select {
+		case <-e.ctx.Done():
+			e.halt(StopCancelled)
+			return true
+		default:
+		}
+	}
+	if !e.deadline.IsZero() && time.Now().After(e.deadline) {
+		e.halt(StopTimeout)
+		return true
+	}
+	return false
 }
 
 // chooser returns the Chooser used during path execution: it replays
@@ -110,7 +200,7 @@ func (e *engine) chooser() interp.Chooser {
 		if e.baseIdx < len(e.base) {
 			d := e.base[e.baseIdx]
 			if !d.Toss {
-				panic("explore: replay mismatch (expected toss decision in prefix)")
+				panic(&ReplayMismatchError{Want: "toss decision in prefix", Got: d.String()})
 			}
 			e.baseIdx++
 			return d.Value, true
@@ -119,9 +209,8 @@ func (e *engine) chooser() interp.Chooser {
 			en := e.stack[e.replayIdx]
 			if !en.isToss {
 				// A scheduling entry where a toss was expected: the
-				// replay diverged, which indicates nondeterminism
-				// outside the recorded decisions. Fail loudly.
-				panic("explore: replay mismatch (expected toss entry)")
+				// replay diverged. The per-path recovery isolates it.
+				panic(&ReplayMismatchError{Want: "toss entry on stack", Got: "scheduling entry"})
 			}
 			e.replayIdx++
 			return en.choice(), true
@@ -150,6 +239,46 @@ func (e *engine) backtrack() bool {
 	return false
 }
 
+// runPathSafe executes one path, converting any panic — an interpreter
+// bug, a replay mismatch, a hostile checkpoint — into an isolated
+// internal-error incident carrying the offending decision prefix. Only
+// the panicking path is lost: every path re-executes from sys.Reset,
+// so a torn interpreter state cannot leak, and the DFS backtracks past
+// the failure and continues.
+func (e *engine) runPathSafe() {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		msg := panicMessage(r)
+		if e.pathEnded {
+			// The path's leaf was already accounted (the panic came
+			// from the OnLeaf callback or later): record the incident
+			// without recounting the path.
+			e.rep.InternalErrors++
+			e.noteIncident()
+			e.recordSample(LeafInternalError, msg)
+		} else {
+			e.leaf(LeafInternalError, msg)
+		}
+	}()
+	e.runPath()
+}
+
+// panicMessage renders a recovered panic value for an internal-error
+// incident.
+func panicMessage(r any) string {
+	switch v := r.(type) {
+	case error:
+		return "panic: " + v.Error()
+	case string:
+		return "panic: " + v
+	default:
+		return fmt.Sprintf("panic: %v", v)
+	}
+}
+
 // runPath (re)executes from the initial state through the base prefix
 // and the current stack decisions, then extends the path depth-first
 // until it ends.
@@ -158,7 +287,9 @@ func (e *engine) runPath() {
 	e.baseIdx = 0
 	e.replayIdx = 0
 	e.trace = e.trace[:0]
-	e.pendingSleep = nil
+	e.pendingSleep = e.baseSleep
+	e.pathEnded = false
+	e.midPath = false
 
 	if out := e.sys.Init(e.ch); out != nil {
 		e.leafOutcome(out)
@@ -171,7 +302,7 @@ func (e *engine) runPath() {
 		if e.baseIdx < len(e.base) {
 			d := e.base[e.baseIdx]
 			if d.Toss {
-				panic("explore: replay mismatch (unconsumed toss decision in prefix)")
+				panic(&ReplayMismatchError{Want: "scheduling decision in prefix", Got: d.String()})
 			}
 			e.baseIdx++
 			e.cover(d.Value)
@@ -189,7 +320,7 @@ func (e *engine) runPath() {
 		if e.replayIdx < len(e.stack) {
 			en := e.stack[e.replayIdx]
 			if en.isToss {
-				panic("explore: replay mismatch (unexpected toss entry)")
+				panic(&ReplayMismatchError{Want: "scheduling entry on stack", Got: "toss entry"})
 			}
 			e.replayIdx++
 			p := en.choice()
@@ -205,24 +336,32 @@ func (e *engine) runPath() {
 			continue
 		}
 
-		// Frontier: we are at a fresh global state.
+		// Frontier: we are at a fresh global state. A cancellation cut
+		// happens before the state is counted, so a continuation unit
+		// resuming here recounts nothing; a MaxStates cut counts the
+		// state first (the budget is "stop after visiting N states").
+		if e.checkStop() {
+			e.midPath = true
+			return
+		}
 		e.rep.States++
 		if e.shared != nil {
 			n := e.shared.states.Add(1)
 			if e.shared.maxStates > 0 && n >= e.shared.maxStates {
-				e.halt()
-				return
-			}
-			if e.shared.stopped() {
-				e.stop = true
+				e.halt(StopMaxStates)
+				e.midPath = true
 				return
 			}
 		} else {
-			if e.opt.MaxStates > 0 && e.rep.States >= e.opt.MaxStates {
-				e.stop = true
+			if e.opt.MaxStates > 0 && e.rep.States+e.preStates >= e.opt.MaxStates {
+				e.halt(StopMaxStates)
+				e.midPath = true
 				return
 			}
 			e.maybeProgress()
+		}
+		if hook := e.opt.testPanicAtState; hook != nil && hook(e.pathDecisions()) {
+			panic("injected test panic")
 		}
 		depth := e.schedDepth()
 		if depth > e.rep.MaxDepth {
@@ -308,6 +447,89 @@ func (e *engine) pathDecisions() []Decision {
 		dec = append(dec, Decision{Toss: en.isToss, Value: en.choice()})
 	}
 	return dec
+}
+
+// prepareUnit loads a claimed work unit: the unit's prefix becomes the
+// engine's replay base and its decision point (if any) the bottom stack
+// entry, positioned at the claimed option. Slicing options to from+1
+// makes the entry exhausted after that one option; earlier indices stay
+// visible so childSleep reconstructs the same sleep sets the sequential
+// search would.
+func (e *engine) prepareUnit(u *workUnit) {
+	e.base = u.prefix
+	e.baseSched = 0
+	for _, d := range u.prefix {
+		if !d.Toss {
+			e.baseSched++
+		}
+	}
+	e.stack = e.stack[:0]
+	e.baseSleep = nil
+	switch {
+	case u.root:
+		// The whole tree: nothing to replay.
+		return
+	case u.cont:
+		// A continuation unit: the prefix reaches a state whose
+		// exploration had not started when the search was cut. Carry
+		// its pending sleep set; exploration restarts there with no
+		// pre-positioned decision point.
+		e.baseSleep = u.sleep
+	default:
+		en := &entry{isToss: u.toss, options: u.options[:u.from+1], cursor: u.from}
+		if u.toss {
+			// A toss decision point: the sleep context of the
+			// interrupted step travels beside it (toss entries carry no
+			// sleep of their own).
+			e.baseSleep = u.sleep
+		} else {
+			en.objs = u.objs[:u.from+1]
+			en.sleep = u.sleep
+		}
+		e.stack = append(e.stack, en)
+	}
+	// Reaching the unit's subtree re-executes a prefix: one replay,
+	// exactly as the sequential engine counts one per backtrack.
+	e.rep.Replays++
+}
+
+// residualUnits converts the engine's unexplored remainder into work
+// units: one per stack entry with sibling options left (carrying the
+// entry's options, objects, and sleep context so whoever claims it
+// reconstructs identical sleep sets), plus a continuation unit for the
+// tip of a path that was cut mid-exploration. Together with the work
+// already counted in the engine's report, these units partition the
+// engine's assigned subtree exactly — nothing is lost, nothing is
+// explored twice.
+func (e *engine) residualUnits() []*workUnit {
+	var units []*workUnit
+	prefix := append([]Decision(nil), e.base...)
+	sleepCtx := e.baseSleep
+	for _, en := range e.stack {
+		if en.cursor+1 < len(en.options) {
+			u := &workUnit{
+				prefix:  append([]Decision(nil), prefix...),
+				options: en.options,
+				from:    en.cursor + 1,
+				toss:    en.isToss,
+			}
+			if en.isToss {
+				u.sleep = sleepCtx
+			} else {
+				u.objs = en.objs
+				u.sleep = en.sleep
+			}
+			units = append(units, u)
+		}
+		if !en.isToss {
+			sleepCtx = childSleep(en)
+		}
+		prefix = append(prefix, Decision{Toss: en.isToss, Value: en.choice()})
+	}
+	if e.midPath {
+		units = append(units, &workUnit{prefix: prefix, sleep: e.pendingSleep, cont: true})
+	}
+	return units
 }
 
 // cover records the visible-operation site process p is about to
@@ -480,12 +702,30 @@ func (e *engine) leafOutcome(out *interp.Outcome) {
 	}
 }
 
+// noteIncident bumps the shared incident counter and the
+// states-at-first-incident watermark.
+func (e *engine) noteIncident() {
+	r := e.rep
+	if e.shared != nil {
+		e.shared.incidents.Add(1)
+		if r.StatesAtFirstIncident == 0 {
+			r.StatesAtFirstIncident = e.shared.states.Load()
+		}
+	} else if r.StatesAtFirstIncident == 0 {
+		r.StatesAtFirstIncident = r.States + e.preStates
+	}
+}
+
 // leaf records the end of a path.
 func (e *engine) leaf(kind LeafKind, msg string) {
+	e.pathEnded = true
 	r := e.rep
 	r.Paths++
 	if e.shared != nil {
-		e.shared.paths.Add(1)
+		n := e.shared.paths.Add(1)
+		if e.shared.ckptEveryPaths > 0 && n%e.shared.ckptEveryPaths == 0 {
+			e.shared.requestStop(stopCheckpoint)
+		}
 	}
 	switch kind {
 	case LeafTerminated:
@@ -504,35 +744,33 @@ func (e *engine) leaf(kind LeafKind, msg string) {
 		r.SleepPrunes++
 	case LeafCachePruned:
 		r.CachePrunes++
+	case LeafInternalError:
+		r.InternalErrors++
 	}
-	interesting := kind == LeafDeadlock || kind == LeafViolation || kind == LeafTrap || kind == LeafDivergence
+	interesting := kind == LeafDeadlock || kind == LeafViolation || kind == LeafTrap ||
+		kind == LeafDivergence || kind == LeafInternalError
 	if interesting {
-		if e.shared != nil {
-			e.shared.incidents.Add(1)
-			if r.StatesAtFirstIncident == 0 {
-				r.StatesAtFirstIncident = e.shared.states.Load()
-			}
-		} else if r.StatesAtFirstIncident == 0 {
-			r.StatesAtFirstIncident = r.States
-		}
-	}
-	if interesting {
+		e.noteIncident()
 		e.recordSample(kind, msg)
 	}
-	if e.opt.OnLeaf != nil {
-		if e.leafMu != nil {
-			e.leafMu.Lock()
-		}
-		e.opt.OnLeaf(kind, e.trace)
-		if e.leafMu != nil {
-			e.leafMu.Unlock()
-		}
+	// Internal-error paths carry a partial trace and may themselves be
+	// the fallout of a panicking callback, so OnLeaf is not invoked for
+	// them. The deferred unlock keeps a panicking callback from leaving
+	// the mutex held and deadlocking the other workers.
+	if e.opt.OnLeaf != nil && kind != LeafInternalError {
+		func() {
+			if e.leafMu != nil {
+				e.leafMu.Lock()
+				defer e.leafMu.Unlock()
+			}
+			e.opt.OnLeaf(kind, e.trace)
+		}()
 	}
 	if e.opt.StopOnViolation && (kind == LeafViolation || kind == LeafTrap) {
-		e.halt()
+		e.halt(StopViolation)
 	}
-	if e.opt.StopOnIncident && interesting {
-		e.halt()
+	if e.opt.StopOnIncident && interesting && kind != LeafInternalError {
+		e.halt(StopIncident)
 	}
 }
 
@@ -578,10 +816,10 @@ func (e *engine) maybeProgress() {
 	}
 	e.lastProgress = now
 	e.opt.Progress(Stats{
-		States:      e.rep.States,
-		Transitions: e.rep.Transitions,
+		States:      e.rep.States + e.preStates,
+		Transitions: e.rep.Transitions + e.preTransitions,
 		ReplaySteps: e.rep.ReplaySteps,
-		Paths:       e.rep.Paths,
+		Paths:       e.rep.Paths + e.prePaths,
 		Incidents:   e.rep.Incidents(),
 		Workers:     0,
 		Elapsed:     now.Sub(e.start),

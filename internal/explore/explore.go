@@ -33,6 +33,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -102,6 +103,32 @@ type Options struct {
 	Progress func(Stats)
 	// ProgressEvery is the progress callback period; 0 means 1s.
 	ProgressEvery time.Duration
+
+	// Timeout bounds the search's wall-clock time; 0 means unlimited. A
+	// timed-out search drains cleanly and returns a partial Report
+	// marked Incomplete (never an error): counters cover exactly the
+	// work done, incident samples remain replayable, and the remaining
+	// frontier is available through Report.Snapshot for Resume.
+	Timeout time.Duration
+	// Checkpoint, if non-nil, receives periodic snapshots of the
+	// running search: the unexplored frontier (as decision-prefix work
+	// units) plus the merged partial counters and incident samples. A
+	// snapshot can be persisted and later passed to Resume. With
+	// Workers > 0 each checkpoint briefly drains the workers to a path
+	// boundary so the snapshot is exact.
+	Checkpoint func(*Snapshot)
+	// CheckpointEvery is the wall-clock period between checkpoints; 0
+	// disables time-based checkpointing.
+	CheckpointEvery time.Duration
+	// CheckpointEveryPaths triggers a checkpoint every N completed
+	// paths — deterministic cut points, used by tests and experiments;
+	// 0 disables.
+	CheckpointEveryPaths int64
+
+	// testPanicAtState, if non-nil, panics at every fresh state whose
+	// decision prefix it accepts: the white-box panic-injection hook of
+	// the isolation tests.
+	testPanicAtState func(decisions []Decision) bool
 }
 
 // defaultSpillDepth bounds frontier spilling when Options.SpillDepth is
@@ -148,6 +175,7 @@ const (
 	LeafDepth                       // depth bound reached
 	LeafSleepPruned                 // all enabled transitions in the sleep set
 	LeafCachePruned                 // state fingerprint already visited (StateCache)
+	LeafInternalError               // engine/interpreter panic isolated to one path
 )
 
 // String names the leaf kind.
@@ -169,6 +197,57 @@ func (k LeafKind) String() string {
 		return "sleep-pruned"
 	case LeafCachePruned:
 		return "cache-pruned"
+	case LeafInternalError:
+		return "internal-error"
+	}
+	return "unknown"
+}
+
+// leafKindFromString is the inverse of LeafKind.String, used when
+// decoding checkpoint snapshots.
+func leafKindFromString(s string) (LeafKind, bool) {
+	for k := LeafTerminated; k <= LeafInternalError; k++ {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// StopCause records why a search ended before covering the whole state
+// space (Report.Cause; StopNone for a complete search).
+type StopCause int
+
+// Stop causes.
+const (
+	StopNone      StopCause = iota // search ran to completion
+	StopMaxStates                  // Options.MaxStates budget exhausted
+	StopTimeout                    // Options.Timeout elapsed
+	StopCancelled                  // context cancelled (ExploreContext)
+	StopViolation                  // Options.StopOnViolation fired
+	StopIncident                   // Options.StopOnIncident fired
+	// stopCheckpoint is an internal round boundary of the parallel
+	// engine (periodic checkpoint drain); it never appears in a Report.
+	stopCheckpoint
+)
+
+// String names the stop cause.
+func (c StopCause) String() string {
+	switch c {
+	case StopNone:
+		return "none"
+	case StopMaxStates:
+		return "max-states"
+	case StopTimeout:
+		return "timeout"
+	case StopCancelled:
+		return "cancelled"
+	case StopViolation:
+		return "stop-on-violation"
+	case StopIncident:
+		return "stop-on-incident"
+	case stopCheckpoint:
+		return "checkpoint"
 	}
 	return "unknown"
 }
@@ -202,7 +281,17 @@ type Report struct {
 	Replays     int64 // prefix re-executions (backtracks and work-unit claims)
 	ReplaySteps int64 // transitions re-executed while replaying prefixes
 	MaxDepth    int   // deepest path seen
-	Truncated   bool  // search aborted by MaxStates or StopOnViolation
+	Truncated   bool  // search stopped early (equal to Incomplete; kept for compatibility)
+
+	// Incomplete reports that the search ended before covering the
+	// whole state space — cancelled, timed out, budget-exhausted, or
+	// stopped on an incident. The counters are still internally
+	// consistent (they cover exactly the explored work) and every
+	// incident sample replays; Snapshot returns the remaining work.
+	Incomplete bool
+	// Cause says why an Incomplete search stopped (StopNone when the
+	// search is complete).
+	Cause StopCause
 
 	// StatesAtFirstIncident is the number of states visited when the
 	// first deadlock, violation, trap, or divergence was found (0 if
@@ -218,6 +307,11 @@ type Report struct {
 	DepthHits   int64
 	SleepPrunes int64
 	CachePrunes int64
+	// InternalErrors counts paths that ended in an isolated
+	// engine/interpreter panic (LeafInternalError): the panic is
+	// recovered, recorded as an incident carrying the offending
+	// decision prefix, and only that path is lost.
+	InternalErrors int64
 
 	// Visible-operation coverage: how many of the program's visible
 	// operation sites (builtin call nodes) were executed at least once.
@@ -232,6 +326,14 @@ type Report struct {
 	WorkerStats []WorkerStat
 
 	Samples []*Incident
+
+	// pending is the unexplored remainder of an Incomplete search (work
+	// units: unclaimed frontier plus residual subtrees of in-flight
+	// paths); cov and procs carry what Snapshot needs to serialize.
+	pending []*workUnit
+	cov     coverage
+	procs   int
+	bits    int
 }
 
 // String renders the report as a one-line summary.
@@ -243,9 +345,9 @@ func (r *Report) String() string {
 }
 
 // Incidents returns the total number of deadlocks, violations, traps,
-// and divergences.
+// divergences, and internal errors.
 func (r *Report) Incidents() int64 {
-	return r.Deadlocks + r.Violations + r.Traps + r.Divergences
+	return r.Deadlocks + r.Violations + r.Traps + r.Divergences + r.InternalErrors
 }
 
 // Summary renders the one-line run summary printed by cmd/verisoft and
@@ -276,59 +378,175 @@ func (r *Report) FirstIncident(kind LeafKind) *Incident {
 // report. Options.Workers selects between the sequential engine (0) and
 // the parallel work-stealing engine (>= 1).
 func Explore(u *cfg.Unit, opt Options) (*Report, error) {
+	return ExploreContext(context.Background(), u, opt)
+}
+
+// ExploreContext is Explore under a context: cancelling ctx stops the
+// search gracefully. Workers drain at path boundaries, their partial
+// results merge exactly, and the Report comes back marked Incomplete
+// with Cause StopCancelled — never an error, never a torn merge. The
+// same applies to Options.Timeout and the MaxStates budget.
+func ExploreContext(ctx context.Context, u *cfg.Unit, opt Options) (*Report, error) {
 	opt = opt.withDefaults()
 	if opt.Workers > 0 {
-		return runParallel(u, opt)
+		return runParallel(ctx, u, opt, nil)
 	}
-	e, err := newExplorer(u, opt)
+	return runSequential(ctx, u, opt, nil)
+}
+
+// Resume continues a search from a checkpoint snapshot previously
+// produced by Options.Checkpoint or Report.Snapshot. The snapshot's
+// partial counters and incident samples carry into the final report and
+// its work units reseed the frontier. A resumed-to-completion search
+// reports the same incident set (kind and message) — and, for
+// checkpoint- or cancellation-cut runs, the same states, transitions,
+// paths, and leaf counters — as an uninterrupted run; only Replays and
+// ReplaySteps differ, because resuming re-replays unit prefixes.
+func Resume(u *cfg.Unit, snap *Snapshot, opt Options) (*Report, error) {
+	return ResumeContext(context.Background(), u, snap, opt)
+}
+
+// ResumeContext is Resume under a context; a resumed search can itself
+// be cancelled, timed out, and checkpointed again.
+func ResumeContext(ctx context.Context, u *cfg.Unit, snap *Snapshot, opt Options) (*Report, error) {
+	opt = opt.withDefaults()
+	restored, err := restoreSnapshot(u, snap)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(), nil
+	if opt.Workers > 0 {
+		return runParallel(ctx, u, opt, restored)
+	}
+	return runSequential(ctx, u, opt, restored)
 }
 
 // Explorer drives a sequential search over one system. It is a thin
-// wrapper over the DFS engine; parallel searches go through Explore
-// with Options.Workers set.
+// wrapper over the sequential driver; parallel searches go through
+// Explore with Options.Workers set.
 type Explorer struct {
-	eng *engine
+	u   *cfg.Unit
+	opt Options
 }
 
 // New returns a sequential explorer over a closed unit.
 func New(u *cfg.Unit, opt Options) (*Explorer, error) {
-	return newExplorer(u, opt.withDefaults())
-}
-
-func newExplorer(u *cfg.Unit, opt Options) (*Explorer, error) {
-	sys, err := interp.NewSystem(u)
-	if err != nil {
+	if _, err := interp.NewSystem(u); err != nil {
 		return nil, err
 	}
-	eng := newEngine(sys, opt, footprints(u), newSiteTable(u))
-	return &Explorer{eng: eng}, nil
+	return &Explorer{u: u, opt: opt.withDefaults()}, nil
 }
 
 // Run executes the depth-first search.
 func (x *Explorer) Run() *Report {
-	e := x.eng
-	e.reset()
-	if e.opt.StateCache {
+	rep, err := runSequential(context.Background(), x.u, x.opt, nil)
+	if err != nil {
+		// New already validated the unit; a failure here is a bug.
+		panic(err)
+	}
+	return rep
+}
+
+// runSequential is the sequential driver: it processes a LIFO stack of
+// work units — the whole tree as one root unit, or a restored frontier
+// — on a single engine, emitting checkpoints at path boundaries and
+// stopping gracefully on cancellation, timeout, or budget exhaustion.
+func runSequential(ctx context.Context, u *cfg.Unit, opt Options, restored *restoredState) (*Report, error) {
+	sys, err := interp.NewSystem(u)
+	if err != nil {
+		return nil, err
+	}
+	sites := newSiteTable(u)
+	e := newEngine(sys, opt, footprints(u), sites)
+	if opt.StateCache {
 		e.cache = make(map[uint64]bool)
 	}
-	for {
-		e.runPath()
-		if e.stop {
-			e.rep.Truncated = true
-			break
-		}
-		if !e.backtrack() {
-			break
-		}
-		e.rep.Replays++
+	e.ctx = ctx
+	if opt.Timeout > 0 {
+		e.deadline = time.Now().Add(opt.Timeout)
 	}
-	e.rep.OpsCovered = e.covered.count()
-	e.rep.OpsTotal = e.sites.total
-	return e.rep
+
+	acc := newAccum(opt, sites, len(u.Processes))
+	pending := []*workUnit{{root: true}}
+	if restored != nil {
+		acc.addRestored(restored)
+		pending = append([]*workUnit(nil), restored.units...)
+		e.preStates = restored.rep.States
+		e.preTransitions = restored.rep.Transitions
+		e.prePaths = restored.rep.Paths
+	}
+
+	var nextCkpt time.Time
+	if opt.Checkpoint != nil && opt.CheckpointEvery > 0 {
+		nextCkpt = time.Now().Add(opt.CheckpointEvery)
+	}
+	var nextCkptPaths int64
+	if opt.Checkpoint != nil && opt.CheckpointEveryPaths > 0 {
+		nextCkptPaths = acc.rep.Paths + opt.CheckpointEveryPaths
+	}
+
+	for len(pending) > 0 && !e.stop {
+		n := len(pending)
+		unit := pending[n-1]
+		pending = pending[:n-1]
+		// Claim-splitting, sequential flavor: explore options[from]
+		// now, its remaining siblings right after — preserving exact
+		// DFS order.
+		if unit.rest() {
+			pending = append(pending, unit.split())
+		}
+		e.prepareUnit(unit)
+		for {
+			e.runPathSafe()
+			if e.stop {
+				break
+			}
+			// A checkpoint at a path boundary is a pure read: the DFS
+			// stack plus the pending units are exactly the unexplored
+			// remainder, and the search continues untouched.
+			if opt.Checkpoint != nil {
+				paths := acc.rep.Paths + e.rep.Paths
+				due := nextCkptPaths > 0 && paths >= nextCkptPaths
+				if !due && !nextCkpt.IsZero() && time.Now().After(nextCkpt) {
+					due = true
+				}
+				if due {
+					units := append(copyUnits(pending), e.residualUnits()...)
+					opt.Checkpoint(seqSnapshot(acc, e, units))
+					if nextCkptPaths > 0 {
+						nextCkptPaths = paths + opt.CheckpointEveryPaths
+					}
+					if !nextCkpt.IsZero() {
+						nextCkpt = time.Now().Add(opt.CheckpointEvery)
+					}
+				}
+			}
+			if !e.backtrack() {
+				break
+			}
+			e.rep.Replays++
+		}
+	}
+
+	stopped := e.stop
+	cause := e.cause
+	leftover := append(copyUnits(pending), e.residualUnits()...)
+	acc.addEngine(e)
+	rep := acc.finalize(0, nil)
+	if stopped && cause != StopNone {
+		rep.Incomplete = true
+		rep.Truncated = true
+		rep.Cause = cause
+		rep.pending = leftover
+	}
+	return rep, nil
+}
+
+// copyUnits clones a unit slice (the units themselves are immutable).
+func copyUnits(units []*workUnit) []*workUnit {
+	if len(units) == 0 {
+		return nil
+	}
+	return append([]*workUnit(nil), units...)
 }
 
 // footprints computes, per process, the set of objects transitively

@@ -22,6 +22,36 @@ type workUnit struct {
 	sleep   map[int]string
 	from    int
 	root    bool // the initial unit: empty prefix, whole tree
+	// toss marks a unit whose decision point is a VS_toss rather than a
+	// scheduling choice (only produced by residualUnits — spilling
+	// happens at scheduling points). For toss units, sleep carries the
+	// pending sleep context of the interrupted step instead of the
+	// decision point's inherited sleep set.
+	toss bool
+	// cont marks a continuation unit: the prefix reaches a state whose
+	// exploration had not started when the search was cut; there is no
+	// pre-positioned decision point, and sleep is the pending sleep set
+	// of that state.
+	cont bool
+}
+
+// rest reports whether sibling options beyond from remain to be split
+// off.
+func (u *workUnit) rest() bool {
+	return !u.root && !u.cont && u.from+1 < len(u.options)
+}
+
+// split returns the unit covering this unit's remaining sibling options
+// (from+1:), to be explored independently of options[from].
+func (u *workUnit) split() *workUnit {
+	return &workUnit{
+		prefix:  u.prefix,
+		options: u.options,
+		objs:    u.objs,
+		sleep:   u.sleep,
+		from:    u.from + 1,
+		toss:    u.toss,
+	}
 }
 
 // frontierShard is one lock-sharded LIFO stack of work units. The
@@ -134,6 +164,25 @@ func (f *frontier) done() {
 	if f.inflight.Add(-1) == 0 {
 		f.wake()
 	}
+}
+
+// drain removes and returns every unit still queued on some shard,
+// retiring them from the in-flight count. It is called after all
+// workers have exited (no concurrent claims): the result is the
+// unclaimed part of the frontier at stop time, and afterwards the
+// frontier is empty and ready to be reseeded for another round.
+func (f *frontier) drain() []*workUnit {
+	var out []*workUnit
+	for i := range f.shards {
+		s := &f.shards[i]
+		s.mu.Lock()
+		out = append(out, s.units...)
+		s.units = nil
+		s.mu.Unlock()
+	}
+	f.queued.Add(-int64(len(out)))
+	f.inflight.Add(-int64(len(out)))
+	return out
 }
 
 // wake broadcasts to all sleeping workers (termination or stop).

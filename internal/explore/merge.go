@@ -1,66 +1,115 @@
 package explore
 
-import "time"
+// accum accumulates partial results — per-round engine reports, restored
+// snapshot counters — into one Report. Every counter is a plain sum,
+// coverage bitmaps are ORed, and incident samples are re-sorted under
+// the same deterministic order each engine maintained locally — so for a
+// complete (non-truncated) search the merged report is identical
+// regardless of worker count, scheduling, or how many checkpoint rounds
+// the search was cut into.
+type accum struct {
+	opt     Options
+	sites   *siteTable
+	procs   int
+	rep     Report
+	covered coverage
+	samples []*Incident
+}
 
-// merge combines the workers' partial reports into one Report. Every
-// counter is a plain sum, coverage bitmaps are ORed, and incident
-// samples are re-sorted under the same deterministic order each worker
-// maintained locally — so for a complete (non-truncated) search the
-// merged report is identical regardless of worker count or scheduling.
-func merge(workers []*worker, opt Options, shared *sharedState, sites *siteTable, wall time.Duration) *Report {
-	rep := &Report{
-		Workers:     opt.Workers,
-		WorkerStats: make([]WorkerStat, len(workers)),
-	}
-	covered := newCoverage(sites)
-	var samples []*Incident
-	for i, w := range workers {
-		r := w.eng.rep
-		rep.States += r.States
-		rep.Transitions += r.Transitions
-		rep.Paths += r.Paths
-		rep.Replays += r.Replays
-		rep.ReplaySteps += r.ReplaySteps
-		if r.MaxDepth > rep.MaxDepth {
-			rep.MaxDepth = r.MaxDepth
-		}
-		rep.Terminated += r.Terminated
-		rep.Deadlocks += r.Deadlocks
-		rep.Violations += r.Violations
-		rep.Traps += r.Traps
-		rep.Divergences += r.Divergences
-		rep.DepthHits += r.DepthHits
-		rep.SleepPrunes += r.SleepPrunes
-		rep.CachePrunes += r.CachePrunes
-		if r.StatesAtFirstIncident > 0 &&
-			(rep.StatesAtFirstIncident == 0 || r.StatesAtFirstIncident < rep.StatesAtFirstIncident) {
-			rep.StatesAtFirstIncident = r.StatesAtFirstIncident
-		}
-		covered.or(w.eng.covered)
-		samples = append(samples, r.Samples...)
-		busy := w.busy
-		util := 0.0
-		if wall > 0 {
-			util = float64(busy) / float64(wall)
-		}
-		rep.WorkerStats[i] = WorkerStat{
-			Units:       w.units,
-			States:      r.States,
-			Paths:       r.Paths,
-			Busy:        busy,
-			Utilization: util,
-		}
-	}
-	rep.Truncated = shared.stopped()
-	rep.OpsCovered = covered.count()
-	rep.OpsTotal = sites.total
+func newAccum(opt Options, sites *siteTable, procs int) *accum {
+	return &accum{opt: opt, sites: sites, procs: procs, covered: newCoverage(sites)}
+}
 
-	// Each worker kept its MaxIncidents best samples under sampleLess,
-	// so the global best MaxIncidents are all present in the union.
+// clone returns an independent copy, used to assemble mid-run snapshots
+// without disturbing the live accumulator.
+func (a *accum) clone() *accum {
+	b := &accum{opt: a.opt, sites: a.sites, procs: a.procs, rep: a.rep}
+	b.covered = newCoverage(a.sites)
+	b.covered.or(a.covered)
+	b.samples = append([]*Incident(nil), a.samples...)
+	return b
+}
+
+// add sums a partial report's counters (not its samples) into the
+// accumulator.
+func (a *accum) add(r *Report) {
+	t := &a.rep
+	t.States += r.States
+	t.Transitions += r.Transitions
+	t.Paths += r.Paths
+	t.Replays += r.Replays
+	t.ReplaySteps += r.ReplaySteps
+	if r.MaxDepth > t.MaxDepth {
+		t.MaxDepth = r.MaxDepth
+	}
+	t.Terminated += r.Terminated
+	t.Deadlocks += r.Deadlocks
+	t.Violations += r.Violations
+	t.Traps += r.Traps
+	t.Divergences += r.Divergences
+	t.DepthHits += r.DepthHits
+	t.SleepPrunes += r.SleepPrunes
+	t.CachePrunes += r.CachePrunes
+	t.InternalErrors += r.InternalErrors
+	if r.StatesAtFirstIncident > 0 &&
+		(t.StatesAtFirstIncident == 0 || r.StatesAtFirstIncident < t.StatesAtFirstIncident) {
+		t.StatesAtFirstIncident = r.StatesAtFirstIncident
+	}
+}
+
+// addEngine folds one engine's partial report, coverage, and samples in.
+func (a *accum) addEngine(e *engine) {
+	a.add(e.rep)
+	a.covered.or(e.covered)
+	a.samples = append(a.samples, e.rep.Samples...)
+}
+
+// addRestored folds a restored snapshot's counters, coverage, and
+// samples in.
+func (a *accum) addRestored(rs *restoredState) {
+	a.add(rs.rep)
+	a.covered.or(rs.covered)
+	a.samples = append(a.samples, rs.rep.Samples...)
+}
+
+// finalize produces the merged Report. Each engine kept its MaxIncidents
+// best samples under sampleLess, so the global best MaxIncidents are all
+// present in the union.
+func (a *accum) finalize(workers int, stats []WorkerStat) *Report {
+	rep := a.rep
+	rep.Workers = workers
+	rep.WorkerStats = stats
+	rep.OpsCovered = a.covered.count()
+	rep.OpsTotal = a.sites.total
+	samples := append([]*Incident(nil), a.samples...)
 	sortSamples(samples)
-	if len(samples) > opt.MaxIncidents {
-		samples = samples[:opt.MaxIncidents]
+	samples = dedupeSamples(samples)
+	if len(samples) > a.opt.MaxIncidents {
+		samples = samples[:a.opt.MaxIncidents]
 	}
 	rep.Samples = samples
-	return rep
+	rep.cov = a.covered
+	rep.procs = a.procs
+	rep.bits = a.sites.bits
+	return &rep
+}
+
+// dedupeSamples removes adjacent duplicates (same kind, message, depth,
+// and decision sequence) from a sorted sample list. Duplicates cannot
+// arise within one search — every path has a unique decision sequence —
+// but a stale or hand-edited snapshot could replay one, and the merge
+// must stay a set union.
+func dedupeSamples(s []*Incident) []*Incident {
+	out := s[:0]
+	for _, in := range s {
+		if n := len(out); n > 0 {
+			p := out[n-1]
+			if p.Kind == in.Kind && p.Msg == in.Msg && p.Depth == in.Depth &&
+				compareDecisions(p.Decisions, in.Decisions) == 0 {
+				continue
+			}
+		}
+		out = append(out, in)
+	}
+	return out
 }

@@ -1,0 +1,165 @@
+package explore_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"reclose/internal/core"
+	"reclose/internal/explore"
+	"reclose/internal/interp"
+	"reclose/internal/progs"
+)
+
+// leafSum adds up every per-kind path counter; it must equal Paths on
+// any report, partial or complete.
+func leafSum(rep *explore.Report) int64 {
+	return rep.Terminated + rep.Deadlocks + rep.Violations + rep.Traps +
+		rep.Divergences + rep.DepthHits + rep.SleepPrunes + rep.CachePrunes +
+		rep.InternalErrors
+}
+
+// replaySamples re-executes every recorded sample and checks it ends in
+// the recorded leaf kind with the recorded message.
+func replaySamples(t *testing.T, rep *explore.Report, src string) {
+	t.Helper()
+	closed, _, err := core.CloseSource(src)
+	if err != nil {
+		t.Fatalf("CloseSource: %v", err)
+	}
+	for i, in := range rep.Samples {
+		sys, out, err := explore.Replay(closed, in.Decisions, nil)
+		if err != nil {
+			t.Errorf("sample %d (%s): Replay: %v", i, in.Kind, err)
+			continue
+		}
+		switch in.Kind {
+		case explore.LeafDeadlock:
+			if out != nil {
+				t.Errorf("sample %d: deadlock replay ended with outcome %v", i, out)
+			} else if !sys.Deadlocked() {
+				t.Errorf("sample %d: deadlock replay did not reach a deadlocked state", i)
+			}
+		case explore.LeafViolation, explore.LeafTrap, explore.LeafDivergence:
+			if out == nil {
+				t.Errorf("sample %d: %s replay produced no outcome", i, in.Kind)
+			} else if out.Msg != in.Msg {
+				t.Errorf("sample %d: replay message = %q, recorded %q", i, out.Msg, in.Msg)
+			}
+		}
+	}
+}
+
+// TestMaxStatesPartialReport checks that exhausting the MaxStates
+// budget yields a graceful partial report at every worker count: no
+// error, Incomplete with the right cause, internally consistent
+// counters, replayable samples, and a snapshot of the remaining work.
+func TestMaxStatesPartialReport(t *testing.T) {
+	src := progs.Philosophers(3)
+	closed, _, err := core.CloseSource(src)
+	if err != nil {
+		t.Fatalf("CloseSource: %v", err)
+	}
+	for _, workers := range []int{0, 2} {
+		rep, err := explore.Explore(closed, explore.Options{Workers: workers, MaxStates: 40})
+		if err != nil {
+			t.Fatalf("workers=%d: Explore: %v", workers, err)
+		}
+		if !rep.Incomplete || !rep.Truncated {
+			t.Fatalf("workers=%d: budget-cut report not Incomplete: %s", workers, rep)
+		}
+		if rep.Cause != explore.StopMaxStates {
+			t.Errorf("workers=%d: Cause = %s, want %s", workers, rep.Cause, explore.StopMaxStates)
+		}
+		if rep.States < 40 {
+			t.Errorf("workers=%d: states = %d, want >= MaxStates", workers, rep.States)
+		}
+		if got, want := leafSum(rep), rep.Paths; got != want {
+			t.Errorf("workers=%d: leaf counters sum to %d, Paths = %d", workers, got, want)
+		}
+		if rep.Snapshot() == nil {
+			t.Errorf("workers=%d: Incomplete report has no snapshot", workers)
+		}
+		replaySamples(t, rep, src)
+	}
+}
+
+// TestTimeoutPartialReport checks Options.Timeout: the search drains
+// cleanly and reports a consistent partial result, and resuming its
+// snapshot (without the timeout) completes it to the uninterrupted
+// baseline.
+func TestTimeoutPartialReport(t *testing.T) {
+	src := progs.Philosophers(3)
+	closed, _, err := core.CloseSource(src)
+	if err != nil {
+		t.Fatalf("CloseSource: %v", err)
+	}
+	base := explore.Options{MaxIncidents: 1 << 20, NoPOR: true, NoSleep: true}
+	baseline, err := explore.Explore(closed, base)
+	if err != nil {
+		t.Fatalf("baseline Explore: %v", err)
+	}
+	want := resultDigest(baseline)
+	for _, workers := range []int{0, 2} {
+		// Slow the search down through the leaf callback so a short
+		// timeout reliably lands mid-run without depending on machine
+		// speed.
+		opt := base
+		opt.Workers = workers
+		opt.Timeout = 30 * time.Millisecond
+		opt.OnLeaf = func(explore.LeafKind, []interp.Event) { time.Sleep(time.Millisecond) }
+		rep, err := explore.Explore(closed, opt)
+		if err != nil {
+			t.Fatalf("workers=%d: Explore: %v", workers, err)
+		}
+		if !rep.Incomplete {
+			t.Fatalf("workers=%d: timed-out search not Incomplete (paths=%d of %d)",
+				workers, rep.Paths, baseline.Paths)
+		}
+		if rep.Cause != explore.StopTimeout {
+			t.Errorf("workers=%d: Cause = %s, want %s", workers, rep.Cause, explore.StopTimeout)
+		}
+		if got, want := leafSum(rep), rep.Paths; got != want {
+			t.Errorf("workers=%d: leaf counters sum to %d, Paths = %d", workers, got, want)
+		}
+		replaySamples(t, rep, src)
+		snap := rep.Snapshot()
+		if snap == nil {
+			t.Fatalf("workers=%d: Incomplete report has no snapshot", workers)
+		}
+		final, err := explore.Resume(closed, snap, base)
+		if err != nil {
+			t.Fatalf("workers=%d: Resume: %v", workers, err)
+		}
+		if got := resultDigest(final); got != want {
+			t.Errorf("workers=%d: timeout+resume result diverged:\n--- got ---\n%s--- want ---\n%s",
+				workers, got, want)
+		}
+	}
+}
+
+// TestPreCancelledContext checks that a context cancelled before the
+// search starts still returns a graceful (and nearly empty) partial
+// report rather than an error.
+func TestPreCancelledContext(t *testing.T) {
+	closed, _, err := core.CloseSource(progs.Philosophers(3))
+	if err != nil {
+		t.Fatalf("CloseSource: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{0, 2} {
+		opt := explore.Options{Workers: workers, NoPOR: true, NoSleep: true}
+		rep, err := explore.ExploreContext(ctx, closed, opt)
+		if err != nil {
+			t.Fatalf("workers=%d: ExploreContext: %v", workers, err)
+		}
+		if !rep.Incomplete || rep.Cause != explore.StopCancelled {
+			t.Errorf("workers=%d: report = %s cause=%s, want Incomplete/cancelled",
+				workers, rep, rep.Cause)
+		}
+		if got, want := leafSum(rep), rep.Paths; got != want {
+			t.Errorf("workers=%d: leaf counters sum to %d, Paths = %d", workers, got, want)
+		}
+	}
+}

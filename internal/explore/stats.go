@@ -23,7 +23,7 @@ type Stats struct {
 
 // sharedState holds the atomic counters shared by all workers of a
 // parallel search: the source of progress snapshots, the MaxStates
-// bound, and the global stop flag.
+// bound, and the global stop flag with its cause.
 type sharedState struct {
 	states      atomic.Int64
 	transitions atomic.Int64
@@ -32,7 +32,14 @@ type sharedState struct {
 	incidents   atomic.Int64
 
 	maxStates int64 // 0 = unbounded
-	stop      atomic.Bool
+	// ckptEveryPaths, when > 0, requests a checkpoint stop every time
+	// the shared path counter crosses a multiple of it.
+	ckptEveryPaths int64
+	stop           atomic.Bool
+	// causeVal records why the stop flag was raised (StopCause); the
+	// first requester wins. It is written before stop flips so a
+	// worker that observes the flag always reads a non-zero cause.
+	causeVal atomic.Int32
 	// wake, if non-nil, is invoked once when the stop flag flips, so
 	// workers sleeping on the frontier observe it.
 	wake func()
@@ -40,10 +47,24 @@ type sharedState struct {
 
 func (s *sharedState) stopped() bool { return s.stop.Load() }
 
-func (s *sharedState) requestStop() {
-	if s.stop.CompareAndSwap(false, true) && s.wake != nil {
-		s.wake()
+func (s *sharedState) cause() StopCause { return StopCause(s.causeVal.Load()) }
+
+// requestStop raises the stop flag with the given cause; only the first
+// cause sticks.
+func (s *sharedState) requestStop(c StopCause) {
+	if s.causeVal.CompareAndSwap(int32(StopNone), int32(c)) {
+		s.stop.Store(true)
+		if s.wake != nil {
+			s.wake()
+		}
 	}
+}
+
+// resetStop re-arms the stop flag between checkpoint rounds. It must
+// only be called while no workers or watchers are running.
+func (s *sharedState) resetStop() {
+	s.stop.Store(false)
+	s.causeVal.Store(int32(StopNone))
 }
 
 func (s *sharedState) snapshot(workers int, f *frontier, start time.Time) Stats {

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -15,14 +16,30 @@ type worker struct {
 	eng *engine
 	f   *frontier
 
-	units int64
-	busy  time.Duration
+	units  int64
+	states int64
+	paths  int64
+	busy   time.Duration
+	// residual collects the unexplored remainders of the units this
+	// worker had in flight when a round stopped; the driver reseeds or
+	// snapshots them.
+	residual []*workUnit
 }
 
-// runParallel executes a parallel work-stealing search with
-// opt.Workers workers and merges their partial reports.
-func runParallel(u *cfg.Unit, opt Options) (*Report, error) {
+// runParallel executes a parallel work-stealing search in rounds: each
+// round seeds the frontier from the pending unit list, runs the workers
+// until the frontier is exhausted or a stop cause fires, then drains
+// everything left — unclaimed units plus each worker's in-flight
+// remainder — back into the pending list. A checkpoint stop snapshots
+// the list and continues with the next round; cancellation, timeout, or
+// a budget stop finalizes the partial report with the list attached.
+// Draining to path boundaries is what makes checkpoints and partial
+// reports exact: no counter is ever sampled mid-merge.
+func runParallel(ctx context.Context, u *cfg.Unit, opt Options, restored *restoredState) (*Report, error) {
 	shared := &sharedState{maxStates: opt.MaxStates}
+	if opt.Checkpoint != nil {
+		shared.ckptEveryPaths = opt.CheckpointEveryPaths
+	}
 	f := newFrontier(opt.Workers, &shared.stop)
 	shared.wake = f.wake
 
@@ -42,26 +59,164 @@ func runParallel(u *cfg.Unit, opt Options) (*Report, error) {
 		workers[i] = &worker{id: i, eng: eng, f: f}
 	}
 
-	// Seed the search with the whole tree as one root unit.
-	f.push(0, &workUnit{root: true})
+	acc := newAccum(opt, sites, len(u.Processes))
+	pending := []*workUnit{{root: true}}
+	if restored != nil {
+		acc.addRestored(restored)
+		pending = copyUnits(restored.units)
+		// Preload the shared counters with the restored totals so the
+		// MaxStates budget, the path-based checkpoint cadence, and
+		// progress snapshots all see whole-search numbers. The final
+		// report is built from the accumulator, not these counters, so
+		// nothing is double-counted.
+		shared.states.Store(restored.rep.States)
+		shared.transitions.Store(restored.rep.Transitions)
+		shared.replaySteps.Store(restored.rep.ReplaySteps)
+		shared.paths.Store(restored.rep.Paths)
+		shared.incidents.Store(restored.rep.Incidents())
+	}
+
+	var deadline time.Time
+	if opt.Timeout > 0 {
+		deadline = time.Now().Add(opt.Timeout)
+	}
+	var nextCkpt time.Time
+	if opt.Checkpoint != nil && opt.CheckpointEvery > 0 {
+		nextCkpt = time.Now().Add(opt.CheckpointEvery)
+	}
 
 	start := time.Now()
 	stopProgress := startProgress(opt, shared, f, start)
-	var wg sync.WaitGroup
-	for _, w := range workers {
-		wg.Add(1)
-		go func(w *worker) {
-			defer wg.Done()
-			w.run()
-		}(w)
+
+	cause := StopNone
+rounds:
+	for {
+		// Pre-round gate. One-shot signals (a cancelled context, an
+		// expired deadline) are re-checked here because the stop flag is
+		// re-armed between checkpoint rounds and their edge could land
+		// while a round was draining.
+		switch {
+		case len(pending) == 0:
+			break rounds // frontier exhausted: the search is complete
+		case ctx.Err() != nil:
+			cause = StopCancelled
+			break rounds
+		case !deadline.IsZero() && !time.Now().Before(deadline):
+			cause = StopTimeout
+			break rounds
+		}
+
+		for i, un := range pending {
+			f.push(i, un)
+		}
+		pending = nil
+
+		stopWatch := startWatch(ctx, deadline, nextCkpt, shared)
+		var wg sync.WaitGroup
+		for _, w := range workers {
+			wg.Add(1)
+			go func(w *worker) {
+				defer wg.Done()
+				w.run()
+			}(w)
+		}
+		wg.Wait()
+		stopWatch()
+
+		roundCause := shared.cause() // StopNone when the round completed
+		pending = f.drain()
+		for _, w := range workers {
+			pending = append(pending, w.residual...)
+			w.residual = nil
+			w.states += w.eng.rep.States
+			w.paths += w.eng.rep.Paths
+			acc.addEngine(w.eng)
+			w.eng.reset()
+		}
+
+		switch roundCause {
+		case StopNone:
+			// Completed round; the gate above ends the loop.
+		case stopCheckpoint:
+			if opt.Checkpoint != nil {
+				opt.Checkpoint(parSnapshot(acc, pending))
+			}
+			if !nextCkpt.IsZero() {
+				nextCkpt = time.Now().Add(opt.CheckpointEvery)
+			}
+			shared.resetStop()
+		default:
+			cause = roundCause
+			break rounds
+		}
 	}
-	wg.Wait()
 	stopProgress()
 
-	return merge(workers, opt, shared, sites, time.Since(start)), nil
+	wall := time.Since(start)
+	stats := make([]WorkerStat, len(workers))
+	for i, w := range workers {
+		util := 0.0
+		if wall > 0 {
+			util = float64(w.busy) / float64(wall)
+		}
+		stats[i] = WorkerStat{
+			Units:       w.units,
+			States:      w.states,
+			Paths:       w.paths,
+			Busy:        w.busy,
+			Utilization: util,
+		}
+	}
+	rep := acc.finalize(opt.Workers, stats)
+	if cause != StopNone {
+		rep.Incomplete = true
+		rep.Truncated = true
+		rep.Cause = cause
+		rep.pending = pending
+	}
+	return rep, nil
+}
+
+// startWatch launches the round watcher, which forwards the one-shot
+// stop sources — context cancellation, the wall-clock deadline, the
+// periodic checkpoint timer — into the shared stop flag while workers
+// run. The returned function stops it.
+func startWatch(ctx context.Context, deadline, nextCkpt time.Time, shared *sharedState) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var deadlineC, ckptC <-chan time.Time
+		if !deadline.IsZero() {
+			t := time.NewTimer(time.Until(deadline))
+			defer t.Stop()
+			deadlineC = t.C
+		}
+		if !nextCkpt.IsZero() {
+			t := time.NewTimer(time.Until(nextCkpt))
+			defer t.Stop()
+			ckptC = t.C
+		}
+		select {
+		case <-done:
+		case <-ctx.Done():
+			shared.requestStop(StopCancelled)
+		case <-deadlineC:
+			shared.requestStop(StopTimeout)
+		case <-ckptC:
+			shared.requestStop(stopCheckpoint)
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
 }
 
 // run is the worker loop: claim a unit, explore its subtree, retire it.
+// When the round stops mid-unit, the unexplored remainder of the unit is
+// kept on the worker for the driver to reseed or snapshot.
 func (w *worker) run() {
 	e := w.eng
 	e.spill = func(u *workUnit) { w.f.push(w.id, u) }
@@ -74,61 +229,33 @@ func (w *worker) run() {
 		w.process(u)
 		w.busy += time.Since(t0)
 		w.units++
-		w.f.done()
 		if e.stop {
+			w.residual = append(w.residual, e.residualUnits()...)
+			w.f.done()
 			return
 		}
+		w.f.done()
 	}
 }
 
 // process explores the subtree of one claimed work unit: it splits off
 // the unit's remaining sibling options, replays the unit's prefix
 // statelessly, and DFS-es the subtree of its own option, spilling
-// shallow sibling subtrees back to the frontier as it goes.
+// shallow sibling subtrees back to the frontier as it goes. Panics are
+// isolated per path; a stop is honored at the next path boundary (or
+// mid-path at a fresh state, leaving a continuation unit behind).
 func (w *worker) process(u *workUnit) {
 	e := w.eng
 
 	// Claim-splitting: hand the remaining sibling options straight back
 	// so other workers can start on them while we replay.
-	if !u.root && u.from+1 < len(u.options) {
-		w.f.push(w.id, &workUnit{
-			prefix:  u.prefix,
-			options: u.options,
-			objs:    u.objs,
-			sleep:   u.sleep,
-			from:    u.from + 1,
-		})
+	if u.rest() {
+		w.f.push(w.id, u.split())
 	}
-
-	e.base = nil
-	e.baseSched = 0
-	e.stack = e.stack[:0]
-	if !u.root {
-		e.base = u.prefix
-		for _, d := range u.prefix {
-			if !d.Toss {
-				e.baseSched++
-			}
-		}
-		// The unit's decision point becomes the bottom stack entry,
-		// positioned at the claimed option. Slicing to from+1 makes it
-		// exhausted after this one option; earlier indices stay visible
-		// so childSleep reconstructs the same sleep sets the sequential
-		// search would.
-		e.stack = append(e.stack, &entry{
-			options: u.options[:u.from+1],
-			objs:    u.objs[:u.from+1],
-			sleep:   u.sleep,
-			cursor:  u.from,
-		})
-		// Reaching the unit's subtree re-executes a prefix: one replay,
-		// exactly as the sequential engine counts one per backtrack.
-		e.rep.Replays++
-	}
-
+	e.prepareUnit(u)
 	for {
-		e.runPath()
-		if e.stop {
+		e.runPathSafe()
+		if e.stop || e.checkStop() {
 			return
 		}
 		if !e.backtrack() {

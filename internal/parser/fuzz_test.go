@@ -1,0 +1,53 @@
+package parser
+
+import (
+	"testing"
+
+	"reclose/internal/ast"
+	"reclose/internal/progs"
+)
+
+// FuzzParser checks two properties on arbitrary input: the parser never
+// panics (errors are values), and accepted programs survive a
+// print/re-parse round trip — Format(Parse(src)) re-parses, and
+// formatting the re-parse reproduces the same text (the printer is a
+// fixpoint over the parser). This is the classic front-end soundness
+// property: whatever the parser accepts, the printer can reproduce.
+func FuzzParser(f *testing.F) {
+	for _, seed := range []string{
+		progs.FigureP,
+		progs.FigureQ,
+		progs.ProducerConsumer,
+		progs.DeadlockProne,
+		progs.AssertViolation,
+		progs.Router,
+		progs.Interproc,
+		progs.Forwarder,
+		progs.Philosophers(3),
+		"",
+		"proc p() { var x = 0; while (1) { x = x + 1; } }",
+		"chan c[2]; env chan c; proc p() { var v; receive(c, v); }",
+		"sem s = 1; proc p() { wait(s); signal(s); }",
+		"proc p() { if (VS_toss(2) == 1) { VS_assert(0); } }",
+		"proc p() { }",
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, src []byte) {
+		prog, err := Parse(src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if prog == nil {
+			t.Fatal("Parse returned nil program and nil error")
+		}
+		printed := ast.Format(prog)
+		again, err := Parse([]byte(printed))
+		if err != nil {
+			t.Fatalf("re-parse of formatted program failed: %v\n--- formatted ---\n%s", err, printed)
+		}
+		if got := ast.Format(again); got != printed {
+			t.Fatalf("format not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", printed, got)
+		}
+	})
+}

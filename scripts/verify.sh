@@ -1,12 +1,15 @@
 #!/bin/sh
-# Tier-1 verification: build, vet, full tests, plus a race-detector leg
-# over the packages with real concurrency (the parallel exploration
-# engine and the interpreter it runs on).
+# Tier-1 verification: build, vet, full tests, a race-detector leg over
+# the packages with real concurrency (the parallel exploration engine,
+# its checkpoint/resume tests, and the interpreter it runs on), and a
+# short fuzz smoke over the front end (5s per target).
 set -eux
 
 cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
-go test ./...
-go test -race ./internal/explore/... ./internal/interp/...
+go test -timeout=10m ./...
+go test -timeout=10m -race ./internal/explore/... ./internal/interp/...
+go test -fuzz=FuzzLexer -fuzztime=5s ./internal/lexer/
+go test -fuzz=FuzzParser -fuzztime=5s ./internal/parser/
