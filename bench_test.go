@@ -18,6 +18,7 @@ import (
 	"reclose/internal/core"
 	"reclose/internal/explore"
 	"reclose/internal/fiveess"
+	"reclose/internal/interp"
 	"reclose/internal/mgenv"
 	"reclose/internal/parser"
 	"reclose/internal/progs"
@@ -227,19 +228,29 @@ func BenchmarkFiveESSExplore(b *testing.B) {
 // single-core machine the rows cost roughly the same wall time.
 func BenchmarkParallelExplore(b *testing.B) {
 	closed := mustCloseB(b, fiveess.Source(fiveess.Scale("medium")))
+	run := func(b *testing.B, workers int, snapshot bool) {
+		var trans, replayed int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep := exploreB(b, closed, explore.Options{
+				MaxDepth: 500, MaxStates: 20000, Workers: workers,
+				SnapshotSpill: snapshot,
+			})
+			trans = rep.Transitions
+			replayed = rep.ReplaySteps
+		}
+		b.ReportMetric(float64(trans), "transitions")
+		b.ReportMetric(float64(replayed), "replaysteps")
+	}
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			var trans, replayed int64
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				rep := exploreB(b, closed, explore.Options{
-					MaxDepth: 500, MaxStates: 20000, Workers: workers,
-				})
-				trans = rep.Transitions
-				replayed = rep.ReplaySteps
-			}
-			b.ReportMetric(float64(trans), "transitions")
-			b.ReportMetric(float64(replayed), "replayed")
+			run(b, workers, false)
+		})
+	}
+	for _, workers := range []int{2, 4} {
+		b.Run(fmt.Sprintf("snapshot/workers=%d", workers), func(b *testing.B) {
+			run(b, workers, true)
 		})
 	}
 }
@@ -301,8 +312,14 @@ func BenchmarkParse(b *testing.B) {
 	}
 }
 
-// BenchmarkInterpreter measures raw interpretation speed: one full
-// exploration of a deterministic recursive workload.
+// BenchmarkInterpreter measures raw interpretation speed on a
+// deterministic recursive workload. The slot row drives the
+// slot-resolved interpreter directly (variables pre-resolved to dense
+// frame indices at compile time); the stringmap row drives the
+// reference interpreter, which looks every variable up in a per-frame
+// map — the before/after of the slot-resolution optimization. The
+// explore row keeps the historical measurement through the full
+// exploration engine.
 func BenchmarkInterpreter(b *testing.B) {
 	src := `
 chan out[2];
@@ -328,12 +345,88 @@ process main;
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		rep := exploreB(b, unit, explore.Options{})
-		if rep.Traps != 0 {
-			b.Fatal("trap")
+	ch := interp.ChooserFunc(func(bound int) (int, bool) { return 0, true })
+
+	b.Run("slot", func(b *testing.B) {
+		sys, err := interp.NewSystem(unit)
+		if err != nil {
+			b.Fatal(err)
 		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sys.Reset()
+			if out := sys.Init(ch); out != nil {
+				b.Fatal(out.Msg)
+			}
+			for !sys.AllTerminated() {
+				if _, out := sys.Step(0, ch); out != nil {
+					b.Fatal(out.Msg)
+				}
+			}
+		}
+	})
+	b.Run("stringmap", func(b *testing.B) {
+		sys, err := interp.NewRefSystem(unit)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sys.Reset()
+			if out := sys.Init(ch); out != nil {
+				b.Fatal(out.Msg)
+			}
+			for !sys.AllTerminated() {
+				if _, out := sys.Step(0, ch); out != nil {
+					b.Fatal(out.Msg)
+				}
+			}
+		}
+	})
+	b.Run("explore", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rep := exploreB(b, unit, explore.Options{})
+			if rep.Traps != 0 {
+				b.Fatal("trap")
+			}
+		}
+	})
+}
+
+// BenchmarkForkVsReplay compares the two ways a parallel worker reaches
+// a claimed subtree on a deep 5ESS workload: re-executing the unit's
+// decision prefix from the initial state (replay) versus forking the
+// snapshot the spiller attached (snapshot, Options.SnapshotSpill). The
+// replaysteps metric is the per-run total of re-executed prefix
+// transitions — the work the optimization removes; the explored tree
+// (transitions) is identical in both rows.
+func BenchmarkForkVsReplay(b *testing.B) {
+	closed := mustCloseB(b, fiveess.Source(fiveess.Scale("medium")))
+	opt := explore.Options{MaxDepth: 2000, MaxStates: 20000, Workers: 2, SpillDepth: 64}
+	for _, mode := range []struct {
+		name string
+		snap bool
+	}{
+		{"replay", false},
+		{"snapshot", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			o := opt
+			o.SnapshotSpill = mode.snap
+			var replayed, trans int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep := exploreB(b, closed, o)
+				replayed = rep.ReplaySteps
+				trans = rep.Transitions
+			}
+			b.ReportMetric(float64(replayed), "replaysteps")
+			b.ReportMetric(float64(trans), "transitions")
+		})
 	}
 }
 

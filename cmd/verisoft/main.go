@@ -48,6 +48,7 @@ var (
 	shortest   = flag.Bool("shortest", false, "find a minimal-depth incident by iterative deepening instead of a full search")
 	workers    = flag.Int("workers", 0, "parallel search workers (0 = sequential, -1 = GOMAXPROCS)")
 	spillDepth = flag.Int("spill-depth", 0, "depth above which workers spill sibling subtrees to the shared frontier (0 = default 16)")
+	snapSpill  = flag.Bool("snapshot-spill", false, "attach state snapshots to spilled work units so claimers skip prefix replay (parallel engine only)")
 	progress   = flag.Duration("progress", 0, "print progress lines at this interval (0 = off)")
 
 	timeout   = flag.Duration("timeout", 0, "wall-clock budget for the search; on expiry the partial result is reported (0 = unlimited)")
@@ -96,6 +97,7 @@ func run() (int, error) {
 		MaxIncidents:    *samples,
 		Workers:         *workers,
 		SpillDepth:      *spillDepth,
+		SnapshotSpill:   *snapSpill,
 		Timeout:         *timeout,
 	}
 	if *progress > 0 {

@@ -38,6 +38,11 @@ type Object interface {
 	// and returns the extended slice; it is the allocation-free form
 	// used on the explorer's hot path.
 	AppendFingerprint(dst []byte) []byte
+	// Clone returns an independent deep copy of the object for state
+	// snapshots (System.Fork). Payloads are opaque here, so the caller
+	// supplies copyPayload to duplicate each stored value; mutations of
+	// either copy never affect the other.
+	Clone(copyPayload func(any) any) Object
 }
 
 // Chan is a bounded FIFO buffer. An env-facing stub channel (left behind
@@ -110,8 +115,26 @@ func (c *Chan) Recv() (v any, stub bool, err error) {
 // Len returns the current queue length.
 func (c *Chan) Len() int { return len(c.q) }
 
-// Reset implements Object.
-func (c *Chan) Reset() { c.q = nil }
+// Reset implements Object. The queue's backing array is retained so a
+// Reset/replay cycle does not reallocate it.
+func (c *Chan) Reset() {
+	for i := range c.q {
+		c.q[i] = nil
+	}
+	c.q = c.q[:0]
+}
+
+// Clone implements Object.
+func (c *Chan) Clone(copyPayload func(any) any) Object {
+	nc := &Chan{name: c.name, capacity: c.capacity, envFacing: c.envFacing}
+	if len(c.q) > 0 {
+		nc.q = make([]any, len(c.q))
+		for i, v := range c.q {
+			nc.q[i] = copyPayload(v)
+		}
+	}
+	return nc
+}
 
 // Fingerprint implements Object.
 func (c *Chan) Fingerprint() string { return string(c.AppendFingerprint(nil)) }
@@ -182,6 +205,12 @@ func (s *Sem) Count() int64 { return s.count }
 // Reset implements Object.
 func (s *Sem) Reset() { s.count = s.initial }
 
+// Clone implements Object.
+func (s *Sem) Clone(copyPayload func(any) any) Object {
+	ns := *s
+	return &ns
+}
+
 // Fingerprint implements Object.
 func (s *Sem) Fingerprint() string { return string(s.AppendFingerprint(nil)) }
 
@@ -221,6 +250,16 @@ func (s *Shared) Write(v any) { s.v = v }
 
 // Reset implements Object.
 func (s *Shared) Reset() { s.v = s.initial }
+
+// Clone implements Object.
+func (s *Shared) Clone(copyPayload func(any) any) Object {
+	ns := &Shared{name: s.name, initial: s.initial}
+	ns.v = s.v
+	if s.v != nil {
+		ns.v = copyPayload(s.v)
+	}
+	return ns
+}
 
 // Fingerprint implements Object.
 func (s *Shared) Fingerprint() string { return string(s.AppendFingerprint(nil)) }

@@ -65,7 +65,10 @@ type snapDecision struct {
 }
 
 // snapUnit is one serialized work unit. Sleep keys are process indices
-// rendered as decimal strings (JSON object keys must be strings).
+// rendered as decimal strings (JSON object keys must be strings). The
+// in-memory snapshot of a SnapshotSpill unit (workUnit.snap) is
+// deliberately not serialized: the decision prefix alone reconstructs
+// the unit's state, so restored units simply replay.
 type snapUnit struct {
 	Prefix  []snapDecision    `json:"prefix,omitempty"`
 	Options []int             `json:"options,omitempty"`

@@ -72,10 +72,20 @@ type engine struct {
 	// entry (computed when its parent's option was executed).
 	pendingSleep map[int]string
 
+	// snapRoot, when the claimed unit carries a snapshot
+	// (Options.SnapshotSpill), is the forked system pinned at the unit's
+	// decision point: every runPath forks it again instead of replaying
+	// the base prefix from the initial state, and snapTrace seeds the
+	// visible trace with the prefix events. Both nil in replay mode.
+	snapRoot  *interp.System
+	snapTrace []interp.Event
+
 	rep     *Report
 	covered coverage
 	cache   map[uint64]bool // FNV-1a fingerprint hashes (StateCache)
 	fpBuf   []byte          // fingerprint scratch
+	enBuf   []int           // enabled-process scratch (scheduleOptions)
+	dec     decisionArena   // spill-prefix allocator
 
 	ch    interp.Chooser
 	stop  bool
@@ -130,6 +140,8 @@ func (e *engine) reset() {
 	e.base = nil
 	e.baseSched = 0
 	e.baseSleep = nil
+	e.snapRoot = nil
+	e.snapTrace = nil
 	e.stack = e.stack[:0]
 	e.stop = false
 	e.cause = StopNone
@@ -281,19 +293,29 @@ func panicMessage(r any) string {
 
 // runPath (re)executes from the initial state through the base prefix
 // and the current stack decisions, then extends the path depth-first
-// until it ends.
+// until it ends. When the claimed unit carries a snapshot, the base
+// prefix is restored by forking the snapshot instead of re-executing it
+// — the path starts directly at the unit's decision point.
 func (e *engine) runPath() {
-	e.sys.Reset()
-	e.baseIdx = 0
+	if e.snapRoot != nil {
+		e.sys = e.snapRoot.Fork()
+		e.baseIdx = len(e.base)
+		e.trace = append(e.trace[:0], e.snapTrace...)
+	} else {
+		e.sys.Reset()
+		e.baseIdx = 0
+		e.trace = e.trace[:0]
+	}
 	e.replayIdx = 0
-	e.trace = e.trace[:0]
 	e.pendingSleep = e.baseSleep
 	e.pathEnded = false
 	e.midPath = false
 
-	if out := e.sys.Init(e.ch); out != nil {
-		e.leafOutcome(out)
-		return
+	if e.snapRoot == nil {
+		if out := e.sys.Init(e.ch); out != nil {
+			e.leafOutcome(out)
+			return
+		}
 	}
 
 	for {
@@ -308,7 +330,7 @@ func (e *engine) runPath() {
 			e.cover(d.Value)
 			ev, out := e.sys.Step(d.Value, e.ch)
 			e.noteReplayStep()
-			e.trace = append(e.trace, ev)
+			e.pushTrace(ev)
 			if out != nil {
 				e.leafOutcome(out)
 				return
@@ -328,7 +350,7 @@ func (e *engine) runPath() {
 			e.cover(p)
 			ev, out := e.sys.Step(p, e.ch)
 			e.noteReplayStep()
-			e.trace = append(e.trace, ev)
+			e.pushTrace(ev)
 			if out != nil {
 				e.leafOutcome(out)
 				return
@@ -401,13 +423,21 @@ func (e *engine) runPath() {
 			// keep only the first option locally. The spilled unit
 			// carries the full option/object arrays so sleep sets are
 			// recomputed identically by whichever worker claims it.
-			e.spill(&workUnit{
-				prefix:  e.pathDecisions(),
+			u := &workUnit{
+				prefix:  e.appendPathDecisions(e.dec.alloc(len(e.base) + len(e.stack))),
 				options: options,
 				objs:    objs,
 				sleep:   e.pendingSleep,
 				from:    1,
-			})
+			}
+			if e.opt.SnapshotSpill {
+				// Fork the state at this decision point — before stepping
+				// the locally kept option — so claimers of the sibling
+				// subtrees resume here without replaying the prefix.
+				u.snap = e.sys.Fork()
+				u.traceSnap = append([]interp.Event(nil), e.trace...)
+			}
+			e.spill(u)
 			en.options = options[:1]
 			en.objs = objs[:1]
 		}
@@ -422,12 +452,23 @@ func (e *engine) runPath() {
 		}
 		e.cover(p)
 		ev, out := e.sys.Step(p, e.ch)
-		e.trace = append(e.trace, ev)
+		e.pushTrace(ev)
 		if out != nil {
 			e.leafOutcome(out)
 			return
 		}
 	}
+}
+
+// pushTrace appends a visible event to the current path's trace,
+// freezing its value with a deep copy first. Event values can alias
+// live cell storage (an array element received into a frame, say), and
+// a later in-place store through that cell would retroactively rewrite
+// the recorded event; freezing keeps recorded traces — and the
+// traceSnap slices snapshots share between workers — immutable.
+func (e *engine) pushTrace(ev interp.Event) {
+	ev.Value = ev.Value.Copy()
+	e.trace = append(e.trace, ev)
 }
 
 // noteReplayStep accounts one re-executed prefix transition.
@@ -441,12 +482,17 @@ func (e *engine) noteReplayStep() {
 // pathDecisions returns a copy of the full decision sequence of the
 // current path: the base prefix plus the current stack choices.
 func (e *engine) pathDecisions() []Decision {
-	dec := make([]Decision, 0, len(e.base)+len(e.stack))
-	dec = append(dec, e.base...)
+	return e.appendPathDecisions(make([]Decision, 0, len(e.base)+len(e.stack)))
+}
+
+// appendPathDecisions appends the current path's decision sequence to
+// dst and returns the extended slice.
+func (e *engine) appendPathDecisions(dst []Decision) []Decision {
+	dst = append(dst, e.base...)
 	for _, en := range e.stack {
-		dec = append(dec, Decision{Toss: en.isToss, Value: en.choice()})
+		dst = append(dst, Decision{Toss: en.isToss, Value: en.choice()})
 	}
-	return dec
+	return dst
 }
 
 // prepareUnit loads a claimed work unit: the unit's prefix becomes the
@@ -465,6 +511,8 @@ func (e *engine) prepareUnit(u *workUnit) {
 	}
 	e.stack = e.stack[:0]
 	e.baseSleep = nil
+	e.snapRoot = u.snap
+	e.snapTrace = u.traceSnap
 	switch {
 	case u.root:
 		// The whole tree: nothing to replay.
@@ -488,8 +536,11 @@ func (e *engine) prepareUnit(u *workUnit) {
 		}
 		e.stack = append(e.stack, en)
 	}
-	// Reaching the unit's subtree re-executes a prefix: one replay,
-	// exactly as the sequential engine counts one per backtrack.
+	// Reaching the unit's subtree restarts a path: one replay, exactly
+	// as the sequential engine counts one per backtrack. Snapshot units
+	// count here too — restoring a fork replaces the prefix
+	// re-execution, so Replays is identical across SnapshotSpill modes
+	// and only ReplaySteps (transitions re-executed) drops.
 	e.rep.Replays++
 }
 
@@ -571,7 +622,8 @@ func (e *engine) deadlockMsg() string {
 // global state: a persistent set (unless disabled) minus the sleep set,
 // together with the object each pending operation targets.
 func (e *engine) scheduleOptions() (options []int, objs []string) {
-	enabled := e.sys.EnabledProcs()
+	e.enBuf = e.sys.AppendEnabled(e.enBuf[:0])
+	enabled := e.enBuf
 	var set []int
 	if e.opt.NoPOR {
 		set = enabled

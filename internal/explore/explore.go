@@ -98,6 +98,18 @@ type Options struct {
 	// below the bound, which keeps the set of work units — and hence
 	// every merged counter — independent of worker timing.
 	SpillDepth int
+	// SnapshotSpill makes spilled work units carry a forked deep copy of
+	// the interpreter state at their decision point (parallel engine
+	// only). A worker claiming such a unit forks the snapshot and
+	// resumes at the decision point instead of re-executing the unit's
+	// decision prefix from the initial state, trading memory for replay
+	// work. The explored tree is unchanged: every merged counter and
+	// every incident sample is identical to replay mode — only
+	// ReplaySteps drops, since prefix transitions are no longer
+	// re-executed. Checkpoints still serialize decision prefixes, never
+	// snapshots, so restored units replay; sequential searches (Workers
+	// == 0) never spill and ignore the flag.
+	SnapshotSpill bool
 	// Progress, if non-nil, is invoked periodically with a snapshot of
 	// the running search's counters.
 	Progress func(Stats)

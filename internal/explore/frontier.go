@@ -3,6 +3,8 @@ package explore
 import (
 	"sync"
 	"sync/atomic"
+
+	"reclose/internal/interp"
 )
 
 // workUnit is the unit of parallel work: a decision prefix reaching a
@@ -33,6 +35,19 @@ type workUnit struct {
 	// pre-positioned decision point, and sleep is the pending sleep set
 	// of that state.
 	cont bool
+
+	// snap, when Options.SnapshotSpill is set, is a fork of the
+	// interpreter state at the unit's decision point, taken by the
+	// spilling worker. A claiming engine forks snap again and continues
+	// from it, skipping the prefix replay entirely; snap itself is
+	// never mutated and is shared by every split of the unit. traceSnap
+	// is the visible trace of the prefix (value-frozen events), seeding
+	// the claimer's trace so incident samples render identically to a
+	// replayed prefix. Both are nil for replay-mode units — residual
+	// and checkpoint-restored units always replay (checkpoints
+	// serialize prefixes, not snapshots).
+	snap      *interp.System
+	traceSnap []interp.Event
 }
 
 // rest reports whether sibling options beyond from remain to be split
@@ -45,13 +60,43 @@ func (u *workUnit) rest() bool {
 // (from+1:), to be explored independently of options[from].
 func (u *workUnit) split() *workUnit {
 	return &workUnit{
-		prefix:  u.prefix,
-		options: u.options,
-		objs:    u.objs,
-		sleep:   u.sleep,
-		from:    u.from + 1,
-		toss:    u.toss,
+		prefix:    u.prefix,
+		options:   u.options,
+		objs:      u.objs,
+		sleep:     u.sleep,
+		from:      u.from + 1,
+		toss:      u.toss,
+		snap:      u.snap,
+		traceSnap: u.traceSnap,
 	}
+}
+
+// decisionArena allocates the decision-prefix slices that spilled work
+// units publish to the frontier. Spill prefixes are immutable once
+// published and live until their unit (and every split of it) is done,
+// so the arena never recycles: it carves fixed-capacity slices out of
+// large chunks, replacing one short-lived allocation per spill with one
+// per chunk. Each engine owns a private arena — no synchronization.
+type decisionArena struct {
+	buf []Decision
+}
+
+// decisionArenaChunk is the chunk size in decisions.
+const decisionArenaChunk = 4096
+
+// alloc returns an empty slice with capacity exactly n, carved from the
+// current chunk: the full-slice expression pins the capacity so a
+// consumer appending past n can never clobber a neighboring prefix.
+func (a *decisionArena) alloc(n int) []Decision {
+	if n > decisionArenaChunk {
+		return make([]Decision, 0, n)
+	}
+	if cap(a.buf)-len(a.buf) < n {
+		a.buf = make([]Decision, 0, decisionArenaChunk)
+	}
+	off := len(a.buf)
+	a.buf = a.buf[:off+n]
+	return a.buf[off:off:(off + n)]
 }
 
 // frontierShard is one lock-sharded LIFO stack of work units. The

@@ -1,0 +1,103 @@
+package explore_test
+
+import (
+	"testing"
+
+	"reclose/internal/core"
+	"reclose/internal/explore"
+)
+
+// TestSnapshotSpillEquivalence checks the determinism contract of
+// snapshot spilling: for a complete search, every merged counter,
+// the coverage, and every incident sample (kind, message, depth,
+// decision sequence, and rendered trace) are byte-identical across
+// SnapshotSpill on/off and across worker counts {0, 2, 4} — the only
+// permitted difference is ReplaySteps, which snapshot restoration is
+// designed to reduce. It runs under the race leg of scripts/verify.sh.
+func TestSnapshotSpillEquivalence(t *testing.T) {
+	sawReduction := false
+	for name, src := range parallelCases(t) {
+		t.Run(name, func(t *testing.T) {
+			closed, _, err := core.CloseSource(src)
+			if err != nil {
+				t.Fatalf("CloseSource: %v", err)
+			}
+			seq, err := explore.Explore(closed, explore.Options{})
+			if err != nil {
+				t.Fatalf("sequential Explore: %v", err)
+			}
+			for _, workers := range []int{2, 4} {
+				replay, err := explore.Explore(closed, explore.Options{Workers: workers})
+				if err != nil {
+					t.Fatalf("Explore (workers=%d): %v", workers, err)
+				}
+				snap, err := explore.Explore(closed, explore.Options{Workers: workers, SnapshotSpill: true})
+				if err != nil {
+					t.Fatalf("Explore (workers=%d, snapshot): %v", workers, err)
+				}
+				for _, rep := range []*explore.Report{replay, snap} {
+					if got, want := rep.String(), seq.String(); got != want {
+						t.Errorf("workers=%d report mismatch:\n  got:  %s\n  want: %s", workers, got, want)
+					}
+					if rep.Terminated != seq.Terminated || rep.SleepPrunes != seq.SleepPrunes ||
+						rep.CachePrunes != seq.CachePrunes || rep.InternalErrors != seq.InternalErrors {
+						t.Errorf("workers=%d leaf counters diverge from sequential", workers)
+					}
+					if rep.OpsCovered != seq.OpsCovered || rep.OpsTotal != seq.OpsTotal {
+						t.Errorf("workers=%d coverage = %d/%d, sequential = %d/%d",
+							workers, rep.OpsCovered, rep.OpsTotal, seq.OpsCovered, seq.OpsTotal)
+					}
+					sameSamples(t, workers, rep, seq)
+				}
+				// Replays (path restarts) count identically in both
+				// modes; only the re-executed transitions may drop.
+				if snap.Replays != replay.Replays {
+					t.Errorf("workers=%d snapshot Replays = %d, replay mode = %d",
+						workers, snap.Replays, replay.Replays)
+				}
+				if snap.ReplaySteps > replay.ReplaySteps {
+					t.Errorf("workers=%d snapshot ReplaySteps = %d > replay mode %d",
+						workers, snap.ReplaySteps, replay.ReplaySteps)
+				}
+				if snap.ReplaySteps < replay.ReplaySteps {
+					sawReduction = true
+				}
+			}
+		})
+	}
+	if !sawReduction {
+		t.Errorf("snapshot spilling never reduced ReplaySteps on any workload")
+	}
+}
+
+// sameSamples asserts that a report's incident samples are identical to
+// the sequential reference, byte for byte.
+func sameSamples(t *testing.T, workers int, rep, seq *explore.Report) {
+	t.Helper()
+	if len(rep.Samples) != len(seq.Samples) {
+		t.Errorf("workers=%d sample count = %d, sequential = %d", workers, len(rep.Samples), len(seq.Samples))
+		return
+	}
+	for i, in := range rep.Samples {
+		want := seq.Samples[i]
+		if in.Kind != want.Kind || in.Msg != want.Msg || in.Depth != want.Depth {
+			t.Errorf("workers=%d sample %d header = (%s, %q, %d), sequential = (%s, %q, %d)",
+				workers, i, in.Kind, in.Msg, in.Depth, want.Kind, want.Msg, want.Depth)
+		}
+		if len(in.Decisions) != len(want.Decisions) {
+			t.Errorf("workers=%d sample %d decision length = %d, sequential = %d",
+				workers, i, len(in.Decisions), len(want.Decisions))
+			continue
+		}
+		for j := range in.Decisions {
+			if in.Decisions[j] != want.Decisions[j] {
+				t.Errorf("workers=%d sample %d decision %d = %s, sequential = %s",
+					workers, i, j, in.Decisions[j], want.Decisions[j])
+			}
+		}
+		if got, want := in.String(), want.String(); got != want {
+			t.Errorf("workers=%d sample %d rendering mismatch:\n  got:\n%s  want:\n%s",
+				workers, i, got, want)
+		}
+	}
+}

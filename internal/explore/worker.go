@@ -47,13 +47,16 @@ func runParallel(ctx context.Context, u *cfg.Unit, opt Options, restored *restor
 	sites := newSiteTable(u)
 	var leafMu sync.Mutex
 
+	// Resolve the unit once — slot assignment and code compilation are
+	// immutable — and instantiate one private System per worker from the
+	// shared Resolution.
+	res, err := interp.Resolve(u)
+	if err != nil {
+		return nil, err
+	}
 	workers := make([]*worker, opt.Workers)
 	for i := range workers {
-		sys, err := interp.NewSystem(u)
-		if err != nil {
-			return nil, err
-		}
-		eng := newEngine(sys, opt, fps, sites)
+		eng := newEngine(res.NewSystem(), opt, fps, sites)
 		eng.shared = shared
 		eng.leafMu = &leafMu
 		workers[i] = &worker{id: i, eng: eng, f: f}

@@ -1,0 +1,435 @@
+package interp_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"reclose/internal/cfg"
+	"reclose/internal/core"
+	"reclose/internal/interp"
+	"reclose/internal/randprog"
+)
+
+// This file holds the differential oracle for the slot-resolved
+// interpreter: System (compiled, slot frames) and RefSystem (the
+// original string-map implementation kept as a behavioral reference)
+// are driven in lockstep over the same unit and must agree on every
+// observable — enabled sets, termination/deadlock predicates, events,
+// outcomes, and byte-exact state fingerprints.
+
+// stepChooser returns deterministic toss outcomes as a function of its
+// own call count, so two independent instances replay the same sequence
+// as long as the two interpreters make the same sequence of toss calls
+// (which the lockstep assertions enforce indirectly).
+type stepChooser struct{ n int }
+
+func (c *stepChooser) Choose(bound int) (int, bool) {
+	c.n++
+	if bound <= 0 {
+		return 0, true
+	}
+	return (c.n * 31) % (bound + 1), true
+}
+
+func sameOutcome(a, b *interp.Outcome) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	return a.Kind == b.Kind && a.Msg == b.Msg && a.Proc == b.Proc && a.TossBound == b.TossBound
+}
+
+func outcomeStr(o *interp.Outcome) string {
+	if o == nil {
+		return "<nil>"
+	}
+	return o.String()
+}
+
+// lockstep drives both interpreters over u with an identical schedule
+// and asserts agreement at every step.
+func lockstep(t *testing.T, label string, u *cfg.Unit, maxSteps int) {
+	t.Helper()
+	sys, err := interp.NewSystem(u)
+	if err != nil {
+		t.Fatalf("%s: NewSystem: %v", label, err)
+	}
+	ref, err := interp.NewRefSystem(u)
+	if err != nil {
+		t.Fatalf("%s: NewRefSystem: %v", label, err)
+	}
+	chSys := &stepChooser{}
+	chRef := &stepChooser{}
+
+	outSys := sys.Init(chSys)
+	outRef := ref.Init(chRef)
+	if !sameOutcome(outSys, outRef) {
+		t.Fatalf("%s: Init outcome: sys=%s ref=%s", label, outcomeStr(outSys), outcomeStr(outRef))
+	}
+	if outSys != nil {
+		return
+	}
+
+	for step := 0; step < maxSteps; step++ {
+		fpSys, fpRef := sys.Fingerprint(), ref.Fingerprint()
+		if fpSys != fpRef {
+			t.Fatalf("%s: step %d: fingerprint mismatch\n sys: %s\n ref: %s", label, step, fpSys, fpRef)
+		}
+		if got, want := sys.AllTerminated(), ref.AllTerminated(); got != want {
+			t.Fatalf("%s: step %d: AllTerminated sys=%v ref=%v", label, step, got, want)
+		}
+		if got, want := sys.Deadlocked(), ref.Deadlocked(); got != want {
+			t.Fatalf("%s: step %d: Deadlocked sys=%v ref=%v", label, step, got, want)
+		}
+		enSys, enRef := sys.EnabledProcs(), ref.EnabledProcs()
+		if fmt.Sprint(enSys) != fmt.Sprint(enRef) {
+			t.Fatalf("%s: step %d: enabled sys=%v ref=%v", label, step, enSys, enRef)
+		}
+		for i := range sys.Procs {
+			pSys, nSys := sys.Procs[i].At()
+			pRef, nRef := ref.Procs[i].At()
+			if pSys != pRef || nSys != nRef {
+				t.Fatalf("%s: step %d: P%d at sys=%s@n%d ref=%s@n%d", label, step, i, pSys, nSys, pRef, nRef)
+			}
+			opSys, objSys, okSys := sys.Procs[i].PendingOp()
+			opRef, objRef, okRef := ref.Procs[i].PendingOp()
+			if opSys != opRef || objSys != objRef || okSys != okRef {
+				t.Fatalf("%s: step %d: P%d pending sys=(%s,%s,%v) ref=(%s,%s,%v)",
+					label, step, i, opSys, objSys, okSys, opRef, objRef, okRef)
+			}
+		}
+		if len(enSys) == 0 {
+			return
+		}
+		pick := enSys[step%len(enSys)]
+		evSys, oSys := sys.Step(pick, chSys)
+		evRef, oRef := ref.Step(pick, chRef)
+		if evSys.String() != evRef.String() || evSys.Stub != evRef.Stub {
+			t.Fatalf("%s: step %d: event sys=%s(stub=%v) ref=%s(stub=%v)",
+				label, step, evSys, evSys.Stub, evRef, evRef.Stub)
+		}
+		if !sameOutcome(oSys, oRef) {
+			t.Fatalf("%s: step %d: outcome sys=%s ref=%s", label, step, outcomeStr(oSys), outcomeStr(oRef))
+		}
+		if oSys != nil {
+			return
+		}
+	}
+}
+
+// TestDifferentialRandomPrograms runs the lockstep oracle over closed
+// random programs from internal/randprog.
+func TestDifferentialRandomPrograms(t *testing.T) {
+	n := 150
+	if testing.Short() {
+		n = 30
+	}
+	for seed := 0; seed < n; seed++ {
+		r := rand.New(rand.NewSource(int64(seed)))
+		src := randprog.Generate(r, randprog.Config{Processes: 2 + seed%2, Helpers: seed % 3})
+		closed, _, err := core.CloseSource(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		lockstep(t, fmt.Sprintf("seed %d", seed), closed, 400)
+	}
+}
+
+// TestDifferentialHandwritten covers constructs the random generator
+// exercises rarely or never: pointers across frames, array aliasing,
+// every communication object kind, recursion, and each trap class.
+func TestDifferentialHandwritten(t *testing.T) {
+	for _, tc := range []struct{ name, src string }{
+		{"pointers", `
+chan out[16];
+proc bump(p) {
+    *p = *p + 1;
+}
+proc main() {
+    var a[3];
+    var i;
+    for (i = 0; i < 3; i = i + 1) {
+        a[i] = i * 10;
+    }
+    var q = &a[1];
+    *q = *q + 5;
+    send(out, a[1]);
+    var x = 7;
+    var p = &x;
+    bump(p);
+    bump(&x);
+    send(out, x);
+    send(out, *p);
+}
+process main;
+`},
+		{"recursion", `
+chan out[4];
+proc fib(n, r) {
+    if (n < 2) {
+        *r = n;
+        return;
+    }
+    var a;
+    var b;
+    fib(n - 1, &a);
+    fib(n - 2, &b);
+    *r = a + b;
+}
+proc main() {
+    var r;
+    fib(9, &r);
+    send(out, r);
+}
+process main;
+`},
+		{"objects", `
+chan c[2];
+sem s = 1;
+shared g = 5;
+proc writer() {
+    var t;
+    wait(s);
+    vread(g, t);
+    vwrite(g, t + 1);
+    signal(s);
+    send(c, t);
+}
+proc reader() {
+    var v;
+    recv(c, v);
+    VS_assert(v >= 5);
+}
+process writer;
+process writer;
+process reader;
+process reader;
+`},
+		{"toss", `
+chan out[8];
+proc main() {
+    var k = VS_toss(3);
+    var j = VS_toss(2);
+    send(out, k * 10 + j);
+    VS_assert(k <= 3);
+}
+process main;
+`},
+		{"assert-violation", `
+proc main() {
+    var x = 1;
+    VS_assert(x == 2);
+}
+process main;
+`},
+		{"trap-div", `
+proc main() {
+    var z = 0;
+    var x = 1 / z;
+}
+process main;
+`},
+		{"trap-oob", `
+proc main() {
+    var a[2];
+    var i = 5;
+    a[i] = 1;
+}
+process main;
+`},
+		{"trap-deref", `
+proc main() {
+    var x = 1;
+    var y = *x;
+}
+process main;
+`},
+		{"undef", `
+chan out[4];
+proc main() {
+    var u = undef;
+    var x = u + 1;
+    send(out, x);
+    VS_assert(u == 3);
+    send(out, u == u);
+}
+process main;
+`},
+		{"deadlock", `
+sem a = 1;
+sem b = 1;
+proc left() {
+    wait(a);
+    wait(b);
+    signal(b);
+    signal(a);
+}
+proc right() {
+    wait(b);
+    wait(a);
+    signal(a);
+    signal(b);
+}
+process left;
+process right;
+`},
+		{"stale-pointer", `
+chan out[4];
+proc mk(r) {
+    var local = 42;
+    *r = &local;
+}
+proc main() {
+    var p;
+    mk(&p);
+    send(out, *p);
+}
+process main;
+`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			u, err := core.CompileSource(tc.src)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			lockstep(t, tc.name, u, 300)
+		})
+	}
+}
+
+// TestForkMatchesOriginal forks mid-execution and checks that the clone
+// renders the same fingerprint and then behaves identically to the
+// original under the same schedule.
+func TestForkMatchesOriginal(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 15
+	}
+	for seed := 0; seed < n; seed++ {
+		r := rand.New(rand.NewSource(int64(1000 + seed)))
+		src := randprog.Generate(r, randprog.Config{Processes: 2, Helpers: seed % 2})
+		closed, _, err := core.CloseSource(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		sys, err := interp.NewSystem(closed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch := &stepChooser{}
+		if out := sys.Init(ch); out != nil {
+			continue
+		}
+		// Run a prefix, then fork.
+		for step := 0; step < 5; step++ {
+			en := sys.EnabledProcs()
+			if len(en) == 0 {
+				break
+			}
+			if _, out := sys.Step(en[step%len(en)], ch); out != nil {
+				break
+			}
+		}
+		clone := sys.Fork()
+		if got, want := clone.Fingerprint(), sys.Fingerprint(); got != want {
+			t.Fatalf("seed %d: fork fingerprint differs\nclone: %s\n orig: %s", seed, got, want)
+		}
+		// Both must evolve identically from here.
+		chA := &stepChooser{n: ch.n}
+		chB := &stepChooser{n: ch.n}
+		for step := 0; step < 100; step++ {
+			enA, enB := sys.EnabledProcs(), clone.EnabledProcs()
+			if fmt.Sprint(enA) != fmt.Sprint(enB) {
+				t.Fatalf("seed %d: step %d: enabled orig=%v clone=%v", seed, step, enA, enB)
+			}
+			if len(enA) == 0 {
+				break
+			}
+			pick := enA[step%len(enA)]
+			evA, oA := sys.Step(pick, chA)
+			evB, oB := clone.Step(pick, chB)
+			if evA.String() != evB.String() || !sameOutcome(oA, oB) {
+				t.Fatalf("seed %d: step %d: orig=(%s,%s) clone=(%s,%s)",
+					seed, step, evA, outcomeStr(oA), evB, outcomeStr(oB))
+			}
+			if fpA, fpB := sys.Fingerprint(), clone.Fingerprint(); fpA != fpB {
+				t.Fatalf("seed %d: step %d: fingerprints diverged\n orig: %s\nclone: %s", seed, step, fpA, fpB)
+			}
+			if oA != nil {
+				break
+			}
+		}
+	}
+}
+
+// TestForkIsolation checks deep-copy independence in both directions:
+// stepping one system never changes the other, even through pointers,
+// arrays, and channel payloads captured at fork time.
+func TestForkIsolation(t *testing.T) {
+	u, err := core.CompileSource(`
+chan c[4];
+shared g = 0;
+proc main() {
+    var a[2];
+    a[0] = 1;
+    var p = &a[1];
+    *p = 2;
+    send(c, a);
+    vwrite(g, 7);
+    var i;
+    for (i = 0; i < 10; i = i + 1) {
+        *p = *p + 1;
+        vwrite(g, i);
+        send(c, i);
+        recv(c, i);
+    }
+}
+process main;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := interp.NewSystem(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := interp.FixedChooser(0)
+	if out := sys.Init(ch); out != nil {
+		t.Fatalf("init: %s", out)
+	}
+	// Execute the first sends so the channel holds an array payload.
+	for i := 0; i < 3; i++ {
+		if _, out := sys.Step(0, ch); out != nil {
+			t.Fatalf("step %d: %s", i, out)
+		}
+	}
+	clone := sys.Fork()
+	before := clone.Fingerprint()
+	origBefore := sys.Fingerprint()
+
+	// Mutate the original: the clone must not move.
+	for i := 0; i < 4; i++ {
+		if _, out := sys.Step(0, ch); out != nil {
+			break
+		}
+	}
+	if got := clone.Fingerprint(); got != before {
+		t.Fatalf("stepping the original changed the clone\nbefore: %s\n after: %s", before, got)
+	}
+	// Mutate the clone: the original must not move either.
+	origNow := sys.Fingerprint()
+	for i := 0; i < 4; i++ {
+		if _, out := clone.Step(0, ch); out != nil {
+			break
+		}
+	}
+	if got := sys.Fingerprint(); got != origNow {
+		t.Fatalf("stepping the clone changed the original\nbefore: %s\n after: %s", origNow, got)
+	}
+	if origBefore == origNow {
+		t.Fatalf("original did not advance; the isolation check is vacuous")
+	}
+}

@@ -1,7 +1,6 @@
 package interp
 
 import (
-	"reclose/internal/ast"
 	"reclose/internal/token"
 )
 
@@ -30,33 +29,42 @@ func FixedChooser(outcome int) Chooser {
 	})
 }
 
-// frame is one procedure activation.
+// frame is one procedure activation: a dense cell array indexed by the
+// procedure's slot table (resolve.go) instead of a name-keyed map. The
+// cells are addressable — &frame.cells[slot] is stable for the lifetime
+// of the activation — which is what pointer values rely on.
 type frame struct {
-	graph    *graphInfo
-	vars     map[string]*Cell
+	code     *procCode
+	cells    []Cell
 	callNode int // caller's call-node ID; -1 in the top frame
 }
 
-func (f *frame) cell(name string) *Cell {
-	c, ok := f.vars[name]
-	if !ok {
-		c = &Cell{V: IntVal(0)}
-		f.vars[name] = c
+// newCells allocates a zeroed cell array: every variable starts as the
+// auto-created value 0, matching the reference interpreter's on-demand
+// cell creation.
+func newCells(n int) []Cell {
+	cells := make([]Cell, n)
+	for i := range cells {
+		cells[i].V.Kind = KInt
 	}
-	return c
+	return cells
 }
 
-// evalCtx carries what expression evaluation needs.
+// evalCtx carries what compiled expression evaluation needs.
 type evalCtx struct {
 	frame   *frame
 	chooser Chooser
 }
 
-func (ctx *evalCtx) toss(bound int) int {
+func (ctx *evalCtx) toss(bound int) int { return tossOutcome(ctx.chooser, bound) }
+
+// tossOutcome validates and resolves one VS_toss against the chooser;
+// shared by the compiled and the reference evaluators.
+func tossOutcome(ch Chooser, bound int) int {
 	if bound < 0 {
 		trapf("VS_toss with negative bound %d", bound)
 	}
-	k, ok := ctx.chooser.Choose(bound)
+	k, ok := ch.Choose(bound)
 	if !ok {
 		panic(needToss{bound: bound})
 	}
@@ -64,37 +72,6 @@ func (ctx *evalCtx) toss(bound int) int {
 		trapf("chooser returned %d outside [0,%d]", k, bound)
 	}
 	return k
-}
-
-// eval evaluates e in the context's frame. Runtime errors raise trap
-// panics that the System recovers.
-func eval(ctx *evalCtx, e ast.Expr) Value {
-	switch e := e.(type) {
-	case *ast.Ident:
-		return ctx.frame.cell(e.Name).V
-	case *ast.IntLit:
-		return IntVal(e.Value)
-	case *ast.BoolLit:
-		return BoolVal(e.Value)
-	case *ast.UndefLit:
-		return Undef
-	case *ast.TossExpr:
-		b := eval(ctx, e.Bound)
-		if b.Kind != KInt {
-			trapf("VS_toss bound is %s, want int", kindName(b.Kind))
-		}
-		return IntVal(int64(ctx.toss(int(b.I))))
-	case *ast.IndexExpr:
-		av := ctx.frame.cell(e.X.Name).V
-		iv := eval(ctx, e.Index)
-		return indexValue(av, iv, e.X.Name)
-	case *ast.UnaryExpr:
-		return evalUnary(ctx, e)
-	case *ast.BinaryExpr:
-		return evalBinary(ctx, e)
-	}
-	trapf("cannot evaluate expression")
-	return Undef
 }
 
 func kindName(k Kind) string {
@@ -129,56 +106,6 @@ func indexValue(av, iv Value, name string) Value {
 	return av.Arr[iv.I]
 }
 
-func evalUnary(ctx *evalCtx, e *ast.UnaryExpr) Value {
-	switch e.Op {
-	case token.AND: // address-of
-		switch x := e.X.(type) {
-		case *ast.Ident:
-			return PtrVal(Pointer{Cell: ctx.frame.cell(x.Name), Elem: -1})
-		case *ast.IndexExpr:
-			c := ctx.frame.cell(x.X.Name)
-			iv := eval(ctx, x.Index)
-			if c.V.Kind != KArray {
-				trapf("%s is %s, not an array", x.X.Name, kindName(c.V.Kind))
-			}
-			if iv.Kind != KInt || iv.I < 0 || iv.I >= int64(len(c.V.Arr)) {
-				trapf("&%s[...]: bad index", x.X.Name)
-			}
-			return PtrVal(Pointer{Cell: c, Elem: int(iv.I)})
-		}
-		trapf("cannot take the address of this expression")
-	case token.MUL: // dereference
-		p := eval(ctx, e.X)
-		if p.IsUndef() {
-			trapf("dereference of undef pointer")
-		}
-		if p.Kind != KPtr {
-			trapf("dereference of %s, want pointer", kindName(p.Kind))
-		}
-		return loadPtr(p.Ptr)
-	case token.SUB:
-		v := eval(ctx, e.X)
-		if v.IsUndef() {
-			return Undef
-		}
-		if v.Kind != KInt {
-			trapf("unary - on %s", kindName(v.Kind))
-		}
-		return IntVal(-v.I)
-	case token.NOT:
-		v := eval(ctx, e.X)
-		if v.IsUndef() {
-			return Undef
-		}
-		if v.Kind != KBool {
-			trapf("! on %s", kindName(v.Kind))
-		}
-		return BoolVal(!v.B)
-	}
-	trapf("bad unary operator %s", e.Op)
-	return Undef
-}
-
 func loadPtr(p Pointer) Value {
 	if p.Cell == nil {
 		trapf("dereference of nil pointer")
@@ -208,56 +135,10 @@ func storePtr(p Pointer, v Value) {
 	p.Cell.V = v.Copy()
 }
 
-func evalBinary(ctx *evalCtx, e *ast.BinaryExpr) Value {
-	// Short-circuit logical operators.
-	switch e.Op {
-	case token.LAND, token.LOR:
-		x := eval(ctx, e.X)
-		if x.IsUndef() {
-			return Undef
-		}
-		if x.Kind != KBool {
-			trapf("%s on %s", e.Op, kindName(x.Kind))
-		}
-		if e.Op == token.LAND && !x.B {
-			return False
-		}
-		if e.Op == token.LOR && x.B {
-			return True
-		}
-		y := eval(ctx, e.Y)
-		if y.IsUndef() {
-			return Undef
-		}
-		if y.Kind != KBool {
-			trapf("%s on %s", e.Op, kindName(y.Kind))
-		}
-		return BoolVal(y.B)
-	}
-
-	x := eval(ctx, e.X)
-	y := eval(ctx, e.Y)
-	if x.IsUndef() || y.IsUndef() {
-		return Undef
-	}
-
-	switch e.Op {
-	case token.EQL, token.NEQ:
-		if x.Kind != y.Kind {
-			trapf("comparison of %s and %s", kindName(x.Kind), kindName(y.Kind))
-		}
-		eq := x.Equal(y)
-		if e.Op == token.NEQ {
-			eq = !eq
-		}
-		return BoolVal(eq)
-	}
-
-	if x.Kind != KInt || y.Kind != KInt {
-		trapf("%s on %s and %s", e.Op, kindName(x.Kind), kindName(y.Kind))
-	}
-	a, b := x.I, y.I
-	switch e.Op {
+// intBinOp applies an integer binary operator; both evaluators route
+// through it so arithmetic traps stay identical.
+func intBinOp(op token.Kind, a, b int64) Value {
+	switch op {
 	case token.ADD:
 		return IntVal(a + b)
 	case token.SUB:
@@ -299,38 +180,6 @@ func evalBinary(ctx *evalCtx, e *ast.BinaryExpr) Value {
 	case token.GEQ:
 		return BoolVal(a >= b)
 	}
-	trapf("bad binary operator %s", e.Op)
+	trapf("bad binary operator %s", op)
 	return Undef
-}
-
-// assign executes "lhs = v" in the frame.
-func assignTo(ctx *evalCtx, lhs ast.Expr, v Value) {
-	switch lhs := lhs.(type) {
-	case *ast.Ident:
-		ctx.frame.cell(lhs.Name).V = v.Copy()
-	case *ast.IndexExpr:
-		c := ctx.frame.cell(lhs.X.Name)
-		iv := eval(ctx, lhs.Index)
-		if c.V.Kind != KArray {
-			trapf("%s is %s, not an array", lhs.X.Name, kindName(c.V.Kind))
-		}
-		if iv.IsUndef() || iv.Kind != KInt || iv.I < 0 || iv.I >= int64(len(c.V.Arr)) {
-			trapf("bad array index in assignment to %s", lhs.X.Name)
-		}
-		c.V.Arr[iv.I] = v.Copy()
-	case *ast.UnaryExpr:
-		if lhs.Op != token.MUL {
-			trapf("bad assignment target")
-		}
-		p := eval(ctx, lhs.X)
-		if p.IsUndef() {
-			trapf("store through undef pointer")
-		}
-		if p.Kind != KPtr {
-			trapf("store through %s, want pointer", kindName(p.Kind))
-		}
-		storePtr(p.Ptr, v)
-	default:
-		trapf("bad assignment target")
-	}
 }

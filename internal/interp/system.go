@@ -2,14 +2,11 @@ package interp
 
 import (
 	"fmt"
-	"sort"
 	"strconv"
 	"strings"
 
-	"reclose/internal/ast"
 	"reclose/internal/cfg"
 	"reclose/internal/comm"
-	"reclose/internal/sem"
 )
 
 // OutcomeKind classifies abnormal results of executing program steps.
@@ -75,23 +72,27 @@ func (p *Proc) At() (proc string, node int) {
 	if p.status != Running || p.cur == nil {
 		return "", -1
 	}
-	return p.stack[len(p.stack)-1].graph.g.ProcName, p.cur.ID
+	return p.stack[len(p.stack)-1].code.name, p.cur.ID
 }
 
 // PendingOp returns the visible operation the process is about to
 // execute: the builtin name and the object it targets ("" for
 // VS_assert). It returns ok == false if the process is terminated.
 func (p *Proc) PendingOp() (op, object string, ok bool) {
-	if p.status != Running || p.cur == nil || p.cur.Kind != cfg.NCall {
+	vis := p.pendingVis()
+	if vis == nil {
 		return "", "", false
 	}
-	cs := p.cur.CallStmt()
-	b := sem.Builtins[cs.Name.Name]
-	obj := ""
-	if b.HasObj {
-		obj = cs.Args[0].(*ast.Ident).Name
+	return vis.opName, vis.objName, true
+}
+
+// pendingVis returns the compiled visible operation the process is
+// stopped at, or nil.
+func (p *Proc) pendingVis() *visOp {
+	if p.status != Running || p.cur == nil || p.cur.Kind != cfg.NCall {
+		return nil
 	}
-	return cs.Name.Name, obj, true
+	return p.stack[len(p.stack)-1].code.nodes[p.cur.ID].vis
 }
 
 // Event is one visible operation in an execution trace.
@@ -117,34 +118,31 @@ func (e Event) String() string {
 	return b.String()
 }
 
-// graphInfo caches per-procedure data the interpreter needs.
-type graphInfo struct {
-	g      *cfg.Graph
-	arrays map[string]bool
-}
-
 // System is an executable instance of a closed unit: the communication
-// objects plus one Proc per process declaration.
+// objects plus one Proc per process declaration. Execution runs over
+// the unit's compiled Resolution (resolve.go): per-node programs with
+// precomputed successors and expression closures indexing dense slot
+// frames, so the per-step cost carries no map lookups or AST walks.
 type System struct {
 	Unit  *cfg.Unit
 	Procs []*Proc
 
-	objects map[string]comm.Object
-	objSeq  []string // deterministic object order
-	graphs  map[string]*graphInfo
+	res *Resolution
+	// objs holds the communication objects in the resolution's dense
+	// order (sorted names); visOp.objIdx indexes into it.
+	objs []comm.Object
 
 	// MaxInvisible bounds the invisible operations inside one transition;
 	// exceeding it reports divergence (the paper's VeriSoft uses a
 	// timeout for the same purpose).
 	MaxInvisible int
-
-	// nameScratch is reused by AppendFingerprint when sorting frame
-	// variable names, keeping the fingerprint hot path allocation-free.
-	nameScratch []string
 }
 
 // DefaultMaxInvisible is the default divergence bound.
 const DefaultMaxInvisible = 100000
+
+// maxCallDepth bounds the interpreter call stack.
+const maxCallDepth = 10000
 
 // NewSystem builds a System for a closed unit. Open units (with declared
 // environment parameters or env-facing channels that have not been
@@ -153,47 +151,63 @@ const DefaultMaxInvisible = 100000
 // A System never mutates the unit or its AST: multiple Systems built
 // over the same *cfg.Unit may execute concurrently (one per goroutine),
 // which is what the parallel explorer's per-worker replay relies on. A
-// single System is not safe for concurrent use.
+// single System is not safe for concurrent use. Callers instantiating
+// many Systems over one unit should Resolve once and call
+// Resolution.NewSystem per instance to share the compiled code.
 func NewSystem(u *cfg.Unit) (*System, error) {
-	if u.IsOpen() {
-		return nil, fmt.Errorf("interp: unit is open (declares an environment interface); close it first")
+	r, err := Resolve(u)
+	if err != nil {
+		return nil, err
 	}
-	if len(u.Processes) == 0 {
-		return nil, fmt.Errorf("interp: unit declares no processes")
-	}
-	s := &System{
-		Unit:         u,
-		graphs:       make(map[string]*graphInfo, len(u.Procs)),
-		MaxInvisible: DefaultMaxInvisible,
-	}
-	for name, g := range u.Procs {
-		s.graphs[name] = &graphInfo{g: g, arrays: u.Arrays[name]}
-	}
-	for _, sp := range u.Objects {
-		s.objSeq = append(s.objSeq, sp.Name)
-	}
-	sort.Strings(s.objSeq)
-	s.Reset()
-	return s, nil
+	return r.NewSystem(), nil
 }
 
-// Reset restores the initial program state: fresh objects and all
-// processes at the start nodes of their top-level procedures. The
-// processes still need their initial invisible prefixes run; use Init.
+// NewSystem instantiates a fresh System over the shared compiled code.
+// The returned System is independent of any other instance.
+func (r *Resolution) NewSystem() *System {
+	s := &System{
+		Unit:         r.unit,
+		res:          r,
+		MaxInvisible: DefaultMaxInvisible,
+	}
+	objs := comm.Build(r.unit.Objects, func(i int64) any { return IntVal(i) })
+	s.objs = make([]comm.Object, len(r.objNames))
+	for i, name := range r.objNames {
+		s.objs[i] = objs[name]
+	}
+	s.Reset()
+	return s
+}
+
+// Resolution returns the compiled unit the system executes.
+func (s *System) Resolution() *Resolution { return s.res }
+
+// Reset restores the initial program state: objects reset in place and
+// all processes at the start nodes of their top-level procedures with
+// fresh frames. (Frames are never recycled: recorded events may alias
+// array payloads in live cells.) The processes still need their initial
+// invisible prefixes run; use Init.
 func (s *System) Reset() {
-	s.objects = comm.Build(s.Unit.Objects, func(i int64) any { return IntVal(i) })
+	for _, o := range s.objs {
+		o.Reset()
+	}
 	s.Procs = s.Procs[:0]
 	for i, top := range s.Unit.Processes {
-		gi := s.graphs[top]
+		pc := s.res.procs[top]
 		p := &Proc{Index: i, TopProc: top}
-		p.stack = []*frame{{graph: gi, vars: make(map[string]*Cell), callNode: -1}}
-		p.cur = gi.g.Entry
+		p.stack = []*frame{{code: pc, cells: newCells(pc.nSlots()), callNode: -1}}
+		p.cur = pc.g.Entry
 		s.Procs = append(s.Procs, p)
 	}
 }
 
 // Object returns the named communication object.
-func (s *System) Object(name string) comm.Object { return s.objects[name] }
+func (s *System) Object(name string) comm.Object {
+	if i, ok := s.res.objIdx[name]; ok {
+		return s.objs[i]
+	}
+	return nil
+}
 
 // Init runs every process's initial invisible prefix up to its first
 // visible operation (or termination), reaching the initial global state
@@ -229,46 +243,61 @@ func catchOutcome(proc int, out **Outcome) {
 func (s *System) advance(p *Proc, ch Chooser) (out *Outcome) {
 	defer catchOutcome(p.Index, &out)
 	steps := 0
+	ctx := evalCtx{chooser: ch}
 	for {
 		if p.status != Running {
 			return nil
 		}
 		n := p.cur
 		top := p.stack[len(p.stack)-1]
-		ctx := &evalCtx{frame: top, chooser: ch}
+		ctx.frame = top
 		steps++
 		if steps > s.MaxInvisible {
 			return &Outcome{Kind: OutDivergence, Proc: p.Index,
 				Msg: fmt.Sprintf("more than %d invisible operations in one transition (proc %s, node n%d)",
-					s.MaxInvisible, top.graph.g.ProcName, n.ID)}
+					s.MaxInvisible, top.code.name, n.ID)}
 		}
 
-		switch n.Kind {
+		prog := &top.code.nodes[n.ID]
+		if prog.fail != nil {
+			prog.fail()
+		}
+		switch prog.kind {
 		case cfg.NStart:
-			p.cur = n.Succ()
+			p.cur = prog.succ
 		case cfg.NAssign:
-			s.execAssign(ctx, n)
-			p.cur = n.Succ()
+			prog.exec(&ctx)
+			p.cur = prog.succ
 		case cfg.NCond:
-			v := eval(ctx, n.Cond)
+			v := prog.cond(&ctx)
 			if v.IsUndef() {
-				trapf("branch on undef (proc %s, node n%d)", top.graph.g.ProcName, n.ID)
+				trapf("branch on undef (proc %s, node n%d)", top.code.name, n.ID)
 			}
 			if v.Kind != KBool {
 				trapf("branch on %s, want bool", kindName(v.Kind))
 			}
-			p.cur = pickArc(n, v.B, -1)
+			next := prog.onFalse
+			if v.B {
+				next = prog.onTrue
+			}
+			if next == nil {
+				trapf("no matching arc out of node n%d", n.ID)
+			}
+			p.cur = next
 		case cfg.NTossSwitch:
-			k := ctx.toss(n.TossBound)
-			p.cur = pickArc(n, false, k)
+			k := ctx.toss(prog.tossBound)
+			next := prog.tossSucc[k]
+			if next == nil {
+				trapf("no matching arc out of node n%d", n.ID)
+			}
+			p.cur = next
 		case cfg.NCall:
-			cs := n.CallStmt()
-			if sem.IsBuiltin(cs.Name.Name) {
+			if prog.vis != nil {
 				// Reached the next visible operation: the transition's
 				// invisible suffix ends just before it.
 				return nil
 			}
-			s.enterCall(p, ctx, n, cs)
+			s.enterCall(p, &ctx, prog.call)
 		case cfg.NReturn:
 			if len(p.stack) == 1 {
 				// Termination statements in top-level procedures block
@@ -279,115 +308,79 @@ func (s *System) advance(p *Proc, ch Chooser) (out *Outcome) {
 			callID := top.callNode
 			p.stack = p.stack[:len(p.stack)-1]
 			caller := p.stack[len(p.stack)-1]
-			callNode := caller.graph.g.Nodes[callID]
-			p.cur = callNode.Succ()
+			p.cur = caller.code.nodes[callID].succ
 		case cfg.NExit:
 			p.status = Terminated
 			return nil
 		default:
-			trapf("unknown node kind %v", n.Kind)
+			trapf("unknown node kind %v", prog.kind)
 		}
 		if p.status == Running && p.cur == nil {
-			trapf("control fell off the graph (proc %s)", top.graph.g.ProcName)
+			trapf("control fell off the graph (proc %s)", top.code.name)
 		}
-	}
-}
-
-// execAssign executes an NAssign node (AssignStmt or VarStmt).
-func (s *System) execAssign(ctx *evalCtx, n *cfg.Node) {
-	switch st := n.Stmt.(type) {
-	case *ast.AssignStmt:
-		v := eval(ctx, st.RHS)
-		assignTo(ctx, st.LHS, v)
-	case *ast.VarStmt:
-		c := ctx.frame.cell(st.Name.Name)
-		switch {
-		case st.Size != nil:
-			sz := eval(ctx, st.Size)
-			if sz.Kind != KInt || sz.I < 0 || sz.I > 1<<20 {
-				trapf("bad array size for %s", st.Name.Name)
-			}
-			c.V = ArrayVal(int(sz.I))
-		case st.Init != nil:
-			c.V = eval(ctx, st.Init).Copy()
-		default:
-			c.V = IntVal(0)
-		}
-	default:
-		trapf("bad assign node")
 	}
 }
 
 // enterCall pushes a frame for a user procedure call. Parameters are
-// fresh variables initialized with copies of the argument values (§4).
-func (s *System) enterCall(p *Proc, ctx *evalCtx, n *cfg.Node, cs *ast.CallStmt) {
-	gi, ok := s.graphs[cs.Name.Name]
-	if !ok {
-		trapf("call to unknown procedure %s", cs.Name.Name)
+// fresh variables initialized with copies of the argument values (§4):
+// the slot table puts parameter i at slot i.
+func (s *System) enterCall(p *Proc, ctx *evalCtx, c *callOp) {
+	if len(p.stack) >= maxCallDepth {
+		trapf("call stack overflow in %s", c.callee.name)
 	}
-	if len(cs.Args) != len(gi.g.Params) {
-		trapf("call to %s with %d args, want %d", cs.Name.Name, len(cs.Args), len(gi.g.Params))
-	}
-	if len(p.stack) >= 10000 {
-		trapf("call stack overflow in %s", cs.Name.Name)
-	}
-	nf := &frame{graph: gi, vars: make(map[string]*Cell, len(gi.g.Params)), callNode: n.ID}
-	for i, a := range cs.Args {
-		v := eval(ctx, a)
-		nf.vars[gi.g.Params[i]] = &Cell{V: v.Copy()}
+	nf := &frame{code: c.callee, cells: newCells(c.callee.nSlots()), callNode: c.nodeID}
+	for i, a := range c.args {
+		v := a(ctx) // ctx.frame is still the caller's frame here
+		nf.cells[i].V = v.Copy()
 	}
 	p.stack = append(p.stack, nf)
-	p.cur = gi.g.Entry
-}
-
-// pickArc selects the successor arc of a conditional or toss node.
-func pickArc(n *cfg.Node, b bool, tossK int) *cfg.Node {
-	for _, a := range n.Out {
-		switch a.Label.Kind {
-		case cfg.LAlways:
-			return a.To
-		case cfg.LTrue:
-			if tossK < 0 && b {
-				return a.To
-			}
-		case cfg.LFalse:
-			if tossK < 0 && !b {
-				return a.To
-			}
-		case cfg.LToss:
-			if a.Label.K == tossK {
-				return a.To
-			}
-		}
-	}
-	trapf("no matching arc out of node n%d", n.ID)
-	return nil
+	p.cur = c.callee.g.Entry
 }
 
 // Enabled reports whether process i's pending visible operation can
 // execute without blocking.
 func (s *System) Enabled(i int) bool {
-	p := s.Procs[i]
-	op, objName, ok := p.PendingOp()
-	if !ok {
+	vis := s.Procs[i].pendingVis()
+	if vis == nil {
 		return false
 	}
-	if op == "VS_assert" {
+	if vis.op == opAssert {
 		return true
 	}
-	return s.objects[objName].Enabled(op)
+	if vis.objIdx < 0 || !vis.kindOK {
+		// Unknown object or kind-mismatched operation: permanently
+		// disabled (the reference dispatches to Object.Enabled, which
+		// returns false for an operation the object does not support).
+		return false
+	}
+	obj := s.objs[vis.objIdx]
+	switch vis.op {
+	case opSend:
+		return obj.(*comm.Chan).CanSend()
+	case opRecv:
+		return obj.(*comm.Chan).CanRecv()
+	case opWait:
+		return obj.(*comm.Sem).CanWait()
+	case opSignal, opVwrite, opVread:
+		return true
+	}
+	return false
+}
+
+// AppendEnabled appends the indices of all enabled processes to dst in
+// ascending order and returns the extended slice; the caller can reuse
+// dst (dst[:0]) across calls to keep scheduling allocation-free.
+func (s *System) AppendEnabled(dst []int) []int {
+	for i := range s.Procs {
+		if s.Enabled(i) {
+			dst = append(dst, i)
+		}
+	}
+	return dst
 }
 
 // EnabledProcs returns the indices of all enabled processes, ascending.
-func (s *System) EnabledProcs() []int {
-	var out []int
-	for i := range s.Procs {
-		if s.Enabled(i) {
-			out = append(out, i)
-		}
-	}
-	return out
-}
+func (s *System) EnabledProcs() []int { return s.AppendEnabled(nil) }
 
 // AllTerminated reports whether every non-daemon process has terminated
 // and no process is enabled. Daemon processes model the most general
@@ -444,25 +437,26 @@ func (s *System) execVisible(p *Proc, ch Chooser) (ev Event, out *Outcome) {
 	if n == nil || n.Kind != cfg.NCall {
 		trapf("process %d is not at a visible operation", p.Index)
 	}
-	cs := n.CallStmt()
 	top := p.stack[len(p.stack)-1]
-	ctx := &evalCtx{frame: top, chooser: ch}
-	op := cs.Name.Name
-	ev = Event{Proc: p.Index, Op: op}
+	prog := &top.code.nodes[n.ID]
+	vis := prog.vis
+	if vis == nil {
+		trapf("process %d is not at a visible operation", p.Index)
+	}
+	ctx := evalCtx{frame: top, chooser: ch}
+	ev = Event{Proc: p.Index, Op: vis.opName}
 
-	switch op {
-	case "VS_assert":
-		v := eval(ctx, cs.Args[0])
+	switch vis.op {
+	case opAssert:
+		v := vis.arg(&ctx)
 		ev.Value, ev.HasVal = v, true
 		switch v.Kind {
 		case KBool:
 			if !v.B {
 				// Report the violation; control still moves past the
 				// assertion so exploration may continue if desired.
-				p.cur = n.Succ()
-				return ev, &Outcome{Kind: OutViolation, Proc: p.Index,
-					Msg: fmt.Sprintf("VS_assert(%s) at node n%d of %s",
-						ast.FormatExpr(cs.Args[0]), n.ID, top.graph.g.ProcName)}
+				p.cur = prog.succ
+				return ev, &Outcome{Kind: OutViolation, Proc: p.Index, Msg: vis.violation}
 			}
 		case KUndef:
 			// An assertion whose argument was eliminated is not
@@ -471,19 +465,18 @@ func (s *System) execVisible(p *Proc, ch Chooser) (ev Event, out *Outcome) {
 			trapf("VS_assert on %s, want bool", kindName(v.Kind))
 		}
 	default:
-		objName := cs.Args[0].(*ast.Ident).Name
-		obj := s.objects[objName]
-		ev.Object = objName
-		switch op {
-		case "send":
-			v := eval(ctx, cs.Args[1])
+		obj := s.objs[vis.objIdx]
+		ev.Object = vis.objName
+		switch vis.op {
+		case opSend:
+			v := vis.arg(&ctx)
 			ev.Value, ev.HasVal = v, true
 			c := obj.(*comm.Chan)
 			ev.Stub = c.EnvFacing()
 			if err := c.Send(v); err != nil {
 				trapf("%v", err)
 			}
-		case "recv":
+		case opRecv:
 			c := obj.(*comm.Chan)
 			raw, stub, err := c.Recv()
 			if err != nil {
@@ -494,26 +487,26 @@ func (s *System) execVisible(p *Proc, ch Chooser) (ev Event, out *Outcome) {
 				v = raw.(Value)
 			}
 			ev.Value, ev.HasVal, ev.Stub = v, true, stub
-			assignTo(ctx, cs.Args[1], v)
-		case "wait":
+			vis.dst(&ctx, v)
+		case opWait:
 			if err := obj.(*comm.Sem).Wait(); err != nil {
 				trapf("%v", err)
 			}
-		case "signal":
+		case opSignal:
 			obj.(*comm.Sem).Signal()
-		case "vwrite":
-			v := eval(ctx, cs.Args[1])
+		case opVwrite:
+			v := vis.arg(&ctx)
 			ev.Value, ev.HasVal = v, true
 			obj.(*comm.Shared).Write(v)
-		case "vread":
+		case opVread:
 			v := obj.(*comm.Shared).Read().(Value)
 			ev.Value, ev.HasVal = v, true
-			assignTo(ctx, cs.Args[1], v)
+			vis.dst(&ctx, v)
 		default:
-			trapf("unknown builtin %s", op)
+			trapf("unknown builtin %s", vis.opName)
 		}
 	}
-	p.cur = n.Succ()
+	p.cur = prog.succ
 	return ev, nil
 }
 
@@ -528,11 +521,16 @@ func (s *System) Fingerprint() string { return string(s.AppendFingerprint(nil)) 
 // Fingerprint without materializing an intermediate string: the caller
 // can reuse dst across calls (dst[:0]) and hash the bytes in a
 // streaming fashion, which is what the explorer's state-cache hot path
-// does. It reuses internal scratch space and is therefore not safe for
-// concurrent calls on the same System.
+// does.
+//
+// Variables are walked per frame in the slot table's fixed name-sorted
+// order over the full declared set — variables the path never touched
+// render as their auto-created value 0 — so no per-state sorting
+// happens and the output is byte-identical to the reference
+// interpreter's (RefSystem.AppendFingerprint).
 func (s *System) AppendFingerprint(dst []byte) []byte {
-	for _, name := range s.objSeq {
-		dst = s.objects[name].AppendFingerprint(dst)
+	for _, o := range s.objs {
+		dst = o.AppendFingerprint(dst)
 		dst = append(dst, ';')
 	}
 	for _, p := range s.Procs {
@@ -543,21 +541,9 @@ func (s *System) AppendFingerprint(dst []byte) []byte {
 		if p.status != Running {
 			continue
 		}
-		// Label cells by frame position and name so pointer values
-		// fingerprint stably. The label map is only needed when the
-		// process actually holds pointer values.
-		var labels map[*Cell]string
-		if procHoldsPointer(p) {
-			labels = make(map[*Cell]string)
-			for fi, f := range p.stack {
-				for _, name := range s.sortedVarNames(f.vars) {
-					labels[f.vars[name]] = fmt.Sprintf("f%d.%s", fi, name)
-				}
-			}
-		}
 		for fi, f := range p.stack {
 			dst = append(dst, '/')
-			dst = append(dst, f.graph.g.ProcName...)
+			dst = append(dst, f.code.name...)
 			if fi == len(p.stack)-1 {
 				dst = append(dst, '@', 'n')
 				dst = strconv.AppendInt(dst, int64(p.cur.ID), 10)
@@ -565,14 +551,15 @@ func (s *System) AppendFingerprint(dst []byte) []byte {
 				dst = append(dst, '@', 'c')
 				dst = strconv.AppendInt(dst, int64(p.stack[fi+1].callNode), 10)
 			}
-			for _, name := range s.sortedVarNames(f.vars) {
-				v := f.vars[name].V
+			st := f.code.slots
+			for _, slot := range st.Sorted {
+				v := f.cells[slot].V
 				dst = append(dst, ',')
-				dst = append(dst, name...)
+				dst = append(dst, st.Names[slot]...)
 				dst = append(dst, '=')
 				if v.Kind == KPtr {
 					dst = append(dst, '&')
-					dst = append(dst, labels[v.Ptr.Cell]...)
+					dst = appendCellLabel(dst, p, v.Ptr.Cell)
 					if v.Ptr.Elem >= 0 {
 						dst = append(dst, '[')
 						dst = strconv.AppendInt(dst, int64(v.Ptr.Elem), 10)
@@ -587,26 +574,21 @@ func (s *System) AppendFingerprint(dst []byte) []byte {
 	return dst
 }
 
-// procHoldsPointer reports whether any live variable of p is a pointer.
-func procHoldsPointer(p *Proc) bool {
-	for _, f := range p.stack {
-		for _, c := range f.vars {
-			if c.V.Kind == KPtr {
-				return true
+// appendCellLabel appends the stable label "f<frame>.<name>" of the cell
+// within p's live frames (the same labels the reference interpreter
+// assigns). A cell not in any live frame — a pointer into a popped frame
+// or another process — gets no label, matching the reference's behavior
+// for cells missing from its label map.
+func appendCellLabel(dst []byte, p *Proc, c *Cell) []byte {
+	for fi, f := range p.stack {
+		for i := range f.cells {
+			if &f.cells[i] == c {
+				dst = append(dst, 'f')
+				dst = strconv.AppendInt(dst, int64(fi), 10)
+				dst = append(dst, '.')
+				return append(dst, f.code.slots.Names[i]...)
 			}
 		}
 	}
-	return false
-}
-
-// sortedVarNames returns the variable names of one frame in sorted
-// order, reusing the System's scratch slice between calls.
-func (s *System) sortedVarNames(m map[string]*Cell) []string {
-	out := s.nameScratch[:0]
-	for n := range m {
-		out = append(out, n)
-	}
-	sort.Strings(out)
-	s.nameScratch = out
-	return out
+	return dst
 }

@@ -1,0 +1,79 @@
+// Command benchjson converts standard `go test -bench` text output
+// (read from stdin) into a JSON digest: the environment header plus one
+// record per benchmark line, with every metric keyed by its unit. Each
+// record also keeps the raw line, so the original benchstat-compatible
+// text can be reconstructed from the JSON artifact. Used by
+// scripts/bench.sh to produce BENCH_explore.json.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type record struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+	Line       string             `json:"line"`
+}
+
+type digest struct {
+	Env        map[string]string `json:"env"`
+	Benchmarks []record          `json:"benchmarks"`
+}
+
+func main() {
+	d := digest{Env: map[string]string{}, Benchmarks: []record{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if k, v, ok := strings.Cut(line, ": "); ok && !strings.HasPrefix(line, "Benchmark") {
+			switch k {
+			case "goos", "goarch", "pkg", "cpu":
+				d.Env[k] = v
+			}
+			continue
+		}
+		if rec, ok := parseBench(line); ok {
+			d.Benchmarks = append(d.Benchmarks, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench parses one benchmark result line: a name, an iteration
+// count, then (value, unit) pairs.
+func parseBench(line string) (record, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return record{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return record{}, false
+	}
+	rec := record{Name: f[0], Iterations: iters, Metrics: map[string]float64{}, Line: line}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return record{}, false
+		}
+		rec.Metrics[f[i+1]] = v
+	}
+	return rec, true
+}

@@ -13,3 +13,9 @@ go test -timeout=10m ./...
 go test -timeout=10m -race ./internal/explore/... ./internal/interp/...
 go test -fuzz=FuzzLexer -fuzztime=5s ./internal/lexer/
 go test -fuzz=FuzzParser -fuzztime=5s ./internal/parser/
+
+# Bench smoke: one iteration of the interpreter and snapshot-vs-replay
+# benchmarks (catches bit-rot in the perf harness without paying for a
+# real measurement run), plus a syntax check of the bench driver.
+go test -run '^$' -bench 'BenchmarkInterpreter|BenchmarkForkVsReplay' -benchtime=1x .
+sh -n scripts/bench.sh
