@@ -20,6 +20,7 @@ import (
 	"reclose/internal/fiveess"
 	"reclose/internal/interp"
 	"reclose/internal/mgenv"
+	"reclose/internal/obs"
 	"reclose/internal/parser"
 	"reclose/internal/progs"
 	"reclose/internal/synth"
@@ -228,15 +229,19 @@ func BenchmarkFiveESSExplore(b *testing.B) {
 // single-core machine the rows cost roughly the same wall time.
 func BenchmarkParallelExplore(b *testing.B) {
 	closed := mustCloseB(b, fiveess.Source(fiveess.Scale("medium")))
-	run := func(b *testing.B, workers int, snapshot bool) {
+	run := func(b *testing.B, workers int, snapshot, withObs bool) {
 		var trans, replayed int64
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			rep := exploreB(b, closed, explore.Options{
+			opt := explore.Options{
 				MaxDepth: 500, MaxStates: 20000, Workers: workers,
 				SnapshotSpill: snapshot,
-			})
+			}
+			if withObs {
+				opt.Obs = obs.New()
+			}
+			rep := exploreB(b, closed, opt)
 			trans = rep.Transitions
 			replayed = rep.ReplaySteps
 		}
@@ -245,12 +250,21 @@ func BenchmarkParallelExplore(b *testing.B) {
 	}
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			run(b, workers, false)
+			run(b, workers, false, false)
 		})
 	}
 	for _, workers := range []int{2, 4} {
 		b.Run(fmt.Sprintf("snapshot/workers=%d", workers), func(b *testing.B) {
-			run(b, workers, true)
+			run(b, workers, true, false)
+		})
+	}
+	// The obs rows measure the enabled cost of the observability layer
+	// (counter flushes at path boundaries, per-unit claim accounting);
+	// the rows above, with Obs nil, are the disabled no-op path the <2%
+	// regression criterion is pinned to.
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("obs/workers=%d", workers), func(b *testing.B) {
+			run(b, workers, false, true)
 		})
 	}
 }

@@ -17,6 +17,15 @@
 // final checkpoint when -checkpoint is set). Exit codes are
 // CI-friendly: 0 clean, 1 error, 2 usage, 3 incidents found, 4 search
 // incomplete (timeout, budget, or interrupt) without incidents.
+//
+// Observability: every run fills a metrics registry (internal/obs)
+// whose counters are flushed by the engine itself and therefore always
+// equal the report's. -metrics-out writes the final registry as
+// versioned JSON, -trace-out streams structured JSONL events (run
+// start/stop, incidents, checkpoints, truncation, per-worker stats),
+// and -pprof starts an opt-in net/http/pprof listener. The summary:
+// line is rendered from the registry, so CLI output, metrics file, and
+// report can never disagree.
 package main
 
 import (
@@ -24,6 +33,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux; served only with -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -33,86 +44,159 @@ import (
 	"reclose/internal/core"
 	"reclose/internal/explore"
 	"reclose/internal/mgenv"
-)
-
-var (
-	depth      = flag.Int("depth", 0, "depth bound on explored paths (0 = default 1e6)")
-	maxStates  = flag.Int64("max-states", 0, "abort after visiting this many global states (0 = unlimited)")
-	naive      = flag.Int("naive", 0, "close naively with an explicit most general environment over domain [0,D) instead of transforming")
-	noPOR      = flag.Bool("no-por", false, "disable persistent-set reduction")
-	noSleep    = flag.Bool("no-sleep", false, "disable sleep sets")
-	stateCache = flag.Bool("state-cache", false, "enable the state-hashing ablation")
-	stopFirst  = flag.Bool("stop-on-violation", false, "stop at the first assertion violation or runtime error")
-	samples    = flag.Int("samples", 4, "incident samples to print")
-	replay     = flag.Bool("replay", false, "replay the first incident step by step after the search")
-	shortest   = flag.Bool("shortest", false, "find a minimal-depth incident by iterative deepening instead of a full search")
-	workers    = flag.Int("workers", 0, "parallel search workers (0 = sequential, -1 = GOMAXPROCS)")
-	spillDepth = flag.Int("spill-depth", 0, "depth above which workers spill sibling subtrees to the shared frontier (0 = default 16)")
-	snapSpill  = flag.Bool("snapshot-spill", false, "attach state snapshots to spilled work units so claimers skip prefix replay (parallel engine only)")
-	progress   = flag.Duration("progress", 0, "print progress lines at this interval (0 = off)")
-
-	timeout   = flag.Duration("timeout", 0, "wall-clock budget for the search; on expiry the partial result is reported (0 = unlimited)")
-	ckptFile  = flag.String("checkpoint", "", "write checkpoint snapshots to this file (periodically with -checkpoint-every, and on interrupt or budget exhaustion)")
-	ckptEvery = flag.Duration("checkpoint-every", 0, "period between checkpoints (requires -checkpoint; 0 = only final)")
-	resumeFrm = flag.String("resume", "", "resume the search from a checkpoint file written by -checkpoint")
+	"reclose/internal/obs"
 )
 
 func main() {
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: verisoft [flags] file.mc (use - for stdin)\n")
-		flag.PrintDefaults()
-	}
-	flag.Parse()
-	code, err := run()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "verisoft: %v\n", err)
-		os.Exit(1)
-	}
-	os.Exit(code)
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() (int, error) {
-	if flag.NArg() != 1 {
-		flag.Usage()
-		os.Exit(2)
+// cli carries the parsed flags and output streams of one invocation, so
+// tests drive the whole command in-process.
+type cli struct {
+	fs             *flag.FlagSet
+	stdout, stderr io.Writer
+
+	depth      int
+	maxStates  int64
+	naive      int
+	noPOR      bool
+	noSleep    bool
+	stateCache bool
+	stopFirst  bool
+	samples    int
+	replay     bool
+	shortest   bool
+	workers    int
+	spillDepth int
+	snapSpill  bool
+	progress   time.Duration
+
+	timeout   time.Duration
+	ckptFile  string
+	ckptEvery time.Duration
+	resumeFrm string
+
+	metricsOut string
+	traceOut   string
+	pprofAddr  string
+}
+
+func newCLI(stdout, stderr io.Writer) *cli {
+	c := &cli{stdout: stdout, stderr: stderr}
+	fs := flag.NewFlagSet("verisoft", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: verisoft [flags] file.mc (use - for stdin)\n")
+		fs.PrintDefaults()
 	}
-	src, err := readSource(flag.Arg(0))
+	fs.IntVar(&c.depth, "depth", 0, "depth bound on explored paths (0 = default 1e6)")
+	fs.Int64Var(&c.maxStates, "max-states", 0, "abort after visiting this many global states (0 = unlimited)")
+	fs.IntVar(&c.naive, "naive", 0, "close naively with an explicit most general environment over domain [0,D) instead of transforming")
+	fs.BoolVar(&c.noPOR, "no-por", false, "disable persistent-set reduction")
+	fs.BoolVar(&c.noSleep, "no-sleep", false, "disable sleep sets")
+	fs.BoolVar(&c.stateCache, "state-cache", false, "enable the state-hashing ablation")
+	fs.BoolVar(&c.stopFirst, "stop-on-violation", false, "stop at the first assertion violation or runtime error")
+	fs.IntVar(&c.samples, "samples", 4, "incident samples to print")
+	fs.BoolVar(&c.replay, "replay", false, "replay the first incident step by step after the search")
+	fs.BoolVar(&c.shortest, "shortest", false, "find a minimal-depth incident by iterative deepening instead of a full search")
+	fs.IntVar(&c.workers, "workers", 0, "parallel search workers (0 = sequential, -1 = GOMAXPROCS)")
+	fs.IntVar(&c.spillDepth, "spill-depth", 0, "depth above which workers spill sibling subtrees to the shared frontier (0 = default 16)")
+	fs.BoolVar(&c.snapSpill, "snapshot-spill", false, "attach state snapshots to spilled work units so claimers skip prefix replay (parallel engine only)")
+	fs.DurationVar(&c.progress, "progress", 0, "print progress lines at this interval (0 = off)")
+	fs.DurationVar(&c.timeout, "timeout", 0, "wall-clock budget for the search; on expiry the partial result is reported (0 = unlimited)")
+	fs.StringVar(&c.ckptFile, "checkpoint", "", "write checkpoint snapshots to this file (periodically with -checkpoint-every, and on interrupt or budget exhaustion)")
+	fs.DurationVar(&c.ckptEvery, "checkpoint-every", 0, "period between checkpoints (requires -checkpoint; 0 = only final)")
+	fs.StringVar(&c.resumeFrm, "resume", "", "resume the search from a checkpoint file written by -checkpoint")
+	fs.StringVar(&c.metricsOut, "metrics-out", "", "write the final metrics registry to this file as versioned JSON")
+	fs.StringVar(&c.traceOut, "trace-out", "", "stream structured JSONL events (run start/stop, incidents, checkpoints) to this file")
+	fs.StringVar(&c.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
+	c.fs = fs
+	return c
+}
+
+// realMain is main without the process boundary: it parses args, runs
+// the search, and returns the exit code, writing to the given streams.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	c := newCLI(stdout, stderr)
+	if err := c.fs.Parse(args); err != nil {
+		return 2
+	}
+	code, err := c.run()
+	if err != nil {
+		fmt.Fprintf(stderr, "verisoft: %v\n", err)
+		return 1
+	}
+	return code
+}
+
+func (c *cli) run() (int, error) {
+	if c.fs.NArg() != 1 {
+		c.fs.Usage()
+		return 2, nil
+	}
+	src, err := readSource(c.fs.Arg(0))
 	if err != nil {
 		return 1, err
 	}
 
-	unit, how, err := prepare(string(src))
+	unit, how, err := c.prepare(string(src))
 	if err != nil {
 		return 1, err
 	}
-	fmt.Printf("prepared system: %s\n", how)
+	fmt.Fprintf(c.stdout, "prepared system: %s\n", how)
+
+	if c.pprofAddr != "" {
+		// Opt-in profiling listener; failures are reported but never
+		// fail the run.
+		go func(addr string) {
+			if err := http.ListenAndServe(addr, nil); err != nil {
+				fmt.Fprintf(c.stderr, "verisoft: pprof: %v\n", err)
+			}
+		}(c.pprofAddr)
+		fmt.Fprintf(c.stderr, "pprof: listening on http://%s/debug/pprof/\n", c.pprofAddr)
+	}
+
+	// Every run carries a registry: the engine flushes its counters into
+	// it, the summary: line reads from it, and -metrics-out persists it.
+	reg := obs.New()
+	var traceFile *os.File
+	if c.traceOut != "" {
+		traceFile, err = os.Create(c.traceOut)
+		if err != nil {
+			return 1, fmt.Errorf("trace-out: %w", err)
+		}
+		defer traceFile.Close()
+		reg.SetSink(obs.NewSink(traceFile))
+	}
 
 	opt := explore.Options{
-		MaxDepth:        *depth,
-		MaxStates:       *maxStates,
-		NoPOR:           *noPOR,
-		NoSleep:         *noSleep,
-		StateCache:      *stateCache,
-		StopOnViolation: *stopFirst,
-		MaxIncidents:    *samples,
-		Workers:         *workers,
-		SpillDepth:      *spillDepth,
-		SnapshotSpill:   *snapSpill,
-		Timeout:         *timeout,
+		MaxDepth:        c.depth,
+		MaxStates:       c.maxStates,
+		NoPOR:           c.noPOR,
+		NoSleep:         c.noSleep,
+		StateCache:      c.stateCache,
+		StopOnViolation: c.stopFirst,
+		MaxIncidents:    c.samples,
+		Workers:         c.workers,
+		SpillDepth:      c.spillDepth,
+		SnapshotSpill:   c.snapSpill,
+		Timeout:         c.timeout,
+		Obs:             reg,
 	}
-	if *progress > 0 {
-		opt.ProgressEvery = *progress
+	if c.progress > 0 {
+		opt.ProgressEvery = c.progress
 		opt.Progress = func(st explore.Stats) {
-			fmt.Fprintf(os.Stderr, "progress: states=%d transitions=%d paths=%d incidents=%d frontier=%d elapsed=%s\n",
+			fmt.Fprintf(c.stderr, "progress: states=%d transitions=%d paths=%d incidents=%d frontier=%d elapsed=%s\n",
 				st.States, st.Transitions, st.Paths, st.Incidents, st.FrontierUnits,
 				st.Elapsed.Round(time.Millisecond))
 		}
 	}
-	if *ckptFile != "" && *ckptEvery > 0 {
-		opt.CheckpointEvery = *ckptEvery
+	if c.ckptFile != "" && c.ckptEvery > 0 {
+		opt.CheckpointEvery = c.ckptEvery
 		opt.Checkpoint = func(s *explore.Snapshot) {
-			if err := writeSnapshot(*ckptFile, s); err != nil {
-				fmt.Fprintf(os.Stderr, "verisoft: checkpoint: %v\n", err)
+			if err := writeSnapshot(c.ckptFile, s); err != nil {
+				fmt.Fprintf(c.stderr, "verisoft: checkpoint: %v\n", err)
 			}
 		}
 	}
@@ -128,19 +212,19 @@ func run() (int, error) {
 	start := time.Now()
 	var rep *explore.Report
 	switch {
-	case *shortest:
+	case c.shortest:
 		in, r, err := explore.ShortestWitness(unit, opt)
 		if err != nil {
 			return 1, err
 		}
 		rep = r
 		if in != nil {
-			fmt.Printf("shortest incident: %s at depth %d (minimal)\n", in.Kind, in.Depth)
+			fmt.Fprintf(c.stdout, "shortest incident: %s at depth %d (minimal)\n", in.Kind, in.Depth)
 		} else {
-			fmt.Println("no incident within the depth limit")
+			fmt.Fprintln(c.stdout, "no incident within the depth limit")
 		}
-	case *resumeFrm != "":
-		data, err := os.ReadFile(*resumeFrm)
+	case c.resumeFrm != "":
+		data, err := os.ReadFile(c.resumeFrm)
 		if err != nil {
 			return 1, err
 		}
@@ -148,7 +232,7 @@ func run() (int, error) {
 		if err != nil {
 			return 1, err
 		}
-		fmt.Printf("resuming: %d work units, %d states already explored\n",
+		fmt.Fprintf(c.stdout, "resuming: %d work units, %d states already explored\n",
 			len(snap.Units), snap.Counters.States)
 		rep, err = explore.ResumeContext(ctx, unit, snap, opt)
 		if err != nil {
@@ -162,16 +246,16 @@ func run() (int, error) {
 	}
 	elapsed := time.Since(start)
 
-	fmt.Printf("search: %s\n", rep)
+	fmt.Fprintf(c.stdout, "search: %s\n", rep)
 	if rep.Incomplete {
-		fmt.Printf("incomplete: search stopped early (%s); counters cover the explored part only\n", rep.Cause)
+		fmt.Fprintf(c.stdout, "incomplete: search stopped early (%s); counters cover the explored part only\n", rep.Cause)
 	}
-	fmt.Printf("elapsed: %v (%.0f transitions/s)\n", elapsed.Round(time.Millisecond),
+	fmt.Fprintf(c.stdout, "elapsed: %v (%.0f transitions/s)\n", elapsed.Round(time.Millisecond),
 		float64(rep.Transitions)/elapsed.Seconds())
 	if rep.Workers > 0 {
-		fmt.Printf("workers: %d (replayed %d prefix transitions)\n", rep.Workers, rep.ReplaySteps)
+		fmt.Fprintf(c.stdout, "workers: %d (replayed %d prefix transitions)\n", rep.Workers, rep.ReplaySteps)
 		for i, ws := range rep.WorkerStats {
-			fmt.Printf("  W%d: units=%d states=%d paths=%d busy=%s util=%.0f%%\n",
+			fmt.Fprintf(c.stdout, "  W%d: units=%d states=%d paths=%d busy=%s util=%.0f%%\n",
 				i, ws.Units, ws.States, ws.Paths, ws.Busy.Round(time.Millisecond), 100*ws.Utilization)
 		}
 	}
@@ -180,44 +264,66 @@ func run() (int, error) {
 		verdict = fmt.Sprintf("FOUND: %d deadlock(s), %d violation(s), %d error(s), %d divergence(s), %d internal error(s)",
 			rep.Deadlocks, rep.Violations, rep.Traps, rep.Divergences, rep.InternalErrors)
 	}
-	fmt.Printf("coverage: %d/%d visible operations exercised\n", rep.OpsCovered, rep.OpsTotal)
-	fmt.Println(verdict)
-	fmt.Println(rep.Summary(elapsed))
+	fmt.Fprintf(c.stdout, "coverage: %d/%d visible operations exercised\n", rep.OpsCovered, rep.OpsTotal)
+	fmt.Fprintln(c.stdout, verdict)
+	// The summary line reads from the registry the engine filled — the
+	// same source -metrics-out persists — so the three views (CLI,
+	// metrics file, Report) always agree.
+	fmt.Fprintln(c.stdout, explore.RegistrySummary(reg, elapsed))
 	for i, in := range rep.Samples {
-		if i >= *samples {
+		if i >= c.samples {
 			break
 		}
-		fmt.Printf("--- sample %d ---\n%s", i+1, in)
+		fmt.Fprintf(c.stdout, "--- sample %d ---\n%s", i+1, in)
 	}
-	if *replay && len(rep.Samples) > 0 {
+	if c.replay && len(rep.Samples) > 0 {
 		in := rep.Samples[0]
-		fmt.Printf("--- replaying sample 1 (%d decisions) ---\n", len(in.Decisions))
+		fmt.Fprintf(c.stdout, "--- replaying sample 1 (%d decisions) ---\n", len(in.Decisions))
 		_, out, err := explore.Replay(unit, in.Decisions, func(st explore.ReplayStep) {
 			if st.HasEvent {
-				fmt.Printf("  %-10s -> %s\n", st.Decision, st.Event)
+				fmt.Fprintf(c.stdout, "  %-10s -> %s\n", st.Decision, st.Event)
 			} else {
-				fmt.Printf("  %-10s\n", st.Decision)
+				fmt.Fprintf(c.stdout, "  %-10s\n", st.Decision)
 			}
 		})
 		if err != nil {
 			return 1, fmt.Errorf("replay: %w", err)
 		}
 		if out != nil {
-			fmt.Printf("  outcome: %s\n", out)
+			fmt.Fprintf(c.stdout, "  outcome: %s\n", out)
 		} else {
-			fmt.Println("  outcome: final state reached (see incident kind)")
+			fmt.Fprintln(c.stdout, "  outcome: final state reached (see incident kind)")
 		}
 	}
 
 	// A final checkpoint preserves the remaining work of an interrupted
 	// or budget-cut search.
-	if *ckptFile != "" && rep.Incomplete {
+	if c.ckptFile != "" && rep.Incomplete {
 		if snap := rep.Snapshot(); snap != nil {
-			if err := writeSnapshot(*ckptFile, snap); err != nil {
+			if err := writeSnapshot(c.ckptFile, snap); err != nil {
 				return 1, fmt.Errorf("final checkpoint: %w", err)
 			}
-			fmt.Printf("checkpoint: remaining work written to %s (%d units); resume with -resume %s\n",
-				*ckptFile, len(snap.Units), *ckptFile)
+			fmt.Fprintf(c.stdout, "checkpoint: remaining work written to %s (%d units); resume with -resume %s\n",
+				c.ckptFile, len(snap.Units), c.ckptFile)
+		}
+	}
+
+	if c.metricsOut != "" {
+		mf, err := os.Create(c.metricsOut)
+		if err != nil {
+			return 1, fmt.Errorf("metrics-out: %w", err)
+		}
+		werr := reg.WriteMetrics(mf)
+		if cerr := mf.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return 1, fmt.Errorf("metrics-out: %w", werr)
+		}
+	}
+	if traceFile != nil {
+		if err := reg.Sink().Err(); err != nil {
+			return 1, fmt.Errorf("trace-out: %w", err)
 		}
 	}
 
@@ -248,7 +354,7 @@ func writeSnapshot(path string, s *explore.Snapshot) error {
 }
 
 // prepare closes the program if it is open.
-func prepare(src string) (*cfg.Unit, string, error) {
+func (c *cli) prepare(src string) (*cfg.Unit, string, error) {
 	unit, err := core.CompileSource(src)
 	if err != nil {
 		return nil, "", err
@@ -256,13 +362,13 @@ func prepare(src string) (*cfg.Unit, string, error) {
 	if !unit.IsOpen() {
 		return unit, "already closed", nil
 	}
-	if *naive > 0 {
-		composed, info, err := mgenv.ComposeSource(src, *naive)
+	if c.naive > 0 {
+		composed, info, err := mgenv.ComposeSource(src, c.naive)
 		if err != nil {
 			return nil, "", err
 		}
 		return composed, fmt.Sprintf("naively closed with most general environment, domain %d (%d env processes)",
-			*naive, len(info.EnvProcs)), nil
+			c.naive, len(info.EnvProcs)), nil
 	}
 	closed, st, err := core.Close(unit)
 	if err != nil {

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"reclose/internal/progs"
+)
+
+// summaryRE is the pinned format of the summary: line — the registry-
+// rendered run summary the CLI prints last before incident samples.
+var summaryRE = regexp.MustCompile(`(?m)^summary: states=(\d+) transitions=(\d+) paths=(\d+) incidents=(\d+) workers=(\d+) wall=\S+ trans/s=\d+$`)
+
+func writeProg(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.mc")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCLISummaryAndMetricsAgree runs the full command in-process on a
+// deadlocking program with -metrics-out and -trace-out and checks the
+// core observability promise end to end: the summary: line, the metrics
+// JSON, and the trace's run_stop event all report the same numbers.
+func TestCLISummaryAndMetricsAgree(t *testing.T) {
+	prog := writeProg(t, progs.DeadlockProne)
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "metrics.json")
+	trace := filepath.Join(dir, "trace.jsonl")
+
+	var out, errb bytes.Buffer
+	code := realMain([]string{"-metrics-out", metrics, "-trace-out", trace, prog}, &out, &errb)
+	if code != 3 {
+		t.Fatalf("exit code = %d, want 3 (incidents found)\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+
+	m := summaryRE.FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("no summary: line matching %v in output:\n%s", summaryRE, out.String())
+	}
+	atoi := func(s string) int64 {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad summary number %q: %v", s, err)
+		}
+		return n
+	}
+	states, transitions, paths, incidents := atoi(m[1]), atoi(m[2]), atoi(m[3]), atoi(m[4])
+	if incidents == 0 {
+		t.Error("summary reports 0 incidents for a deadlocking program")
+	}
+
+	// Metrics file: versioned, and counters equal to the summary's.
+	data, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatalf("read -metrics-out: %v", err)
+	}
+	var doc struct {
+		V        int              `json:"v"`
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("-metrics-out is not JSON: %v", err)
+	}
+	if doc.V != 1 {
+		t.Errorf("metrics version = %d, want 1", doc.V)
+	}
+	for name, want := range map[string]int64{
+		"explore.states":      states,
+		"explore.transitions": transitions,
+		"explore.paths":       paths,
+		"explore.incidents":   incidents,
+	} {
+		if got := doc.Counters[name]; got != want {
+			t.Errorf("metrics %s = %d, summary says %d", name, got, want)
+		}
+	}
+
+	// Trace file: every line is a versioned event; the stream is bracketed
+	// by run_start and run_stop, and run_stop agrees with the summary.
+	tdata, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatalf("read -trace-out: %v", err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(tdata), "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("trace has %d lines, want at least run_start + run_stop", len(lines))
+	}
+	type event struct {
+		V      int    `json:"v"`
+		Seq    int64  `json:"seq"`
+		Ev     string `json:"ev"`
+		States int64  `json:"states"`
+	}
+	var events []event
+	for i, ln := range lines {
+		var ev event
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("trace line %d is not JSON: %v\n%s", i+1, err, ln)
+		}
+		if ev.V != 1 {
+			t.Errorf("trace line %d version = %d, want 1", i+1, ev.V)
+		}
+		if ev.Seq != int64(i+1) {
+			t.Errorf("trace line %d seq = %d, want %d", i+1, ev.Seq, i+1)
+		}
+		events = append(events, ev)
+	}
+	if events[0].Ev != "run_start" {
+		t.Errorf("first event = %q, want run_start", events[0].Ev)
+	}
+	last := events[len(events)-1]
+	if last.Ev != "run_stop" {
+		t.Errorf("last event = %q, want run_stop", last.Ev)
+	}
+	if last.States != states {
+		t.Errorf("run_stop states = %d, summary says %d", last.States, states)
+	}
+}
+
+// TestCLICleanRunExitZero checks the happy path: a program whose full
+// search finds nothing exits 0 and still prints a well-formed summary.
+func TestCLICleanRunExitZero(t *testing.T) {
+	prog := writeProg(t, progs.FigureP)
+	var out, errb bytes.Buffer
+	code := realMain([]string{prog}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	m := summaryRE.FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("no summary: line in output:\n%s", out.String())
+	}
+	if m[4] != "0" {
+		t.Errorf("summary incidents = %s, want 0", m[4])
+	}
+}
+
+// TestCLIParallelSummary checks that -workers is reflected in the
+// summary's workers field.
+func TestCLIParallelSummary(t *testing.T) {
+	prog := writeProg(t, progs.DeadlockProne)
+	var out, errb bytes.Buffer
+	code := realMain([]string{"-workers", "2", prog}, &out, &errb)
+	if code != 3 {
+		t.Fatalf("exit code = %d, want 3\nstderr:\n%s", code, errb.String())
+	}
+	m := summaryRE.FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("no summary: line in output:\n%s", out.String())
+	}
+	if m[5] != "2" {
+		t.Errorf("summary workers = %s, want 2", m[5])
+	}
+}
+
+// TestCLIUsageErrors pins the CLI error contract: bad flags and a
+// missing operand exit 2, an unreadable input exits 1.
+func TestCLIUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain(nil, &out, &errb); code != 2 {
+		t.Errorf("no args: exit = %d, want 2", code)
+	}
+	if code := realMain([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag: exit = %d, want 2", code)
+	}
+	if code := realMain([]string{"/nonexistent/prog.mc"}, &out, &errb); code != 1 {
+		t.Errorf("missing file: exit = %d, want 1", code)
+	}
+}

@@ -87,6 +87,13 @@ type engine struct {
 	enBuf   []int           // enabled-process scratch (scheduleOptions)
 	dec     decisionArena   // spill-prefix allocator
 
+	// met is the search's shared observability instruments (noMetrics
+	// when disabled — never nil); metCur tracks how much of e.rep has
+	// been flushed into it. Flushes happen at path boundaries only, so
+	// the per-state loop carries no instrument traffic.
+	met    *exploreMetrics
+	metCur metricsCursor
+
 	ch    interp.Chooser
 	stop  bool
 	cause StopCause
@@ -125,10 +132,17 @@ type engine struct {
 // sites may be shared (read-only) with other engines of the same
 // search.
 func newEngine(sys *interp.System, opt Options, fps []map[string]bool, sites *siteTable) *engine {
-	e := &engine{sys: sys, opt: opt, footprint: fps, sites: sites}
+	e := &engine{sys: sys, opt: opt, footprint: fps, sites: sites, met: noMetrics}
 	e.ch = e.chooser()
 	e.reset()
 	return e
+}
+
+// setMetrics attaches the search's shared instruments to the engine and
+// its interpreter (forked snapshot systems inherit them).
+func (e *engine) setMetrics(m *exploreMetrics) {
+	e.met = m
+	e.sys.SetMetrics(m.interp)
 }
 
 // reset prepares the engine for a fresh search (or checkpoint round).
@@ -147,6 +161,7 @@ func (e *engine) reset() {
 	e.cause = StopNone
 	e.midPath = false
 	e.pathEnded = false
+	e.metCur = metricsCursor{}
 	e.start = time.Now()
 	e.lastProgress = e.start
 }
@@ -258,6 +273,10 @@ func (e *engine) backtrack() bool {
 // so a torn interpreter state cannot leak, and the DFS backtracks past
 // the failure and continues.
 func (e *engine) runPathSafe() {
+	// Registered first so it runs last (after the panic recovery has
+	// accounted the path): flush this path's counter deltas into the
+	// registry. Path boundaries are the engine's only instrument traffic.
+	defer func() { e.met.flushReport(e.rep, &e.metCur) }()
 	defer func() {
 		r := recover()
 		if r == nil {
@@ -271,6 +290,7 @@ func (e *engine) runPathSafe() {
 			e.rep.InternalErrors++
 			e.noteIncident()
 			e.recordSample(LeafInternalError, msg)
+			e.met.emitIncident(LeafInternalError, e.schedDepth(), msg)
 		} else {
 			e.leaf(LeafInternalError, msg)
 		}
@@ -437,6 +457,7 @@ func (e *engine) runPath() {
 				u.snap = e.sys.Fork()
 				u.traceSnap = append([]interp.Event(nil), e.trace...)
 			}
+			e.met.unitsSpilled.Inc()
 			e.spill(u)
 			en.options = options[:1]
 			en.objs = objs[:1]
@@ -502,6 +523,7 @@ func (e *engine) appendPathDecisions(dst []Decision) []Decision {
 // visible so childSleep reconstructs the same sleep sets the sequential
 // search would.
 func (e *engine) prepareUnit(u *workUnit) {
+	e.met.noteClaim(u)
 	e.base = u.prefix
 	e.baseSched = 0
 	for _, d := range u.prefix {
@@ -804,7 +826,9 @@ func (e *engine) leaf(kind LeafKind, msg string) {
 	if interesting {
 		e.noteIncident()
 		e.recordSample(kind, msg)
+		e.met.emitIncident(kind, e.schedDepth(), msg)
 	}
+	e.met.pathDepth.Observe(int64(e.schedDepth()))
 	// Internal-error paths carry a partial trace and may themselves be
 	// the fallout of a panicking callback, so OnLeaf is not invoked for
 	// them. The deferred unlock keeps a panicking callback from leaving

@@ -43,6 +43,7 @@ import (
 	"reclose/internal/ast"
 	"reclose/internal/cfg"
 	"reclose/internal/interp"
+	"reclose/internal/obs"
 	"reclose/internal/sem"
 )
 
@@ -110,6 +111,14 @@ type Options struct {
 	// snapshots, so restored units replay; sequential searches (Workers
 	// == 0) never spill and ignore the flag.
 	SnapshotSpill bool
+	// Obs, if non-nil, is the observability registry the search
+	// publishes into: live counters (explore.states, ... — see
+	// metrics.go) flushed at path boundaries, frontier/worker gauges,
+	// depth histograms, and — when the registry carries a sink —
+	// structured JSONL events (run start/stop, incidents, checkpoints,
+	// truncation). Counter totals equal the merged Report counters
+	// exactly. A nil registry disables all instrumentation at zero cost.
+	Obs *obs.Registry
 	// Progress, if non-nil, is invoked periodically with a snapshot of
 	// the running search's counters.
 	Progress func(Stats)
@@ -179,15 +188,15 @@ type LeafKind int
 
 // Leaf kinds.
 const (
-	LeafTerminated  LeafKind = iota // all processes terminated
-	LeafDeadlock                    // deadlock (some process running, none enabled)
-	LeafViolation                   // assertion violation
-	LeafTrap                        // runtime error
-	LeafDivergence                  // invisible-step budget exhausted
-	LeafDepth                       // depth bound reached
-	LeafSleepPruned                 // all enabled transitions in the sleep set
-	LeafCachePruned                 // state fingerprint already visited (StateCache)
-	LeafInternalError               // engine/interpreter panic isolated to one path
+	LeafTerminated    LeafKind = iota // all processes terminated
+	LeafDeadlock                      // deadlock (some process running, none enabled)
+	LeafViolation                     // assertion violation
+	LeafTrap                          // runtime error
+	LeafDivergence                    // invisible-step budget exhausted
+	LeafDepth                         // depth bound reached
+	LeafSleepPruned                   // all enabled transitions in the sleep set
+	LeafCachePruned                   // state fingerprint already visited (StateCache)
+	LeafInternalError                 // engine/interpreter panic isolated to one path
 )
 
 // String names the leaf kind.
@@ -364,15 +373,11 @@ func (r *Report) Incidents() int64 {
 
 // Summary renders the one-line run summary printed by cmd/verisoft and
 // the experiment harness (states, transitions, workers, wall time,
-// incidents).
+// incidents). It shares its formatter with RegistrySummary, so a
+// summary rendered from a Report and one rendered from the registry the
+// same search filled are identical.
 func (r *Report) Summary(wall time.Duration) string {
-	rate := 0.0
-	if s := wall.Seconds(); s > 0 {
-		rate = float64(r.Transitions) / s
-	}
-	return fmt.Sprintf("summary: states=%d transitions=%d paths=%d incidents=%d workers=%d wall=%s trans/s=%.0f",
-		r.States, r.Transitions, r.Paths, r.Incidents(), r.Workers,
-		wall.Round(time.Millisecond), rate)
+	return summaryLine(r.States, r.Transitions, r.Paths, r.Incidents(), r.Workers, wall)
 }
 
 // FirstIncident returns the first recorded sample of the given kind, or
@@ -476,11 +481,18 @@ func runSequential(ctx context.Context, u *cfg.Unit, opt Options, restored *rest
 	if opt.Timeout > 0 {
 		e.deadline = time.Now().Add(opt.Timeout)
 	}
+	met := newExploreMetrics(opt.Obs)
+	met.workers.Set(0)
+	met.emitRunStart(opt, restored != nil)
+	e.setMetrics(met)
+	start := time.Now()
 
 	acc := newAccum(opt, sites, len(u.Processes))
 	pending := []*workUnit{{root: true}}
 	if restored != nil {
 		acc.addRestored(restored)
+		met.addRestored(restored.rep)
+		met.emitResume(restored)
 		pending = append([]*workUnit(nil), restored.units...)
 		e.preStates = restored.rep.States
 		e.preTransitions = restored.rep.Transitions
@@ -523,7 +535,9 @@ func runSequential(ctx context.Context, u *cfg.Unit, opt Options, restored *rest
 				}
 				if due {
 					units := append(copyUnits(pending), e.residualUnits()...)
-					opt.Checkpoint(seqSnapshot(acc, e, units))
+					snap := seqSnapshot(acc, e, units)
+					met.emitCheckpoint(snap)
+					opt.Checkpoint(snap)
 					if nextCkptPaths > 0 {
 						nextCkptPaths = paths + opt.CheckpointEveryPaths
 					}
@@ -549,7 +563,9 @@ func runSequential(ctx context.Context, u *cfg.Unit, opt Options, restored *rest
 		rep.Truncated = true
 		rep.Cause = cause
 		rep.pending = leftover
+		met.emitTruncation(cause, rep)
 	}
+	met.emitRunStop(rep, time.Since(start))
 	return rep, nil
 }
 

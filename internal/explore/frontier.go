@@ -124,12 +124,17 @@ type frontier struct {
 
 	stop *atomic.Bool // the search's global stop flag
 
+	// met carries the search's shared instruments (noMetrics when
+	// disabled): spill-queue and in-flight high-water gauges, steal
+	// counts.
+	met *exploreMetrics
+
 	mu   sync.Mutex // guards cond only; shard data has its own locks
 	cond *sync.Cond
 }
 
-func newFrontier(shards int, stop *atomic.Bool) *frontier {
-	f := &frontier{shards: make([]frontierShard, shards), stop: stop}
+func newFrontier(shards int, stop *atomic.Bool, met *exploreMetrics) *frontier {
+	f := &frontier{shards: make([]frontierShard, shards), stop: stop, met: met}
 	f.cond = sync.NewCond(&f.mu)
 	return f
 }
@@ -138,13 +143,13 @@ func newFrontier(shards int, stop *atomic.Bool) *frontier {
 // sleeping worker. Signalling under f.mu pairs with the re-check inside
 // claim's wait loop, so a wakeup cannot be lost.
 func (f *frontier) push(worker int, u *workUnit) {
-	f.inflight.Add(1)
+	f.met.frontierInflight.SetMax(f.inflight.Add(1))
 	f.units.Add(1)
 	s := &f.shards[worker%len(f.shards)]
 	s.mu.Lock()
 	s.units = append(s.units, u)
 	s.mu.Unlock()
-	f.queued.Add(1)
+	f.met.frontierQueued.SetMax(f.queued.Add(1))
 	f.mu.Lock()
 	f.cond.Signal()
 	f.mu.Unlock()
@@ -196,6 +201,7 @@ func (f *frontier) take(worker int) *workUnit {
 			v.units = v.units[1:]
 			v.mu.Unlock()
 			f.queued.Add(-1)
+			f.met.unitsStolen.Inc()
 			return u
 		}
 		v.mu.Unlock()

@@ -1,0 +1,91 @@
+package explore
+
+import (
+	"bytes"
+	"testing"
+
+	"reclose/internal/core"
+	"reclose/internal/progs"
+)
+
+// FuzzCheckpointDecode hardens the -resume path: whatever bytes a
+// checkpoint file contains — corrupted, truncated, version-skewed, or
+// adversarially mutated — decoding and resuming must either succeed or
+// fail with a clean error. A panic anywhere (decode, structural
+// validation, prefix replay through the interpreter) is a bug: a stale
+// checkpoint from yesterday's program must not crash today's run.
+//
+// Seeds are real encoded checkpoints from a truncated search plus
+// targeted mutations of them (cut in half, out-of-range decision
+// values, out-of-range option indices), so the fuzzer starts deep
+// inside the interesting state space instead of at "not JSON".
+func FuzzCheckpointDecode(f *testing.F) {
+	closed, _, err := core.CloseSource(progs.Philosophers(3))
+	if err != nil {
+		f.Fatalf("CloseSource: %v", err)
+	}
+
+	// Real checkpoints: a state-budget cut and a mid-search periodic one.
+	rep, err := Explore(closed, Options{MaxStates: 40})
+	if err != nil {
+		f.Fatalf("Explore: %v", err)
+	}
+	snap := rep.Snapshot()
+	if snap == nil {
+		f.Fatal("truncated search produced no snapshot")
+	}
+	real1, err := snap.Encode()
+	if err != nil {
+		f.Fatalf("Encode: %v", err)
+	}
+	var periodic []byte
+	_, err = Explore(closed, Options{
+		CheckpointEveryPaths: 5,
+		Checkpoint: func(s *Snapshot) {
+			if data, err := s.Encode(); err == nil {
+				periodic = data
+			}
+		},
+	})
+	if err != nil {
+		f.Fatalf("Explore (periodic checkpoint): %v", err)
+	}
+
+	f.Add(real1)
+	if periodic != nil {
+		f.Add(periodic)
+	}
+	// Structural mutations of the real checkpoint.
+	f.Add(real1[:len(real1)/2])                                                        // truncated mid-object
+	f.Add(bytes.ReplaceAll(real1, []byte(`"version": 1`), []byte(`"version": 99`)))    // version skew
+	f.Add(bytes.ReplaceAll(real1, []byte(`"value": 0`), []byte(`"value": 9999`)))      // out-of-range decisions
+	f.Add(bytes.ReplaceAll(real1, []byte(`"value": 0`), []byte(`"value": -7`)))        // negative decisions
+	f.Add(bytes.ReplaceAll(real1, []byte(`"from": 1`), []byte(`"from": 77`)))          // option index out of range
+	f.Add(bytes.ReplaceAll(real1, []byte(`"processes": 3`), []byte(`"processes": 8`))) // program mismatch
+	f.Add(bytes.ReplaceAll(real1, []byte(`"coverage"`), []byte(`"coverage!"`)))
+	// Minimal hand-built shapes.
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":1,"processes":3,"site_bits":0,"units":[{"from":-1,"options":[0]}]}`))
+	f.Add([]byte(`{"version":1,"units":[{"sleep":{"notanumber":"x"}}]}`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := DecodeSnapshot(data)
+		if err != nil {
+			return // clean rejection
+		}
+		if _, err := restoreSnapshot(closed, snap); err != nil {
+			return // clean structural rejection
+		}
+		// Structurally valid: the search must run to completion. Decision
+		// prefixes that are semantically stale (wrong toss outcomes, moves
+		// that are no longer enabled) must surface as isolated
+		// internal-error incidents in the report, never as a panic or a
+		// hang. The bounds keep pathological counter values from turning
+		// a fuzz exec into a long search.
+		if _, err := Resume(closed, snap, Options{MaxStates: 500, MaxDepth: 200}); err != nil {
+			return
+		}
+	})
+}

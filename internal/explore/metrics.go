@@ -1,0 +1,335 @@
+package explore
+
+import (
+	"fmt"
+	"time"
+
+	"reclose/internal/interp"
+	"reclose/internal/obs"
+)
+
+// Registry metric names published by the exploration engine. The
+// counters mirror the merged Report exactly: every counter is flushed
+// from the per-engine partial reports at path boundaries and from
+// restored snapshots at resume time, the same two sources the report
+// accumulator sums — so registry totals and Report counters cannot
+// disagree (TestMetricsMatchReport pins this).
+const (
+	MetricStates      = "explore.states"
+	MetricTransitions = "explore.transitions"
+	MetricPaths       = "explore.paths"
+	MetricReplays     = "explore.replays"
+	MetricReplaySteps = "explore.replay_steps"
+	MetricIncidents   = "explore.incidents"
+
+	MetricUnitsClaimed   = "explore.units.claimed"
+	MetricUnitsSpilled   = "explore.units.spilled"
+	MetricUnitsStolen    = "explore.units.stolen"
+	MetricClaimsReplay   = "explore.claims.replay"
+	MetricClaimsSnapshot = "explore.claims.snapshot"
+	MetricCheckpoints    = "explore.checkpoints"
+	MetricResumes        = "explore.resumes"
+
+	MetricWorkers          = "explore.workers"
+	MetricDepthMax         = "explore.depth.max"
+	MetricFrontierQueued   = "explore.frontier.queued.max"
+	MetricFrontierInflight = "explore.frontier.inflight.max"
+
+	MetricPathDepth     = "explore.path.depth"
+	MetricUnitPrefixLen = "explore.unit.prefix_len"
+
+	MetricInterpForks  = "interp.forks"
+	MetricInterpFrames = "interp.frames"
+)
+
+// exploreMetrics is the engine's view of an observability registry:
+// plain typed instrument pointers, all nil when disabled (every obs
+// method is a no-op on a nil receiver). One instance is shared by every
+// engine, worker, and frontier of a search.
+type exploreMetrics struct {
+	on bool
+
+	states      *obs.Counter
+	transitions *obs.Counter
+	paths       *obs.Counter
+	replays     *obs.Counter
+	replaySteps *obs.Counter
+	incidents   *obs.Counter
+
+	unitsClaimed   *obs.Counter
+	unitsSpilled   *obs.Counter
+	unitsStolen    *obs.Counter
+	claimsReplay   *obs.Counter
+	claimsSnapshot *obs.Counter
+	checkpoints    *obs.Counter
+	resumes        *obs.Counter
+
+	workers          *obs.Gauge
+	depthMax         *obs.Gauge
+	frontierQueued   *obs.Gauge
+	frontierInflight *obs.Gauge
+
+	pathDepth     *obs.Histogram
+	unitPrefixLen *obs.Histogram
+
+	interp interp.Metrics
+	sink   *obs.Sink
+}
+
+// noMetrics is the disabled instance every engine starts with: all
+// instruments nil, all operations no-ops.
+var noMetrics = &exploreMetrics{}
+
+// newExploreMetrics wires an exploreMetrics to a registry; a nil
+// registry returns the shared disabled instance.
+func newExploreMetrics(reg *obs.Registry) *exploreMetrics {
+	if reg == nil {
+		return noMetrics
+	}
+	return &exploreMetrics{
+		on:          true,
+		states:      reg.Counter(MetricStates),
+		transitions: reg.Counter(MetricTransitions),
+		paths:       reg.Counter(MetricPaths),
+		replays:     reg.Counter(MetricReplays),
+		replaySteps: reg.Counter(MetricReplaySteps),
+		incidents:   reg.Counter(MetricIncidents),
+
+		unitsClaimed:   reg.Counter(MetricUnitsClaimed),
+		unitsSpilled:   reg.Counter(MetricUnitsSpilled),
+		unitsStolen:    reg.Counter(MetricUnitsStolen),
+		claimsReplay:   reg.Counter(MetricClaimsReplay),
+		claimsSnapshot: reg.Counter(MetricClaimsSnapshot),
+		checkpoints:    reg.Counter(MetricCheckpoints),
+		resumes:        reg.Counter(MetricResumes),
+
+		workers:          reg.Gauge(MetricWorkers),
+		depthMax:         reg.Gauge(MetricDepthMax),
+		frontierQueued:   reg.Gauge(MetricFrontierQueued),
+		frontierInflight: reg.Gauge(MetricFrontierInflight),
+
+		pathDepth:     reg.Histogram(MetricPathDepth),
+		unitPrefixLen: reg.Histogram(MetricUnitPrefixLen),
+
+		interp: interp.Metrics{
+			Forks:  reg.Counter(MetricInterpForks),
+			Frames: reg.Counter(MetricInterpFrames),
+		},
+		sink: reg.Sink(),
+	}
+}
+
+// metricsCursor tracks, per engine, how much of the engine's partial
+// report has already been flushed into the registry. Flushing deltas at
+// path boundaries keeps the hot state loop free of atomic traffic while
+// registry totals remain exactly the sums the report accumulator
+// computes.
+type metricsCursor struct {
+	states      int64
+	transitions int64
+	paths       int64
+	replays     int64
+	replaySteps int64
+	incidents   int64
+}
+
+// flushReport adds the not-yet-flushed part of a partial report,
+// advancing the cursor. Safe to call with the disabled instance.
+func (m *exploreMetrics) flushReport(r *Report, cur *metricsCursor) {
+	if !m.on {
+		return
+	}
+	m.states.Add(r.States - cur.states)
+	m.transitions.Add(r.Transitions - cur.transitions)
+	m.paths.Add(r.Paths - cur.paths)
+	m.replays.Add(r.Replays - cur.replays)
+	m.replaySteps.Add(r.ReplaySteps - cur.replaySteps)
+	inc := r.Incidents()
+	m.incidents.Add(inc - cur.incidents)
+	m.depthMax.SetMax(int64(r.MaxDepth))
+	cur.states = r.States
+	cur.transitions = r.Transitions
+	cur.paths = r.Paths
+	cur.replays = r.Replays
+	cur.replaySteps = r.ReplaySteps
+	cur.incidents = inc
+}
+
+// addRestored folds a restored snapshot's counters in, keeping registry
+// totals equal to the accumulator's whole-search numbers across a
+// resume.
+func (m *exploreMetrics) addRestored(r *Report) {
+	if !m.on {
+		return
+	}
+	m.states.Add(r.States)
+	m.transitions.Add(r.Transitions)
+	m.paths.Add(r.Paths)
+	m.replays.Add(r.Replays)
+	m.replaySteps.Add(r.ReplaySteps)
+	m.incidents.Add(r.Incidents())
+	m.depthMax.SetMax(int64(r.MaxDepth))
+	m.resumes.Inc()
+}
+
+// noteClaim records a claimed work unit: its prefix length, and whether
+// reaching its subtree replays the prefix or restores a snapshot (the
+// root unit does neither).
+func (m *exploreMetrics) noteClaim(u *workUnit) {
+	if !m.on {
+		return
+	}
+	m.unitsClaimed.Inc()
+	m.unitPrefixLen.Observe(int64(len(u.prefix)))
+	switch {
+	case u.root:
+	case u.snap != nil:
+		m.claimsSnapshot.Inc()
+	default:
+		m.claimsReplay.Inc()
+	}
+}
+
+// emitRunStart records the run-start event.
+func (m *exploreMetrics) emitRunStart(opt Options, resumed bool) {
+	if m.sink == nil {
+		return
+	}
+	mode := "sequential"
+	if opt.Workers > 0 {
+		mode = "parallel"
+	}
+	m.sink.Emit("run_start",
+		obs.F("mode", mode),
+		obs.F("workers", opt.Workers),
+		obs.F("spill_depth", opt.SpillDepth),
+		obs.F("snapshot_spill", opt.SnapshotSpill),
+		obs.F("max_depth", opt.MaxDepth),
+		obs.F("max_states", opt.MaxStates),
+		obs.F("resumed", resumed),
+	)
+}
+
+// emitRunStop records the run-stop event from the final merged report.
+func (m *exploreMetrics) emitRunStop(rep *Report, wall time.Duration) {
+	if m.sink == nil {
+		return
+	}
+	m.sink.Emit("run_stop",
+		obs.F("cause", rep.Cause.String()),
+		obs.F("complete", !rep.Incomplete),
+		obs.F("states", rep.States),
+		obs.F("transitions", rep.Transitions),
+		obs.F("paths", rep.Paths),
+		obs.F("incidents", rep.Incidents()),
+		obs.F("wall_ms", wall.Milliseconds()),
+	)
+}
+
+// emitTruncation records why an incomplete search stopped.
+func (m *exploreMetrics) emitTruncation(cause StopCause, rep *Report) {
+	if m.sink == nil {
+		return
+	}
+	m.sink.Emit("truncation",
+		obs.F("cause", cause.String()),
+		obs.F("states", rep.States),
+		obs.F("paths", rep.Paths),
+	)
+}
+
+// emitCheckpoint records one checkpoint snapshot.
+func (m *exploreMetrics) emitCheckpoint(s *Snapshot) {
+	m.checkpoints.Inc()
+	if m.sink == nil {
+		return
+	}
+	m.sink.Emit("checkpoint",
+		obs.F("units", len(s.Units)),
+		obs.F("states", s.Counters.States),
+		obs.F("paths", s.Counters.Paths),
+	)
+}
+
+// emitResume records a restored snapshot seeding the search.
+func (m *exploreMetrics) emitResume(rs *restoredState) {
+	if m.sink == nil {
+		return
+	}
+	m.sink.Emit("resume",
+		obs.F("units", len(rs.units)),
+		obs.F("states", rs.rep.States),
+		obs.F("paths", rs.rep.Paths),
+	)
+}
+
+// emitIncident records one interesting path ending (deadlock,
+// violation, trap, divergence, or isolated internal error).
+func (m *exploreMetrics) emitIncident(kind LeafKind, depth int, msg string) {
+	if m.sink == nil {
+		return
+	}
+	m.sink.Emit("incident",
+		obs.F("kind", kind.String()),
+		obs.F("depth", depth),
+		obs.F("msg", msg),
+	)
+}
+
+// noteWorkerStats publishes per-worker utilization gauges at the end of
+// a parallel run and emits one worker event each.
+func (m *exploreMetrics) noteWorkerStats(reg *obs.Registry, stats []WorkerStat) {
+	if !m.on || reg == nil {
+		return
+	}
+	for i, ws := range stats {
+		prefix := fmt.Sprintf("explore.worker.%d.", i)
+		reg.Gauge(prefix + "units").Set(ws.Units)
+		reg.Gauge(prefix + "states").Set(ws.States)
+		reg.Gauge(prefix + "paths").Set(ws.Paths)
+		reg.Gauge(prefix + "busy_ms").Set(ws.Busy.Milliseconds())
+		if m.sink != nil {
+			statesPerSec := 0.0
+			if s := ws.Busy.Seconds(); s > 0 {
+				statesPerSec = float64(ws.States) / s
+			}
+			m.sink.Emit("worker",
+				obs.F("id", i),
+				obs.F("units", ws.Units),
+				obs.F("states", ws.States),
+				obs.F("paths", ws.Paths),
+				obs.F("busy_ms", ws.Busy.Milliseconds()),
+				obs.F("states_per_sec", statesPerSec),
+			)
+		}
+	}
+}
+
+// summaryLine formats the canonical one-line run summary shared by
+// Report.Summary and RegistrySummary, so the CLI output, the metrics
+// file, and the Report render the same numbers the same way.
+func summaryLine(states, transitions, paths, incidents int64, workers int, wall time.Duration) string {
+	rate := 0.0
+	if s := wall.Seconds(); s > 0 {
+		rate = float64(transitions) / s
+	}
+	return fmt.Sprintf("summary: states=%d transitions=%d paths=%d incidents=%d workers=%d wall=%s trans/s=%.0f",
+		states, transitions, paths, incidents, workers,
+		wall.Round(time.Millisecond), rate)
+}
+
+// RegistrySummary renders the one-line run summary from the registry's
+// counters — the same counters the engine flushed during the search —
+// so a summary printed from the registry can never disagree with the
+// metrics file written from it. The format is identical to
+// Report.Summary.
+func RegistrySummary(reg *obs.Registry, wall time.Duration) string {
+	return summaryLine(
+		reg.Counter(MetricStates).Load(),
+		reg.Counter(MetricTransitions).Load(),
+		reg.Counter(MetricPaths).Load(),
+		reg.Counter(MetricIncidents).Load(),
+		int(reg.Gauge(MetricWorkers).Load()),
+		wall,
+	)
+}

@@ -40,7 +40,10 @@ func runParallel(ctx context.Context, u *cfg.Unit, opt Options, restored *restor
 	if opt.Checkpoint != nil {
 		shared.ckptEveryPaths = opt.CheckpointEveryPaths
 	}
-	f := newFrontier(opt.Workers, &shared.stop)
+	met := newExploreMetrics(opt.Obs)
+	met.workers.Set(int64(opt.Workers))
+	met.emitRunStart(opt, restored != nil)
+	f := newFrontier(opt.Workers, &shared.stop, met)
 	shared.wake = f.wake
 
 	fps := footprints(u)
@@ -59,6 +62,7 @@ func runParallel(ctx context.Context, u *cfg.Unit, opt Options, restored *restor
 		eng := newEngine(res.NewSystem(), opt, fps, sites)
 		eng.shared = shared
 		eng.leafMu = &leafMu
+		eng.setMetrics(met)
 		workers[i] = &worker{id: i, eng: eng, f: f}
 	}
 
@@ -66,6 +70,8 @@ func runParallel(ctx context.Context, u *cfg.Unit, opt Options, restored *restor
 	pending := []*workUnit{{root: true}}
 	if restored != nil {
 		acc.addRestored(restored)
+		met.addRestored(restored.rep)
+		met.emitResume(restored)
 		pending = copyUnits(restored.units)
 		// Preload the shared counters with the restored totals so the
 		// MaxStates budget, the path-based checkpoint cadence, and
@@ -142,7 +148,9 @@ rounds:
 			// Completed round; the gate above ends the loop.
 		case stopCheckpoint:
 			if opt.Checkpoint != nil {
-				opt.Checkpoint(parSnapshot(acc, pending))
+				snap := parSnapshot(acc, pending)
+				met.emitCheckpoint(snap)
+				opt.Checkpoint(snap)
 			}
 			if !nextCkpt.IsZero() {
 				nextCkpt = time.Now().Add(opt.CheckpointEvery)
@@ -176,7 +184,10 @@ rounds:
 		rep.Truncated = true
 		rep.Cause = cause
 		rep.pending = pending
+		met.emitTruncation(cause, rep)
 	}
+	met.noteWorkerStats(opt.Obs, stats)
+	met.emitRunStop(rep, wall)
 	return rep, nil
 }
 

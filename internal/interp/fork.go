@@ -16,11 +16,13 @@ import (
 // whole decision prefix from the initial state. The clone shares the
 // immutable Resolution (compiled code); only mutable state is copied.
 func (s *System) Fork() *System {
+	s.met.Forks.Inc()
 	fk := &forker{cellMap: make(map[*Cell]*Cell)}
 	ns := &System{
 		Unit:         s.Unit,
 		res:          s.res,
 		MaxInvisible: s.MaxInvisible,
+		met:          s.met,
 	}
 
 	// Pass 1: allocate every frame and register the identity of every

@@ -136,6 +136,10 @@ type System struct {
 	// exceeding it reports divergence (the paper's VeriSoft uses a
 	// timeout for the same purpose).
 	MaxInvisible int
+
+	// met carries the optional instrument counters (SetMetrics); the
+	// zero value is fully disabled.
+	met Metrics
 }
 
 // DefaultMaxInvisible is the default divergence bound.
@@ -199,6 +203,7 @@ func (s *System) Reset() {
 		p.cur = pc.g.Entry
 		s.Procs = append(s.Procs, p)
 	}
+	s.met.Frames.Add(int64(len(s.Procs)))
 }
 
 // Object returns the named communication object.
@@ -286,6 +291,12 @@ func (s *System) advance(p *Proc, ch Chooser) (out *Outcome) {
 			p.cur = next
 		case cfg.NTossSwitch:
 			k := ctx.toss(prog.tossBound)
+			if k < 0 || k >= len(prog.tossSucc) {
+				// A chooser replaying recorded decisions can feed an
+				// out-of-range outcome (a stale or corrupted checkpoint);
+				// trap instead of indexing off the arc table.
+				trapf("VS_toss outcome %d out of range [0,%d]", k, len(prog.tossSucc)-1)
+			}
 			next := prog.tossSucc[k]
 			if next == nil {
 				trapf("no matching arc out of node n%d", n.ID)
@@ -328,6 +339,7 @@ func (s *System) enterCall(p *Proc, ctx *evalCtx, c *callOp) {
 	if len(p.stack) >= maxCallDepth {
 		trapf("call stack overflow in %s", c.callee.name)
 	}
+	s.met.Frames.Inc()
 	nf := &frame{code: c.callee, cells: newCells(c.callee.nSlots()), callNode: c.nodeID}
 	for i, a := range c.args {
 		v := a(ctx) // ctx.frame is still the caller's frame here

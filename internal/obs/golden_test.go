@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestMetricsGolden locks the metrics snapshot schema: versioned, with
+// "v" first, counters/gauges/histograms sorted by name, histograms
+// rendering only non-empty buckets. Any schema drift fails this test
+// byte-for-byte.
+func TestMetricsGolden(t *testing.T) {
+	r := New()
+	r.Counter("explore.states").Add(1234)
+	r.Counter("explore.transitions").Add(5678)
+	r.Counter("explore.paths").Add(90)
+	r.Gauge("explore.workers").Set(4)
+	r.Gauge("explore.depth.max").SetMax(17)
+	h := r.Histogram("explore.path.depth")
+	for _, v := range []int64{1, 2, 3, 5, 9, 17, 17, 64} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.golden.json", buf.Bytes())
+
+	// The rendering must be deterministic: a second snapshot of the same
+	// registry is byte-identical.
+	var buf2 bytes.Buffer
+	if err := r.WriteMetrics(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("WriteMetrics is not deterministic")
+	}
+}
+
+// TestTraceGolden locks the JSONL event envelope: {"v":1,"seq":N,
+// "ms":N,"ev":...} followed by the fields in Emit order. A stepped
+// injected clock makes the "ms" column deterministic.
+func TestTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSink(&buf)
+	tick := time.Unix(1700000000, 0)
+	s.SetClock(func() time.Time {
+		now := tick
+		tick = tick.Add(250 * time.Millisecond)
+		return now
+	})
+
+	s.Emit("run_start",
+		F("mode", "parallel"), F("workers", 4), F("snapshot_spill", true))
+	s.Emit("incident",
+		F("kind", "deadlock"), F("depth", 12), F("msg", `P0 blocked on wait("a")`))
+	s.Emit("checkpoint", F("units", 7), F("states", int64(4096)))
+	s.Emit("run_stop",
+		F("cause", "none"), F("complete", true), F("states", int64(99999)))
+
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "trace.golden.jsonl", buf.Bytes())
+}

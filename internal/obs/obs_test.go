@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilInstruments is the package's core contract: every method of
+// every instrument is safe (and a no-op) on a nil receiver, and a nil
+// registry hands out nil instruments. Code under measurement relies on
+// this to be allocation-free when observability is off.
+func TestNilInstruments(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(42)
+	if got := c.Load(); got != 0 {
+		t.Errorf("nil Counter.Load() = %d, want 0", got)
+	}
+
+	var g *Gauge
+	g.Set(7)
+	g.SetMax(7)
+	if got := g.Load(); got != 0 {
+		t.Errorf("nil Gauge.Load() = %d, want 0", got)
+	}
+
+	var h *Histogram
+	h.Observe(3)
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 {
+		t.Errorf("nil Histogram not zero: count=%d sum=%d max=%d", h.Count(), h.Sum(), h.Max())
+	}
+
+	var s *Sink
+	s.Emit("ev", F("k", 1))
+	s.SetClock(nil)
+	if err := s.Err(); err != nil {
+		t.Errorf("nil Sink.Err() = %v, want nil", err)
+	}
+
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil {
+		t.Error("nil Registry handed out a non-nil instrument")
+	}
+	if r.Sink() != nil {
+		t.Error("nil Registry.Sink() != nil")
+	}
+	r.SetSink(nil)
+	if names := r.CounterNames(); names != nil {
+		t.Errorf("nil Registry.CounterNames() = %v, want nil", names)
+	}
+	if got := r.String(); got != "obs: disabled" {
+		t.Errorf("nil Registry.String() = %q", got)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteMetrics(&buf); err != nil {
+		t.Fatalf("nil Registry.WriteMetrics: %v", err)
+	}
+	var doc struct {
+		V        int              `json:"v"`
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil-registry metrics not JSON: %v", err)
+	}
+	if doc.V != MetricsVersion || len(doc.Counters) != 0 {
+		t.Errorf("nil-registry metrics = %s", buf.String())
+	}
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	var g Gauge
+	for _, step := range []struct{ set, want int64 }{
+		{5, 5}, {3, 5}, {5, 5}, {9, 9}, {0, 9}, {-1, 9},
+	} {
+		g.SetMax(step.set)
+		if got := g.Load(); got != step.want {
+			t.Fatalf("after SetMax(%d): got %d, want %d", step.set, got, step.want)
+		}
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0},
+		{2, 1},
+		{3, 2}, {4, 2},
+		{5, 3}, {8, 3},
+		{9, 4}, {16, 4},
+		{17, 5},
+		{1 << 20, 20},
+		{1<<62 + 1, 63}, // clamped to the last bucket
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+// TestHistogramBounds checks that each observation lands in a bucket
+// whose inclusive upper bound covers it, and that snapshot renders only
+// non-empty buckets.
+func TestHistogramBounds(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 2, 3, 4, 7, 8, 9, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 10 {
+		t.Fatalf("count = %d, want 10", h.Count())
+	}
+	if h.Sum() != 1134 {
+		t.Fatalf("sum = %d, want 1134", h.Sum())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("max = %d, want 1000", h.Max())
+	}
+	snap := h.snapshot()
+	var total int64
+	prev := int64(-1)
+	for _, b := range snap.Buckets {
+		if b.N == 0 {
+			t.Errorf("snapshot rendered empty bucket le=%d", b.Le)
+		}
+		if b.Le <= prev {
+			t.Errorf("bucket bounds not increasing: %d after %d", b.Le, prev)
+		}
+		prev = b.Le
+		total += b.N
+	}
+	if total != h.Count() {
+		t.Errorf("bucket total %d != count %d", total, h.Count())
+	}
+}
+
+func TestRegistryIdempotent(t *testing.T) {
+	r := New()
+	c1 := r.Counter("a")
+	c1.Add(5)
+	if c2 := r.Counter("a"); c2 != c1 {
+		t.Error("second Counter lookup returned a different instrument")
+	}
+	if r.Counter("a").Load() != 5 {
+		t.Error("counter value lost across lookups")
+	}
+	if g1, g2 := r.Gauge("g"), r.Gauge("g"); g1 != g2 {
+		t.Error("second Gauge lookup returned a different instrument")
+	}
+	if h1, h2 := r.Histogram("h"), r.Histogram("h"); h1 != h2 {
+		t.Error("second Histogram lookup returned a different instrument")
+	}
+	want := []string{"a"}
+	got := r.CounterNames()
+	if len(got) != len(want) || got[0] != want[0] {
+		t.Errorf("CounterNames = %v, want %v", got, want)
+	}
+}
+
+// TestConcurrentInstruments hammers one counter, one high-water gauge,
+// and one histogram from many goroutines; totals must be exact. Run
+// under -race this also proves the instruments are data-race-free.
+func TestConcurrentInstruments(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.SetMax(int64(w*per + i))
+				h.Observe(int64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := g.Load(); got != workers*per-1 {
+		t.Errorf("gauge high-water = %d, want %d", got, workers*per-1)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+}
+
+// errWriter fails after n successful writes.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.n--
+	return len(p), nil
+}
+
+// TestSinkStickyError checks that the sink records the first write
+// error, keeps accepting (and dropping) events afterwards, and reports
+// the error via Err.
+func TestSinkStickyError(t *testing.T) {
+	s := NewSink(&errWriter{n: 1})
+	s.Emit("ok")
+	if err := s.Err(); err != nil {
+		t.Fatalf("unexpected early error: %v", err)
+	}
+	s.Emit("fails")
+	if err := s.Err(); err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("Err() = %v, want disk full", err)
+	}
+	s.Emit("dropped") // must not panic or overwrite the error
+	if err := s.Err(); err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("error not sticky: %v", err)
+	}
+}
+
+// TestSinkConcurrent checks that concurrent emitters never tear lines:
+// every line parses as JSON and sequence numbers are a permutation of
+// 1..N.
+func TestSinkConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSink(&buf)
+	const workers, per = 4, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Emit("tick", F("worker", w), F("i", i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != workers*per {
+		t.Fatalf("got %d lines, want %d", len(lines), workers*per)
+	}
+	seen := make(map[int64]bool)
+	for _, ln := range lines {
+		var ev struct {
+			V   int    `json:"v"`
+			Seq int64  `json:"seq"`
+			Ev  string `json:"ev"`
+		}
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("torn line %q: %v", ln, err)
+		}
+		if ev.V != MetricsVersion || ev.Ev != "tick" {
+			t.Fatalf("bad envelope: %q", ln)
+		}
+		if seen[ev.Seq] {
+			t.Fatalf("duplicate seq %d", ev.Seq)
+		}
+		seen[ev.Seq] = true
+	}
+	for i := int64(1); i <= workers*per; i++ {
+		if !seen[i] {
+			t.Fatalf("missing seq %d", i)
+		}
+	}
+}
+
+// TestSinkEncodingError checks that an unencodable field value keeps
+// the line well-formed (null in place) and records the error.
+func TestSinkEncodingError(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSink(&buf)
+	s.Emit("bad", F("ch", make(chan int)))
+	if s.Err() == nil {
+		t.Fatal("expected encoding error")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("errored line was written: %q", buf.String())
+	}
+}

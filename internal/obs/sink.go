@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Field is one key/value pair of a structured event. Fields render in
+// the order given to Emit, after the envelope ("v", "seq", "ms",
+// "ev"), so event lines have a stable, predictable shape.
+type Field struct {
+	Key string
+	Val any
+}
+
+// F builds a Field.
+func F(key string, val any) Field { return Field{Key: key, Val: val} }
+
+// Sink is a structured JSONL event stream: every Emit writes one JSON
+// object on its own line, serialized under an internal mutex so
+// concurrent emitters (parallel search workers) never tear a line. A
+// nil *Sink is the disabled form: Emit on it is a no-op.
+//
+// Envelope fields, always first and in this order:
+//
+//	v   — schema version (1)
+//	seq — 1-based sequence number within this sink
+//	ms  — milliseconds since the sink was created
+//	ev  — event name
+//
+// Relative timestamps keep the stream reproducible under an injected
+// clock (SetClock) and free of wall-clock skew between lines.
+type Sink struct {
+	mu    sync.Mutex
+	w     io.Writer
+	buf   []byte
+	seq   int64
+	start time.Time
+	now   func() time.Time
+	err   error
+}
+
+// NewSink returns a sink writing JSONL events to w.
+func NewSink(w io.Writer) *Sink {
+	s := &Sink{w: w, now: time.Now}
+	s.start = s.now()
+	return s
+}
+
+// SetClock replaces the sink's clock (tests inject a fixed or stepped
+// clock to make the "ms" field deterministic). The epoch for "ms"
+// resets to the new clock's current time.
+func (s *Sink) SetClock(now func() time.Time) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.now = now
+	s.start = now()
+	s.mu.Unlock()
+}
+
+// Err returns the first write or encoding error the sink has seen;
+// after an error the sink keeps accepting events but drops them.
+func (s *Sink) Err() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Emit writes one event line. No-op on a nil receiver or after a write
+// error.
+func (s *Sink) Emit(event string, fields ...Field) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.seq++
+	b := s.buf[:0]
+	b = append(b, `{"v":1,"seq":`...)
+	b = appendInt(b, s.seq)
+	b = append(b, `,"ms":`...)
+	b = appendInt(b, s.now().Sub(s.start).Milliseconds())
+	b = append(b, `,"ev":`...)
+	b = appendJSON(b, event, &s.err)
+	for _, f := range fields {
+		b = append(b, ',')
+		b = appendJSON(b, f.Key, &s.err)
+		b = append(b, ':')
+		b = appendJSON(b, f.Val, &s.err)
+	}
+	b = append(b, '}', '\n')
+	s.buf = b
+	if s.err != nil {
+		return
+	}
+	if _, err := s.w.Write(b); err != nil {
+		s.err = err
+	}
+}
+
+// appendInt appends the decimal rendering of n.
+func appendInt(b []byte, n int64) []byte {
+	if n == 0 {
+		return append(b, '0')
+	}
+	if n < 0 {
+		b = append(b, '-')
+		n = -n
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for n > 0 {
+		i--
+		tmp[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return append(b, tmp[i:]...)
+}
+
+// appendJSON appends the JSON encoding of v, recording the first
+// encoding error in *errp (and appending null in its place, keeping the
+// line well-formed).
+func appendJSON(b []byte, v any, errp *error) []byte {
+	data, err := json.Marshal(v)
+	if err != nil {
+		if *errp == nil {
+			*errp = err
+		}
+		return append(b, "null"...)
+	}
+	return append(b, data...)
+}

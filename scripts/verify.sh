@@ -1,18 +1,21 @@
 #!/bin/sh
 # Tier-1 verification: build, vet, full tests, a race-detector leg over
 # the packages with real concurrency (the parallel exploration engine,
-# its checkpoint/resume tests, and the interpreter it runs on), and a
-# short fuzz smoke over the front end (5s per target).
+# its checkpoint/resume tests, the interpreter it runs on, and the
+# observability instruments all of them share), and a short fuzz smoke
+# over the front end and the checkpoint decoder (5s per target).
+# -count=1 defeats the test cache: a verification run must actually run.
 set -eux
 
 cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
-go test -timeout=10m ./...
-go test -timeout=10m -race ./internal/explore/... ./internal/interp/...
+go test -count=1 -timeout=10m ./...
+go test -count=1 -timeout=10m -race ./internal/explore/... ./internal/interp/... ./internal/obs/...
 go test -fuzz=FuzzLexer -fuzztime=5s ./internal/lexer/
 go test -fuzz=FuzzParser -fuzztime=5s ./internal/parser/
+go test -fuzz=FuzzCheckpointDecode -fuzztime=5s ./internal/explore/
 
 # Bench smoke: one iteration of the interpreter and snapshot-vs-replay
 # benchmarks (catches bit-rot in the perf harness without paying for a
