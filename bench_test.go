@@ -486,6 +486,36 @@ func BenchmarkStateCacheAblation(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedCache measures the sharded concurrent cache across
+// worker and shard counts on a convergence-heavy model: shards=1
+// serializes every Visit on one mutex, shards=8 spreads the contention.
+// The states metric shows the pruning is unchanged by either knob.
+func BenchmarkShardedCache(b *testing.B) {
+	closed := mustCloseB(b, progs.Pipeline(3, 2))
+	for _, shards := range []int{1, 8} {
+		for _, workers := range []int{0, 2, 4} {
+			b.Run(fmt.Sprintf("shards=%d/workers=%d", shards, workers), func(b *testing.B) {
+				var states, prunes int64
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rep := exploreB(b, closed, explore.Options{
+						StateCache:  true,
+						CacheShards: shards,
+						Workers:     workers,
+						NoPOR:       true,
+						NoSleep:     true,
+					})
+					states = rep.States
+					prunes = rep.CachePrunes
+				}
+				b.ReportMetric(float64(states), "states")
+				b.ReportMetric(float64(prunes), "prunes")
+			})
+		}
+	}
+}
+
 // --- extension and post-pass benchmarks -------------------------------------
 
 // BenchmarkPartitionedClose measures the §7 partitioning extension

@@ -57,20 +57,22 @@ type cli struct {
 	fs             *flag.FlagSet
 	stdout, stderr io.Writer
 
-	depth      int
-	maxStates  int64
-	naive      int
-	noPOR      bool
-	noSleep    bool
-	stateCache bool
-	stopFirst  bool
-	samples    int
-	replay     bool
-	shortest   bool
-	workers    int
-	spillDepth int
-	snapSpill  bool
-	progress   time.Duration
+	depth       int
+	maxStates   int64
+	naive       int
+	noPOR       bool
+	noSleep     bool
+	stateCache  bool
+	cacheShards int
+	cacheMem    int64
+	stopFirst   bool
+	samples     int
+	replay      bool
+	shortest    bool
+	workers     int
+	spillDepth  int
+	snapSpill   bool
+	progress    time.Duration
 
 	timeout   time.Duration
 	ckptFile  string
@@ -96,6 +98,8 @@ func newCLI(stdout, stderr io.Writer) *cli {
 	fs.BoolVar(&c.noPOR, "no-por", false, "disable persistent-set reduction")
 	fs.BoolVar(&c.noSleep, "no-sleep", false, "disable sleep sets")
 	fs.BoolVar(&c.stateCache, "state-cache", false, "enable the state-hashing ablation")
+	fs.IntVar(&c.cacheShards, "cache-shards", 0, "lock shards in the state cache, rounded up to a power of two (0 = default 16; requires -state-cache)")
+	fs.Int64Var(&c.cacheMem, "cache-mem", 0, "approximate state-cache memory budget in bytes; over budget, cold entries are evicted (0 = unbounded; requires -state-cache)")
 	fs.BoolVar(&c.stopFirst, "stop-on-violation", false, "stop at the first assertion violation or runtime error")
 	fs.IntVar(&c.samples, "samples", 4, "incident samples to print")
 	fs.BoolVar(&c.replay, "replay", false, "replay the first incident step by step after the search")
@@ -176,6 +180,8 @@ func (c *cli) run() (int, error) {
 		NoPOR:           c.noPOR,
 		NoSleep:         c.noSleep,
 		StateCache:      c.stateCache,
+		CacheShards:     c.cacheShards,
+		MaxCacheBytes:   c.cacheMem,
 		StopOnViolation: c.stopFirst,
 		MaxIncidents:    c.samples,
 		Workers:         c.workers,

@@ -176,3 +176,49 @@ func TestCLIUsageErrors(t *testing.T) {
 		t.Errorf("missing file: exit = %d, want 1", code)
 	}
 }
+
+// TestCLICacheFlags runs a cached parallel search with an explicit
+// shard count and memory budget and checks the cache section lands in
+// the metrics file: the shard gauge honors -cache-shards and the
+// hit/miss counters are populated.
+func TestCLICacheFlags(t *testing.T) {
+	prog := writeProg(t, progs.Philosophers(3))
+	metrics := filepath.Join(t.TempDir(), "metrics.json")
+	var out, errb bytes.Buffer
+	code := realMain([]string{
+		"-state-cache", "-cache-shards", "4", "-cache-mem", "1048576",
+		"-workers", "2", "-no-por", "-no-sleep",
+		"-metrics-out", metrics, prog,
+	}, &out, &errb)
+	if code != 3 {
+		t.Fatalf("exit code = %d, want 3 (deadlocks found)\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errb.String())
+	}
+	m := summaryRE.FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("no summary: line in output:\n%s", out.String())
+	}
+	if m[5] != "2" {
+		t.Errorf("summary workers = %s, want 2 (cache must not force sequential mode)", m[5])
+	}
+	data, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatalf("read -metrics-out: %v", err)
+	}
+	var doc struct {
+		Counters map[string]int64 `json:"counters"`
+		Gauges   map[string]int64 `json:"gauges"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("-metrics-out is not JSON: %v", err)
+	}
+	if got := doc.Gauges["explore.cache.shards"]; got != 4 {
+		t.Errorf("explore.cache.shards gauge = %d, want 4", got)
+	}
+	if doc.Counters["explore.cache.hits"] == 0 {
+		t.Error("explore.cache.hits = 0, want > 0 on the philosophers model")
+	}
+	if doc.Counters["explore.cache.inserts"] == 0 {
+		t.Error("explore.cache.inserts = 0, want > 0")
+	}
+}

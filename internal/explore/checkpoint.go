@@ -8,6 +8,7 @@ import (
 
 	"reclose/internal/cfg"
 	"reclose/internal/interp"
+	"reclose/internal/statecache"
 )
 
 // SnapshotVersion is the checkpoint format version written into every
@@ -35,6 +36,42 @@ type Snapshot struct {
 	Coverage string         `json:"coverage,omitempty"` // hex bitmap over CFG sites
 	Samples  []snapIncident `json:"samples,omitempty"`
 	Units    []snapUnit     `json:"units,omitempty"`
+
+	// Cache summarizes the shared state cache's occupancy at snapshot
+	// time (nil without StateCache). It is informational only: the
+	// cache is never serialized, and restore ignores this field — a
+	// resumed search starts with an empty cache and repopulates it,
+	// which can re-explore already-pruned subtrees but never lose
+	// coverage.
+	Cache *snapCache `json:"cache,omitempty"`
+}
+
+// snapCache is the informational cache-occupancy section of a
+// Snapshot.
+type snapCache struct {
+	Shards    int   `json:"shards"`
+	Entries   int64 `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// cacheSnap summarizes a state cache for snapshots and final reports;
+// a nil cache yields nil.
+func cacheSnap(c *statecache.Cache) *snapCache {
+	if c == nil {
+		return nil
+	}
+	st := c.Stats()
+	return &snapCache{
+		Shards:    st.Shards,
+		Entries:   st.Entries,
+		Bytes:     st.Bytes,
+		Hits:      st.Hits,
+		Misses:    st.Misses,
+		Evictions: st.Evictions,
+	}
 }
 
 // snapCounters mirrors the Report counters that carry across a
@@ -144,6 +181,7 @@ func buildSnapshot(rep *Report, units []*workUnit) *Snapshot {
 			StatesAtFirstIncident: rep.StatesAtFirstIncident,
 		},
 		Coverage: hex.EncodeToString(covBytes(rep.cov)),
+		Cache:    rep.cacheSum,
 	}
 	for _, in := range rep.Samples {
 		s.Samples = append(s.Samples, snapIncident{
@@ -161,19 +199,21 @@ func buildSnapshot(rep *Report, units []*workUnit) *Snapshot {
 
 // parSnapshot assembles a checkpoint of a parallel search between
 // rounds: all engine reports are already folded into the accumulator.
-func parSnapshot(a *accum, units []*workUnit) *Snapshot {
+func parSnapshot(a *accum, units []*workUnit, cache *statecache.Cache) *Snapshot {
 	c := a.clone()
 	rep := c.finalize(0, nil)
+	rep.cacheSum = cacheSnap(cache)
 	return buildSnapshot(rep, units)
 }
 
 // seqSnapshot assembles a checkpoint of a sequential search at a path
 // boundary: the accumulator (restored totals) plus the engine's live
 // partial report.
-func seqSnapshot(a *accum, e *engine, units []*workUnit) *Snapshot {
+func seqSnapshot(a *accum, e *engine, units []*workUnit, cache *statecache.Cache) *Snapshot {
 	c := a.clone()
 	c.addEngine(e)
 	rep := c.finalize(0, nil)
+	rep.cacheSum = cacheSnap(cache)
 	return buildSnapshot(rep, units)
 }
 

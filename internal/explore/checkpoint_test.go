@@ -338,3 +338,83 @@ func TestSnapshotValidation(t *testing.T) {
 		t.Error("Resume accepted a snapshot from a different program")
 	}
 }
+
+// TestMaxStatesResumeEquivalence pins the reserve-then-credit budget
+// discipline: a search cut by MaxStates counts exactly MaxStates
+// states (never "up to one extra per engine"), its snapshot resumes
+// without recounting anything, and a chain of growing budget hops
+// reaches exactly the totals of an uninterrupted run — states,
+// transitions, paths, leaf counters, coverage, and samples.
+func TestMaxStatesResumeEquivalence(t *testing.T) {
+	closed, _, err := core.CloseSource(progs.ProducerConsumer)
+	if err != nil {
+		t.Fatalf("CloseSource: %v", err)
+	}
+	base := explore.Options{MaxIncidents: 1 << 20}
+	baseline, err := explore.Explore(closed, base)
+	if err != nil {
+		t.Fatalf("baseline Explore: %v", err)
+	}
+	const step = 25
+	if baseline.States <= step {
+		t.Fatalf("model too small for budget cuts: %d states", baseline.States)
+	}
+	want := resultDigest(baseline)
+
+	for _, workers := range []int{0, 2, 4} {
+		var snap *explore.Snapshot
+		var final *explore.Report
+		budget := int64(step)
+		for hop := 0; ; hop++ {
+			if hop > int(baseline.States)/step+10 {
+				t.Fatalf("workers=%d: budget chain did not converge after %d hops", workers, hop)
+			}
+			opt := base
+			opt.Workers = workers
+			opt.MaxStates = budget
+			var rep *explore.Report
+			var err error
+			if snap == nil {
+				rep, err = explore.Explore(closed, opt)
+			} else {
+				rep, err = explore.Resume(closed, snap, opt)
+			}
+			if err != nil {
+				t.Fatalf("workers=%d hop %d: %v", workers, hop, err)
+			}
+			if rep.States > budget {
+				t.Fatalf("workers=%d hop %d: states = %d overshoots the budget %d",
+					workers, hop, rep.States, budget)
+			}
+			if !rep.Incomplete {
+				final = rep
+				break
+			}
+			if rep.Cause != explore.StopMaxStates {
+				t.Fatalf("workers=%d hop %d: Cause = %s, want %s",
+					workers, hop, rep.Cause, explore.StopMaxStates)
+			}
+			if rep.States != budget {
+				t.Fatalf("workers=%d hop %d: cut run counted %d states, want exactly %d",
+					workers, hop, rep.States, budget)
+			}
+			s := rep.Snapshot()
+			if s == nil {
+				t.Fatalf("workers=%d hop %d: Incomplete report has no snapshot", workers, hop)
+			}
+			data, err := s.Encode()
+			if err != nil {
+				t.Fatalf("workers=%d hop %d: Encode: %v", workers, hop, err)
+			}
+			snap, err = explore.DecodeSnapshot(data)
+			if err != nil {
+				t.Fatalf("workers=%d hop %d: DecodeSnapshot: %v", workers, hop, err)
+			}
+			budget += step
+		}
+		if got := resultDigest(final); got != want {
+			t.Errorf("workers=%d: budget-chained result diverged:\n--- got ---\n%s--- want ---\n%s",
+				workers, got, want)
+		}
+	}
+}

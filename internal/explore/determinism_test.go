@@ -66,8 +66,9 @@ func TestExploreDeterministic(t *testing.T) {
 	}
 }
 
-// TestStateCacheDeterministic checks the state-hashing ablation stays
-// deterministic now that cache keys are streaming hashes.
+// TestStateCacheDeterministic checks that cached sequential searches
+// stay deterministic run to run (full fingerprint keys, deterministic
+// shard routing).
 func TestStateCacheDeterministic(t *testing.T) {
 	closed, _, err := core.CloseSource(progs.ProducerConsumer)
 	if err != nil {
@@ -88,7 +89,13 @@ func TestStateCacheDeterministic(t *testing.T) {
 	if got, want := reportDigest(second), reportDigest(first); got != want {
 		t.Fatalf("StateCache run diverged:\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
-	if first.Workers != 0 {
-		t.Errorf("StateCache search reports Workers = %d, want 0 (forced sequential)", first.Workers)
+	// StateCache no longer forces sequential mode: an explicit worker
+	// count is honored (the cache is shared across workers).
+	par, err := explore.Explore(closed, explore.Options{StateCache: true, Workers: 2})
+	if err != nil {
+		t.Fatalf("Explore(workers=2): %v", err)
+	}
+	if par.Workers != 2 {
+		t.Errorf("cached parallel search reports Workers = %d, want 2", par.Workers)
 	}
 }

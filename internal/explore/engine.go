@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"reclose/internal/interp"
+	"reclose/internal/statecache"
 )
 
 // ReplayMismatchError reports a divergence between a recorded decision
@@ -82,10 +83,14 @@ type engine struct {
 
 	rep     *Report
 	covered coverage
-	cache   map[uint64]bool // FNV-1a fingerprint hashes (StateCache)
-	fpBuf   []byte          // fingerprint scratch
-	enBuf   []int           // enabled-process scratch (scheduleOptions)
-	dec     decisionArena   // spill-prefix allocator
+	// cache is the search's shared visited-state set (nil without
+	// StateCache): one statecache.Cache per run, shared by every
+	// engine of a parallel search.
+	cache    *statecache.Cache
+	fpBuf    []byte        // fingerprint/cache-key scratch
+	sleepIdx []int         // sorted sleep-process scratch (appendSleepKey)
+	enBuf    []int         // enabled-process scratch (scheduleOptions)
+	dec      decisionArena // spill-prefix allocator
 
 	// met is the search's shared observability instruments (noMetrics
 	// when disabled — never nil); metCur tracks how much of e.rep has
@@ -378,28 +383,32 @@ func (e *engine) runPath() {
 			continue
 		}
 
-		// Frontier: we are at a fresh global state. A cancellation cut
+		// Frontier: we are at a fresh global state. Every cut —
+		// cancellation, timeout, or an exhausted MaxStates budget —
 		// happens before the state is counted, so a continuation unit
-		// resuming here recounts nothing; a MaxStates cut counts the
-		// state first (the budget is "stop after visiting N states").
+		// resuming here recounts nothing and resumed totals match an
+		// uninterrupted run exactly. The MaxStates budget is reserved
+		// with a single add-and-check (rolled back on failure), so the
+		// shared count never overshoots the bound.
 		if e.checkStop() {
 			e.midPath = true
 			return
 		}
-		e.rep.States++
 		if e.shared != nil {
 			n := e.shared.states.Add(1)
-			if e.shared.maxStates > 0 && n >= e.shared.maxStates {
+			if e.shared.maxStates > 0 && n > e.shared.maxStates {
+				e.shared.states.Add(-1)
 				e.halt(StopMaxStates)
 				e.midPath = true
 				return
 			}
-		} else {
-			if e.opt.MaxStates > 0 && e.rep.States+e.preStates >= e.opt.MaxStates {
-				e.halt(StopMaxStates)
-				e.midPath = true
-				return
-			}
+		} else if e.opt.MaxStates > 0 && e.rep.States+e.preStates >= e.opt.MaxStates {
+			e.halt(StopMaxStates)
+			e.midPath = true
+			return
+		}
+		e.rep.States++
+		if e.shared == nil {
 			e.maybeProgress()
 		}
 		if hook := e.opt.testPanicAtState; hook != nil && hook(e.pathDecisions()) {
@@ -423,13 +432,20 @@ func (e *engine) runPath() {
 			return
 		}
 		if e.cache != nil {
+			// The cache key is the full fingerprint plus the sleep-set
+			// context: what gets expanded from here is a function of
+			// both, so only a visit with an identical key covers this
+			// one. Visit prunes only revisits at an equal or deeper
+			// depth than a stored visit (a shallower revisit re-expands
+			// — its subtree is cut later by the depth bound).
 			e.fpBuf = e.sys.AppendFingerprint(e.fpBuf[:0])
-			h := fnv1a(e.fpBuf)
-			if e.cache[h] {
+			if !e.opt.NoSleep {
+				e.fpBuf = e.appendSleepKey(e.fpBuf)
+			}
+			if e.cache.Visit(e.fpBuf, depth) {
 				e.leaf(LeafCachePruned, "state already visited")
 				return
 			}
-			e.cache[h] = true
 		}
 
 		options, objs := e.scheduleOptions()
@@ -902,17 +918,35 @@ func (e *engine) maybeProgress() {
 	})
 }
 
-// fnv1a hashes the fingerprint bytes (64-bit FNV-1a): a deterministic
-// streaming hash, so state-cache pruning does not vary across runs.
-func fnv1a(b []byte) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for _, c := range b {
-		h ^= uint64(c)
-		h *= prime64
+// appendSleepKey folds the pending sleep set into a cache key whose
+// prefix (of length fpLen = len(dst) on entry) is the state
+// fingerprint. The transitions expanded from a state exclude its
+// sleeping processes, so two visits cover each other only when both
+// the state and the sleep context match. The encoding is canonical
+// (entries sorted by process index, every field length-delimited, the
+// fingerprint length trailing) so equal (state, sleep) pairs — and
+// only those — produce equal keys.
+func (e *engine) appendSleepKey(dst []byte) []byte {
+	sleep := e.pendingSleep
+	if len(sleep) == 0 {
+		return dst
 	}
-	return h
+	fpLen := len(dst)
+	e.sleepIdx = e.sleepIdx[:0]
+	for p := range sleep {
+		e.sleepIdx = append(e.sleepIdx, p)
+	}
+	// Sleep sets are tiny; insertion sort avoids sort.Ints' boxing.
+	for i := 1; i < len(e.sleepIdx); i++ {
+		for j := i; j > 0 && e.sleepIdx[j] < e.sleepIdx[j-1]; j-- {
+			e.sleepIdx[j], e.sleepIdx[j-1] = e.sleepIdx[j-1], e.sleepIdx[j]
+		}
+	}
+	for _, p := range e.sleepIdx {
+		obj := sleep[p]
+		dst = append(dst, byte(p), byte(p>>8))
+		dst = append(dst, byte(len(obj)), byte(len(obj)>>8))
+		dst = append(dst, obj...)
+	}
+	return append(dst, byte(fpLen), byte(fpLen>>8), byte(fpLen>>16), byte(fpLen>>24))
 }

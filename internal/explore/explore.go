@@ -45,6 +45,7 @@ import (
 	"reclose/internal/interp"
 	"reclose/internal/obs"
 	"reclose/internal/sem"
+	"reclose/internal/statecache"
 )
 
 // Options configure a search.
@@ -54,23 +55,43 @@ type Options struct {
 	MaxDepth int
 	// MaxStates aborts the whole search after visiting this many global
 	// states; 0 means unlimited. The report is then marked Truncated.
-	// With Workers > 0 the bound is enforced against a shared atomic
-	// counter, so the final state count may overshoot by up to the
-	// number of workers.
+	// The budget is reserved before a state is credited (with Workers >
+	// 0, one atomic add-and-check on the shared counter), so the final
+	// state count never overshoots the bound and a run resumed after a
+	// MaxStates cut reaches exactly the totals of an uninterrupted run.
 	MaxStates int64
 	// NoPOR disables persistent-set reduction (all enabled processes are
 	// scheduled at every state).
 	NoPOR bool
 	// NoSleep disables sleep sets.
 	NoSleep bool
-	// StateCache enables the state-hashing ablation: global states whose
-	// fingerprint was already visited are pruned. VeriSoft itself stores
-	// no states; this exists to measure the trade-off. It is unsound in
-	// combination with depth bounds (a state first reached at a deep
-	// point prunes shallower revisits) and is off by default. The cache
-	// is a whole-search memo and therefore forces sequential mode:
-	// Workers is ignored when StateCache is set.
+	// StateCache enables fingerprint-based pruning: a global state whose
+	// full fingerprint was already visited at an equal or shallower
+	// depth is pruned. VeriSoft itself stores no states; this began as
+	// an ablation and is now a production pruning layer backed by
+	// internal/statecache: one sharded concurrent set shared by every
+	// worker, so it composes with Workers, SnapshotSpill, and
+	// checkpoint/resume (cache occupancy is summarized in snapshots,
+	// never serialized — a resumed search starts empty and repopulates,
+	// which can re-explore subtrees but never lose states). Pruning is
+	// sound: entries store full fingerprints (hash collisions route,
+	// they never answer), record the shallowest visit depth (a
+	// strictly shallower revisit re-expands, so MaxDepth truncation is
+	// never hidden), and fold the sleep-set context into the key (two
+	// visits are interchangeable only when they would expand the same
+	// transitions). Off by default.
 	StateCache bool
+	// CacheShards is the stripe count of the shared state cache
+	// (StateCache only), rounded up to a power of two; 0 means the
+	// statecache default (16). More shards reduce lock contention
+	// between workers; results do not depend on the count.
+	CacheShards int
+	// MaxCacheBytes bounds the state cache's approximate memory
+	// (fingerprint bytes plus per-entry overhead, split evenly across
+	// shards); 0 means unbounded. Over budget, entries are evicted
+	// clock-wise (second chance). Eviction only degrades pruning — a
+	// forgotten state is re-explored on revisit — never soundness.
+	MaxCacheBytes int64
 	// MaxIncidents bounds the recorded incident samples per kind;
 	// counters are exact regardless. Default 16.
 	MaxIncidents int
@@ -150,6 +171,9 @@ type Options struct {
 	// decision prefix it accepts: the white-box panic-injection hook of
 	// the isolation tests.
 	testPanicAtState func(decisions []Decision) bool
+	// testCacheHash, if non-nil, replaces the state cache's fingerprint
+	// hash: the white-box collision-injection hook of the cache tests.
+	testCacheHash func([]byte) uint64
 }
 
 // defaultSpillDepth bounds frontier spilling when Options.SpillDepth is
@@ -171,11 +195,6 @@ func (opt Options) withDefaults() Options {
 	}
 	if opt.Workers < 0 {
 		opt.Workers = runtime.GOMAXPROCS(0)
-	}
-	if opt.StateCache {
-		// The state cache is a whole-search memo; splitting it across
-		// workers would make pruning depend on work distribution.
-		opt.Workers = 0
 	}
 	if opt.ProgressEvery <= 0 {
 		opt.ProgressEvery = time.Second
@@ -355,6 +374,10 @@ type Report struct {
 	cov     coverage
 	procs   int
 	bits    int
+	// cacheSum summarizes the shared state cache at the end of the run
+	// (nil without StateCache); Snapshot carries it as information
+	// only — the cache itself is never serialized.
+	cacheSum *snapCache
 }
 
 // String renders the report as a one-line summary.
@@ -416,9 +439,13 @@ func ExploreContext(ctx context.Context, u *cfg.Unit, opt Options) (*Report, err
 // partial counters and incident samples carry into the final report and
 // its work units reseed the frontier. A resumed-to-completion search
 // reports the same incident set (kind and message) — and, for
-// checkpoint- or cancellation-cut runs, the same states, transitions,
-// paths, and leaf counters — as an uninterrupted run; only Replays and
-// ReplaySteps differ, because resuming re-replays unit prefixes.
+// checkpoint-, cancellation-, or MaxStates-cut runs, the same states,
+// transitions, paths, and leaf counters — as an uninterrupted run; only
+// Replays and ReplaySteps differ, because resuming re-replays unit
+// prefixes. (StateCache runs are the exception to counter equality: a
+// resumed search starts with an empty cache and may re-explore subtrees
+// the original run would have pruned; the incident set is still the
+// same.)
 func Resume(u *cfg.Unit, snap *Snapshot, opt Options) (*Report, error) {
 	return ResumeContext(context.Background(), u, snap, opt)
 }
@@ -474,9 +501,8 @@ func runSequential(ctx context.Context, u *cfg.Unit, opt Options, restored *rest
 	}
 	sites := newSiteTable(u)
 	e := newEngine(sys, opt, footprints(u), sites)
-	if opt.StateCache {
-		e.cache = make(map[uint64]bool)
-	}
+	cache := newStateCache(opt)
+	e.cache = cache
 	e.ctx = ctx
 	if opt.Timeout > 0 {
 		e.deadline = time.Now().Add(opt.Timeout)
@@ -535,7 +561,7 @@ func runSequential(ctx context.Context, u *cfg.Unit, opt Options, restored *rest
 				}
 				if due {
 					units := append(copyUnits(pending), e.residualUnits()...)
-					snap := seqSnapshot(acc, e, units)
+					snap := seqSnapshot(acc, e, units, cache)
 					met.emitCheckpoint(snap)
 					opt.Checkpoint(snap)
 					if nextCkptPaths > 0 {
@@ -558,6 +584,8 @@ func runSequential(ctx context.Context, u *cfg.Unit, opt Options, restored *rest
 	leftover := append(copyUnits(pending), e.residualUnits()...)
 	acc.addEngine(e)
 	rep := acc.finalize(0, nil)
+	rep.cacheSum = cacheSnap(cache)
+	met.noteCacheStats(opt.Obs, cache)
 	if stopped && cause != StopNone {
 		rep.Incomplete = true
 		rep.Truncated = true
@@ -567,6 +595,20 @@ func runSequential(ctx context.Context, u *cfg.Unit, opt Options, restored *rest
 	}
 	met.emitRunStop(rep, time.Since(start))
 	return rep, nil
+}
+
+// newStateCache builds the search's shared visited-state set, or nil
+// when StateCache is off. Both drivers construct exactly one cache per
+// run and attach it to every engine.
+func newStateCache(opt Options) *statecache.Cache {
+	if !opt.StateCache {
+		return nil
+	}
+	return statecache.New(statecache.Config{
+		Shards:   opt.CacheShards,
+		MaxBytes: opt.MaxCacheBytes,
+		Hash:     opt.testCacheHash,
+	})
 }
 
 // copyUnits clones a unit slice (the units themselves are immutable).

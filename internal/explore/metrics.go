@@ -6,6 +6,7 @@ import (
 
 	"reclose/internal/interp"
 	"reclose/internal/obs"
+	"reclose/internal/statecache"
 )
 
 // Registry metric names published by the exploration engine. The
@@ -40,7 +41,28 @@ const (
 
 	MetricInterpForks  = "interp.forks"
 	MetricInterpFrames = "interp.frames"
+
+	// State-cache metrics (StateCache runs only): counters mirror
+	// statecache.Stats totals, gauges report final occupancy. Published
+	// once at the end of a run — the cache keeps its own sharded
+	// tallies during the search, so the hot path carries no extra
+	// registry traffic. Per-shard occupancy appears as
+	// explore.cache.shard.<i>.entries gauges.
+	MetricCacheHits       = "explore.cache.hits"
+	MetricCacheMisses     = "explore.cache.misses"
+	MetricCacheInserts    = "explore.cache.inserts"
+	MetricCacheReexpands  = "explore.cache.reexpansions"
+	MetricCacheEvictions  = "explore.cache.evictions"
+	MetricCacheCollisions = "explore.cache.collisions"
+	MetricCacheEntries    = "explore.cache.entries"
+	MetricCacheBytes      = "explore.cache.bytes"
+	MetricCacheShards     = "explore.cache.shards"
 )
+
+// cacheShardGaugeLimit caps how many per-shard occupancy gauges are
+// published; beyond it only the aggregate gauges appear (a 64k-shard
+// cache should not emit 64k metrics rows).
+const cacheShardGaugeLimit = 64
 
 // exploreMetrics is the engine's view of an observability registry:
 // plain typed instrument pointers, all nil when disabled (every obs
@@ -302,6 +324,43 @@ func (m *exploreMetrics) noteWorkerStats(reg *obs.Registry, stats []WorkerStat) 
 				obs.F("states_per_sec", statesPerSec),
 			)
 		}
+	}
+}
+
+// noteCacheStats publishes the shared state cache's final statistics —
+// hit/miss/insert/eviction counters, occupancy gauges (aggregate plus
+// per shard), and one "cache" sink event — at the end of a run. A nil
+// cache (StateCache off) publishes nothing.
+func (m *exploreMetrics) noteCacheStats(reg *obs.Registry, c *statecache.Cache) {
+	if !m.on || reg == nil || c == nil {
+		return
+	}
+	st := c.Stats()
+	reg.Counter(MetricCacheHits).Add(st.Hits)
+	reg.Counter(MetricCacheMisses).Add(st.Misses)
+	reg.Counter(MetricCacheInserts).Add(st.Inserts)
+	reg.Counter(MetricCacheReexpands).Add(st.Reexpansions)
+	reg.Counter(MetricCacheEvictions).Add(st.Evictions)
+	reg.Counter(MetricCacheCollisions).Add(st.Collisions)
+	reg.Gauge(MetricCacheEntries).Set(st.Entries)
+	reg.Gauge(MetricCacheBytes).Set(st.Bytes)
+	reg.Gauge(MetricCacheShards).Set(int64(st.Shards))
+	if occ := c.ShardOccupancy(); len(occ) <= cacheShardGaugeLimit {
+		for i, n := range occ {
+			reg.Gauge(fmt.Sprintf("explore.cache.shard.%d.entries", i)).Set(n)
+		}
+	}
+	if m.sink != nil {
+		m.sink.Emit("cache",
+			obs.F("shards", st.Shards),
+			obs.F("entries", st.Entries),
+			obs.F("bytes", st.Bytes),
+			obs.F("hits", st.Hits),
+			obs.F("misses", st.Misses),
+			obs.F("reexpansions", st.Reexpansions),
+			obs.F("evictions", st.Evictions),
+			obs.F("collisions", st.Collisions),
+		)
 	}
 }
 

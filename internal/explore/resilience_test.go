@@ -71,8 +71,10 @@ func TestMaxStatesPartialReport(t *testing.T) {
 		if rep.Cause != explore.StopMaxStates {
 			t.Errorf("workers=%d: Cause = %s, want %s", workers, rep.Cause, explore.StopMaxStates)
 		}
-		if rep.States < 40 {
-			t.Errorf("workers=%d: states = %d, want >= MaxStates", workers, rep.States)
+		// The budget is reserved before a state is credited, so a cut
+		// run counts exactly MaxStates — no per-engine overshoot.
+		if rep.States != 40 {
+			t.Errorf("workers=%d: states = %d, want exactly MaxStates (40)", workers, rep.States)
 		}
 		if got, want := leafSum(rep), rep.Paths; got != want {
 			t.Errorf("workers=%d: leaf counters sum to %d, Paths = %d", workers, got, want)

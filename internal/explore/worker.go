@@ -57,11 +57,18 @@ func runParallel(ctx context.Context, u *cfg.Unit, opt Options, restored *restor
 	if err != nil {
 		return nil, err
 	}
+	// One shared visited-state set for the whole search (nil without
+	// StateCache): its sharded mutexes are the only locks the state
+	// loop touches, and checkpoint rounds keep it — the cache survives
+	// engine resets because pruning decisions are per-state facts, not
+	// per-round ones.
+	cache := newStateCache(opt)
 	workers := make([]*worker, opt.Workers)
 	for i := range workers {
 		eng := newEngine(res.NewSystem(), opt, fps, sites)
 		eng.shared = shared
 		eng.leafMu = &leafMu
+		eng.cache = cache
 		eng.setMetrics(met)
 		workers[i] = &worker{id: i, eng: eng, f: f}
 	}
@@ -148,7 +155,7 @@ rounds:
 			// Completed round; the gate above ends the loop.
 		case stopCheckpoint:
 			if opt.Checkpoint != nil {
-				snap := parSnapshot(acc, pending)
+				snap := parSnapshot(acc, pending, cache)
 				met.emitCheckpoint(snap)
 				opt.Checkpoint(snap)
 			}
@@ -179,6 +186,8 @@ rounds:
 		}
 	}
 	rep := acc.finalize(opt.Workers, stats)
+	rep.cacheSum = cacheSnap(cache)
+	met.noteCacheStats(opt.Obs, cache)
 	if cause != StopNone {
 		rep.Incomplete = true
 		rep.Truncated = true

@@ -1,0 +1,329 @@
+// Package statecache provides the sharded concurrent visited-state set
+// used by the exploration engine's StateCache option.
+//
+// The cache is a set of full state fingerprints (byte strings), striped
+// across a power-of-two number of mutex-guarded shards routed by a
+// 64-bit hash of the fingerprint. Storing the complete fingerprint —
+// not just its hash — makes membership exact: a hash collision costs a
+// bucket scan, never a false "already visited" answer, so pruning can
+// never mask a state that was genuinely new.
+//
+// Each entry also records the shallowest depth at which its state was
+// visited. Under a depth bound, the subtree explored from a state
+// shrinks as the visit gets deeper (the bound truncates more of it), so
+// a revisit may only be pruned when it is at the same depth or deeper
+// than a previous visit; a strictly shallower revisit re-expands the
+// state and lowers the recorded depth. Visit implements exactly that
+// rule.
+//
+// Memory can be bounded with MaxBytes. The budget is split evenly
+// across shards and enforced with clock (second-chance) eviction:
+// entries touched by a hit get a reference bit; the clock hand clears
+// reference bits as it sweeps and evicts the first unreferenced entry.
+// Eviction is sound by construction — the cache is a pruning memo, not
+// ground truth — forgetting an entry merely means a future revisit
+// re-explores a subtree that was already covered.
+package statecache
+
+import (
+	"bytes"
+	"sync"
+)
+
+// DefaultShards is the shard count used when Config.Shards is zero:
+// enough stripes that a handful of workers rarely collide on a mutex,
+// small enough that per-shard bookkeeping stays negligible.
+const DefaultShards = 16
+
+// maxShards caps the shard count (1<<16); beyond that the per-shard
+// maps dominate memory for nothing.
+const maxShards = 1 << 16
+
+// entryOverhead approximates the per-entry bookkeeping cost charged
+// against the byte budget beyond the fingerprint bytes themselves: the
+// slot record, its index-bucket element, and map overhead.
+const entryOverhead = 96
+
+// Config configures a Cache.
+type Config struct {
+	// Shards is the number of stripes, rounded up to a power of two;
+	// 0 means DefaultShards.
+	Shards int
+	// MaxBytes bounds the cache's approximate memory (fingerprint
+	// bytes plus entryOverhead per entry), split evenly across shards;
+	// 0 means unbounded.
+	MaxBytes int64
+	// Hash overrides the fingerprint hash used for shard routing and
+	// bucket lookup; nil means FNV1a. Tests inject degenerate hashes
+	// here to force collisions.
+	Hash func([]byte) uint64
+}
+
+// Stats is an aggregated snapshot of the cache's counters.
+type Stats struct {
+	Hits         int64 // Visit returned true (revisit pruned)
+	Misses       int64 // Visit returned false (state must be expanded)
+	Inserts      int64 // misses that stored a new entry
+	Reexpansions int64 // misses that lowered an existing entry's depth
+	Evictions    int64 // entries dropped by the clock hand
+	Collisions   int64 // same-hash candidates with a different fingerprint
+	Entries      int64 // live entries
+	Bytes        int64 // approximate bytes held
+	Shards       int
+}
+
+// slot is one cache entry on a shard's clock ring.
+type slot struct {
+	key   []byte
+	hash  uint64
+	depth int32
+	ref   bool // second-chance reference bit
+	live  bool
+}
+
+// shard is one stripe: a hash index over a slot ring with its own
+// mutex, byte budget, and counters.
+type shard struct {
+	mu    sync.Mutex
+	index map[uint64][]int32 // hash -> live slot positions
+	slots []slot
+	free  []int32
+	hand  int
+	bytes int64
+	live  int64
+
+	hits         int64
+	misses       int64
+	inserts      int64
+	reexpansions int64
+	evictions    int64
+	collisions   int64
+
+	_ [40]byte // keep adjacent shards off one cache line
+}
+
+// Cache is the concurrent visited-state set. One Cache is shared by
+// every worker of a search; all methods are safe for concurrent use.
+type Cache struct {
+	shards []shard
+	mask   uint64
+	hash   func([]byte) uint64
+	maxPer int64 // per-shard byte budget; 0 = unbounded
+}
+
+// New builds a cache from cfg.
+func New(cfg Config) *Cache {
+	n := ceilPow2(cfg.Shards)
+	c := &Cache{
+		shards: make([]shard, n),
+		mask:   uint64(n - 1),
+		hash:   cfg.Hash,
+	}
+	if c.hash == nil {
+		c.hash = FNV1a
+	}
+	if cfg.MaxBytes > 0 {
+		c.maxPer = cfg.MaxBytes / int64(n)
+		if c.maxPer < 1 {
+			c.maxPer = 1
+		}
+	}
+	for i := range c.shards {
+		c.shards[i].index = make(map[uint64][]int32)
+	}
+	return c
+}
+
+// ceilPow2 normalizes a shard count: at least 1, at most maxShards,
+// rounded up to a power of two.
+func ceilPow2(n int) int {
+	if n <= 0 {
+		n = DefaultShards
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Visit reports whether the state identified by key, reached at the
+// given depth, may be pruned: true iff the cache holds an entry with an
+// identical key whose recorded depth is at most depth. Otherwise the
+// state must be expanded and Visit returns false, after either lowering
+// the matching entry's depth (strictly shallower revisit) or inserting
+// a new entry (subject to the byte budget; an entry that cannot be
+// stored is simply not remembered). The key bytes are copied on insert,
+// so callers may reuse their buffer.
+func (c *Cache) Visit(key []byte, depth int) bool {
+	h := c.hash(key)
+	s := &c.shards[h&c.mask]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	for _, pos := range s.index[h] {
+		sl := &s.slots[pos]
+		if !bytes.Equal(sl.key, key) {
+			s.collisions++
+			continue
+		}
+		if int32(depth) >= sl.depth {
+			sl.ref = true
+			s.hits++
+			return true
+		}
+		// Strictly shallower revisit: the earlier, deeper visit saw a
+		// smaller depth budget, so its subtree may have been truncated.
+		// Re-expand and remember the new shallowest depth.
+		sl.depth = int32(depth)
+		sl.ref = true
+		s.misses++
+		s.reexpansions++
+		return false
+	}
+
+	s.misses++
+	cost := int64(len(key)) + entryOverhead
+	if c.maxPer > 0 {
+		for s.bytes+cost > c.maxPer {
+			if !s.evictOne() {
+				break
+			}
+		}
+		if s.bytes+cost > c.maxPer {
+			// Even an empty shard cannot hold this entry; skip the
+			// insert — the state is still expanded, only a future
+			// revisit loses its prune.
+			return false
+		}
+	}
+	var pos int32
+	if n := len(s.free); n > 0 {
+		pos = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.slots = append(s.slots, slot{})
+		pos = int32(len(s.slots) - 1)
+	}
+	sl := &s.slots[pos]
+	sl.key = append([]byte(nil), key...)
+	sl.hash = h
+	sl.depth = int32(depth)
+	sl.ref = false
+	sl.live = true
+	s.index[h] = append(s.index[h], pos)
+	s.bytes += cost
+	s.live++
+	s.inserts++
+	return false
+}
+
+// evictOne advances the clock hand to the next unreferenced live slot
+// and evicts it, clearing reference bits along the way. It reports
+// false only when the shard holds no live entries. Called with the
+// shard mutex held.
+func (s *shard) evictOne() bool {
+	n := len(s.slots)
+	if n == 0 || s.live == 0 {
+		return false
+	}
+	// Two full sweeps suffice: the first clears every reference bit,
+	// the second must find a victim.
+	for i := 0; i < 2*n; i++ {
+		pos := s.hand
+		s.hand++
+		if s.hand == n {
+			s.hand = 0
+		}
+		sl := &s.slots[pos]
+		if !sl.live {
+			continue
+		}
+		if sl.ref {
+			sl.ref = false
+			continue
+		}
+		s.remove(int32(pos), sl)
+		s.evictions++
+		return true
+	}
+	return false
+}
+
+// remove unlinks a live slot from the index and returns it to the free
+// list. Called with the shard mutex held.
+func (s *shard) remove(pos int32, sl *slot) {
+	bucket := s.index[sl.hash]
+	for i, p := range bucket {
+		if p == pos {
+			bucket[i] = bucket[len(bucket)-1]
+			bucket = bucket[:len(bucket)-1]
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(s.index, sl.hash)
+	} else {
+		s.index[sl.hash] = bucket
+	}
+	s.bytes -= int64(len(sl.key)) + entryOverhead
+	s.live--
+	sl.key = nil
+	sl.live = false
+	s.free = append(s.free, pos)
+}
+
+// Stats aggregates every shard's counters. It locks shards one at a
+// time, so a snapshot taken during a search is internally consistent
+// per shard but not across shards — exact once the search has drained.
+func (c *Cache) Stats() Stats {
+	st := Stats{Shards: len(c.shards)}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Inserts += s.inserts
+		st.Reexpansions += s.reexpansions
+		st.Evictions += s.evictions
+		st.Collisions += s.collisions
+		st.Entries += s.live
+		st.Bytes += s.bytes
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// ShardOccupancy returns the live entry count of each shard, in shard
+// order — the source of the per-shard occupancy gauges.
+func (c *Cache) ShardOccupancy() []int64 {
+	out := make([]int64, len(c.shards))
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		out[i] = s.live
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// Shards returns the (normalized) shard count.
+func (c *Cache) Shards() int { return len(c.shards) }
+
+// FNV1a hashes b with 64-bit FNV-1a: a deterministic streaming hash,
+// so shard routing and bucket layout do not vary across runs.
+func FNV1a(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}

@@ -12,7 +12,7 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test -count=1 -timeout=10m ./...
-go test -count=1 -timeout=10m -race ./internal/explore/... ./internal/interp/... ./internal/obs/...
+go test -count=1 -timeout=10m -race ./internal/explore/... ./internal/interp/... ./internal/obs/... ./internal/statecache/...
 go test -fuzz=FuzzLexer -fuzztime=5s ./internal/lexer/
 go test -fuzz=FuzzParser -fuzztime=5s ./internal/parser/
 go test -fuzz=FuzzCheckpointDecode -fuzztime=5s ./internal/explore/
