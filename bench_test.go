@@ -222,6 +222,33 @@ func BenchmarkFiveESSExplore(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineCompare measures the interpreter tiers head-to-head on
+// the bounded 5ESS exploration workload: the bytecode engine (flat
+// per-unit bytecode, register dispatch, pooled frames) against the
+// closure-per-node slot engine it replaced as the default. Same unit,
+// same options, byte-identical reports — only ns/op and allocs/op
+// differ. The ref tier is deliberately absent: it is an oracle, not a
+// contender, and BenchmarkInterpreter already tracks it.
+func BenchmarkEngineCompare(b *testing.B) {
+	for _, scale := range []string{"small", "medium"} {
+		closed := mustCloseB(b, fiveess.Source(fiveess.Scale(scale)))
+		for _, eng := range []interp.EngineKind{interp.EngineBytecode, interp.EngineSlots} {
+			b.Run(fmt.Sprintf("%s/%s", eng, scale), func(b *testing.B) {
+				var trans int64
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rep := exploreB(b, closed, explore.Options{
+						Engine: eng, MaxDepth: 500, MaxStates: 20000,
+					})
+					trans = rep.Transitions
+				}
+				b.ReportMetric(float64(trans), "transitions")
+			})
+		}
+	}
+}
+
 // BenchmarkParallelExplore measures the layered work-stealing engine on
 // the 5ESS medium workload at increasing worker counts. workers=1 is
 // the parallel engine's own baseline (one worker paying the frontier

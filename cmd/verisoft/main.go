@@ -43,6 +43,7 @@ import (
 	"reclose/internal/cfg"
 	"reclose/internal/core"
 	"reclose/internal/explore"
+	"reclose/internal/interp"
 	"reclose/internal/mgenv"
 	"reclose/internal/obs"
 )
@@ -57,6 +58,7 @@ type cli struct {
 	fs             *flag.FlagSet
 	stdout, stderr io.Writer
 
+	engine      string
 	depth       int
 	maxStates   int64
 	naive       int
@@ -92,6 +94,7 @@ func newCLI(stdout, stderr io.Writer) *cli {
 		fmt.Fprintf(stderr, "usage: verisoft [flags] file.mc (use - for stdin)\n")
 		fs.PrintDefaults()
 	}
+	fs.StringVar(&c.engine, "engine", "bytecode", "interpreter tier: bytecode (flat bytecode + incremental hashing), slots (closure-compiled), or ref (reference oracle)")
 	fs.IntVar(&c.depth, "depth", 0, "depth bound on explored paths (0 = default 1e6)")
 	fs.Int64Var(&c.maxStates, "max-states", 0, "abort after visiting this many global states (0 = unlimited)")
 	fs.IntVar(&c.naive, "naive", 0, "close naively with an explicit most general environment over domain [0,D) instead of transforming")
@@ -143,12 +146,16 @@ func (c *cli) run() (int, error) {
 	if err != nil {
 		return 1, err
 	}
+	engine, err := interp.ParseEngine(c.engine)
+	if err != nil {
+		return 1, err
+	}
 
 	unit, how, err := c.prepare(string(src))
 	if err != nil {
 		return 1, err
 	}
-	fmt.Fprintf(c.stdout, "prepared system: %s\n", how)
+	fmt.Fprintf(c.stdout, "prepared system: %s (engine %s)\n", how, engine)
 
 	if c.pprofAddr != "" {
 		// Opt-in profiling listener; failures are reported but never
@@ -175,6 +182,7 @@ func (c *cli) run() (int, error) {
 	}
 
 	opt := explore.Options{
+		Engine:          engine,
 		MaxDepth:        c.depth,
 		MaxStates:       c.maxStates,
 		NoPOR:           c.noPOR,

@@ -51,7 +51,12 @@ type Chan struct {
 	name      string
 	capacity  int
 	envFacing bool
-	q         []any
+	// q[head:] is the live queue. Recv advances head instead of
+	// re-slicing away the front, so the backing array keeps its capacity
+	// across send/recv cycles; Send compacts the live window back to the
+	// start only when the array is full and drained slots exist.
+	q    []any
+	head int
 }
 
 // NewChan returns a channel of the given capacity. If envFacing is true
@@ -70,10 +75,10 @@ func (c *Chan) Kind() ast.ObjectKind { return ast.ChanObject }
 func (c *Chan) EnvFacing() bool { return c.envFacing }
 
 // CanSend reports whether a send would not block.
-func (c *Chan) CanSend() bool { return c.envFacing || len(c.q) < c.capacity }
+func (c *Chan) CanSend() bool { return c.envFacing || len(c.q)-c.head < c.capacity }
 
 // CanRecv reports whether a receive would not block.
-func (c *Chan) CanRecv() bool { return c.envFacing || len(c.q) > 0 }
+func (c *Chan) CanRecv() bool { return c.envFacing || len(c.q) > c.head }
 
 // Enabled implements Object.
 func (c *Chan) Enabled(op string) bool {
@@ -91,8 +96,16 @@ func (c *Chan) Send(v any) error {
 	if c.envFacing {
 		return nil
 	}
-	if len(c.q) >= c.capacity {
+	if len(c.q)-c.head >= c.capacity {
 		return fmt.Errorf("chan %s: send on full channel", c.name)
+	}
+	if c.head > 0 && len(c.q) == cap(c.q) {
+		n := copy(c.q, c.q[c.head:])
+		for i := n; i < len(c.q); i++ {
+			c.q[i] = nil
+		}
+		c.q = c.q[:n]
+		c.head = 0
 	}
 	c.q = append(c.q, v)
 	return nil
@@ -104,16 +117,21 @@ func (c *Chan) Recv() (v any, stub bool, err error) {
 	if c.envFacing {
 		return nil, true, nil
 	}
-	if len(c.q) == 0 {
+	if len(c.q) == c.head {
 		return nil, false, fmt.Errorf("chan %s: recv on empty channel", c.name)
 	}
-	v = c.q[0]
-	c.q = c.q[1:]
+	v = c.q[c.head]
+	c.q[c.head] = nil
+	c.head++
+	if c.head == len(c.q) {
+		c.q = c.q[:0]
+		c.head = 0
+	}
 	return v, false, nil
 }
 
 // Len returns the current queue length.
-func (c *Chan) Len() int { return len(c.q) }
+func (c *Chan) Len() int { return len(c.q) - c.head }
 
 // Reset implements Object. The queue's backing array is retained so a
 // Reset/replay cycle does not reallocate it.
@@ -122,14 +140,15 @@ func (c *Chan) Reset() {
 		c.q[i] = nil
 	}
 	c.q = c.q[:0]
+	c.head = 0
 }
 
 // Clone implements Object.
 func (c *Chan) Clone(copyPayload func(any) any) Object {
 	nc := &Chan{name: c.name, capacity: c.capacity, envFacing: c.envFacing}
-	if len(c.q) > 0 {
-		nc.q = make([]any, len(c.q))
-		for i, v := range c.q {
+	if live := c.q[c.head:]; len(live) > 0 {
+		nc.q = make([]any, len(live))
+		for i, v := range live {
 			nc.q[i] = copyPayload(v)
 		}
 	}
@@ -146,7 +165,7 @@ func (c *Chan) AppendFingerprint(dst []byte) []byte {
 		return append(dst, ":stub"...)
 	}
 	dst = append(dst, ':', '[')
-	for i, v := range c.q {
+	for i, v := range c.q[c.head:] {
 		if i > 0 {
 			dst = append(dst, ' ')
 		}

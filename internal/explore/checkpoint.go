@@ -4,6 +4,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"sort"
 	"strconv"
 
 	"reclose/internal/cfg"
@@ -318,8 +319,8 @@ func snapFromUnit(u *workUnit) snapUnit {
 	}
 	if len(u.sleep) > 0 {
 		su.Sleep = make(map[string]string, len(u.sleep))
-		for p, obj := range u.sleep {
-			su.Sleep[strconv.Itoa(p)] = obj
+		for _, se := range u.sleep {
+			su.Sleep[strconv.Itoa(se.proc)] = se.obj
 		}
 	}
 	return su
@@ -338,14 +339,17 @@ func unitFromSnap(su *snapUnit) (*workUnit, error) {
 		cont:    su.Cont,
 	}
 	if len(su.Sleep) > 0 {
-		u.sleep = make(map[int]string, len(su.Sleep))
+		u.sleep = make(sleepSet, 0, len(su.Sleep))
 		for k, obj := range su.Sleep {
 			p, err := strconv.Atoi(k)
 			if err != nil {
 				return nil, fmt.Errorf("bad sleep key %q", k)
 			}
-			u.sleep[p] = obj
+			u.sleep = append(u.sleep, sleepEntry{proc: p, obj: obj})
 		}
+		// JSON map iteration is unordered; restore the sleepSet's
+		// by-process invariant.
+		sort.Slice(u.sleep, func(i, j int) bool { return u.sleep[i].proc < u.sleep[j].proc })
 	}
 	if u.root || u.cont {
 		return u, nil

@@ -35,7 +35,12 @@ type entry struct {
 	// visible operation targets ("" for VS_assert), for sleep-set
 	// updates, plus the sleep set inherited at this state.
 	objs  []string
-	sleep map[int]string // proc index -> object recorded when it fell asleep
+	sleep sleepSet
+	// shared marks an entry whose options/objs backing arrays escaped
+	// into a work unit (a spill, or a unit-restored decision point);
+	// the entry pool must not recycle them — a claimer may still be
+	// reading the published slices.
+	shared bool
 }
 
 func (e *entry) choice() int { return e.options[e.cursor] }
@@ -46,13 +51,17 @@ func (e *entry) choice() int { return e.options[e.cursor] }
 // unit, replaying the unit's decision prefix (base) before extending
 // the subtree depth-first.
 type engine struct {
-	sys *interp.System
+	// sys is the engine's private machine — the interpreter tier
+	// selected by Options.Engine behind the uniform Machine interface
+	// (transition semantics, fingerprints, state hashes, forking).
+	sys interp.Machine
 	opt Options
 
-	// footprint[i] is the set of objects process i can ever operate on
-	// (static over-approximation via the call graph); read-only and
+	// footprint holds the static object footprints (which objects each
+	// process can ever operate on, over-approximated via the call
+	// graph) with their precomputed mask/overlap forms; read-only and
 	// shared across workers.
-	footprint []map[string]bool
+	footprint *footprintTable
 	sites     *siteTable
 
 	// base is the decision prefix of the current work unit, replayed
@@ -64,21 +73,25 @@ type engine struct {
 	// baseSleep is the pending sleep set carried by a continuation or
 	// toss work unit: it becomes the sleep context of the first fresh
 	// state after the base replay (nil otherwise).
-	baseSleep map[int]string
+	baseSleep sleepSet
 
 	stack     []*entry
 	replayIdx int
 	trace     []interp.Event
 	// pendingSleep is the sleep set to attach to the next scheduling
 	// entry (computed when its parent's option was executed).
-	pendingSleep map[int]string
+	pendingSleep sleepSet
+	// entPool recycles popped stack entries together with their
+	// options/objs backing arrays (skipping shared ones), so a
+	// steady-state search allocates no per-state entry machinery.
+	entPool []*entry
 
 	// snapRoot, when the claimed unit carries a snapshot
-	// (Options.SnapshotSpill), is the forked system pinned at the unit's
+	// (Options.SnapshotSpill), is the forked machine pinned at the unit's
 	// decision point: every runPath forks it again instead of replaying
 	// the base prefix from the initial state, and snapTrace seeds the
 	// visible trace with the prefix events. Both nil in replay mode.
-	snapRoot  *interp.System
+	snapRoot  interp.Machine
 	snapTrace []interp.Event
 
 	rep     *Report
@@ -86,11 +99,14 @@ type engine struct {
 	// cache is the search's shared visited-state set (nil without
 	// StateCache): one statecache.Cache per run, shared by every
 	// engine of a parallel search.
-	cache    *statecache.Cache
-	fpBuf    []byte        // fingerprint/cache-key scratch
-	sleepIdx []int         // sorted sleep-process scratch (appendSleepKey)
-	enBuf    []int         // enabled-process scratch (scheduleOptions)
-	dec      decisionArena // spill-prefix allocator
+	cache  *statecache.Cache
+	fpBuf  []byte        // fingerprint/cache-key scratch
+	enBuf  []int         // enabled-process scratch (scheduleOptions)
+	inS    []bool        // closure-membership scratch (persistentSet)
+	inList []int         // closure-member list scratch (persistentSet)
+	setBuf []int         // persistent-set result scratch (consumed by scheduleOptions before the next call)
+	oneBuf [1]int        // singleton persistent-set scratch
+	dec    decisionArena // spill-prefix allocator
 
 	// met is the search's shared observability instruments (noMetrics
 	// when disabled — never nil); metCur tracks how much of e.rep has
@@ -133,10 +149,10 @@ type engine struct {
 	lastProgress time.Time
 }
 
-// newEngine builds an engine over its private system. footprint and
+// newEngine builds an engine over its private machine. footprint and
 // sites may be shared (read-only) with other engines of the same
 // search.
-func newEngine(sys *interp.System, opt Options, fps []map[string]bool, sites *siteTable) *engine {
+func newEngine(sys interp.Machine, opt Options, fps *footprintTable, sites *siteTable) *engine {
 	e := &engine{sys: sys, opt: opt, footprint: fps, sites: sites, met: noMetrics}
 	e.ch = e.chooser()
 	e.reset()
@@ -247,14 +263,35 @@ func (e *engine) chooser() interp.Chooser {
 			e.replayIdx++
 			return en.choice(), true
 		}
-		opts := make([]int, bound+1)
-		for i := range opts {
-			opts[i] = i
+		en := e.getEntry()
+		en.isToss = true
+		for i := 0; i <= bound; i++ {
+			en.options = append(en.options, i)
 		}
-		e.stack = append(e.stack, &entry{isToss: true, options: opts})
+		e.stack = append(e.stack, en)
 		e.replayIdx = len(e.stack)
 		return 0, true
 	})
+}
+
+// getEntry returns a blank decision-point entry, recycling a pooled one
+// (including its options/objs backing arrays) when available.
+func (e *engine) getEntry() *entry {
+	if k := len(e.entPool); k > 0 {
+		en := e.entPool[k-1]
+		e.entPool = e.entPool[:k-1]
+		*en = entry{options: en.options[:0], objs: en.objs[:0]}
+		return en
+	}
+	return &entry{}
+}
+
+// putEntry recycles a popped entry. Shared entries — whose slices were
+// published into a work unit — are left for the garbage collector.
+func (e *engine) putEntry(en *entry) {
+	if !en.shared {
+		e.entPool = append(e.entPool, en)
+	}
 }
 
 // backtrack advances the deepest decision point with options left,
@@ -266,7 +303,9 @@ func (e *engine) backtrack() bool {
 		if top.cursor < len(top.options) {
 			return true
 		}
+		e.stack[len(e.stack)-1] = nil
 		e.stack = e.stack[:len(e.stack)-1]
+		e.putEntry(top)
 	}
 	return false
 }
@@ -323,7 +362,7 @@ func panicMessage(r any) string {
 // — the path starts directly at the unit's decision point.
 func (e *engine) runPath() {
 	if e.snapRoot != nil {
-		e.sys = e.snapRoot.Fork()
+		e.sys = e.snapRoot.ForkMachine()
 		e.baseIdx = len(e.base)
 		e.trace = append(e.trace[:0], e.snapTrace...)
 	} else {
@@ -439,30 +478,53 @@ func (e *engine) runPath() {
 			// depth than a stored visit (a shallower revisit re-expands
 			// — its subtree is cut later by the depth bound).
 			e.fpBuf = e.sys.AppendFingerprint(e.fpBuf[:0])
+			fpLen := len(e.fpBuf)
 			if !e.opt.NoSleep {
 				e.fpBuf = e.appendSleepKey(e.fpBuf)
 			}
-			if e.cache.Visit(e.fpBuf, depth) {
+			var pruned bool
+			if e.opt.testCacheHash == nil {
+				// Route by the machine's state hash — incremental on the
+				// bytecode engine, a full walk elsewhere — folding in the
+				// sleep-key suffix when one was appended. Membership is
+				// still the byte-exact key compare inside the cache; the
+				// hash only picks the shard and bucket, so it must merely
+				// be a pure function of the key bytes (the engines'
+				// hash/fingerprint agreement is pinned by the three-way
+				// differential oracle).
+				h := e.sys.StateHash()
+				if len(e.fpBuf) > fpLen {
+					h = interp.Mix64(h, statecache.FNV1a(e.fpBuf[fpLen:]))
+				}
+				pruned = e.cache.VisitPrehashed(h, e.fpBuf, depth)
+			} else {
+				pruned = e.cache.Visit(e.fpBuf, depth)
+			}
+			if pruned {
 				e.leaf(LeafCachePruned, "state already visited")
 				return
 			}
 		}
 
-		options, objs := e.scheduleOptions()
-		if len(options) == 0 {
+		en := e.getEntry()
+		e.scheduleOptions(en)
+		if len(en.options) == 0 {
+			e.putEntry(en)
 			e.leaf(LeafSleepPruned, "all enabled transitions asleep")
 			return
 		}
-		en := &entry{options: options, objs: objs, sleep: e.pendingSleep}
-		if e.spill != nil && len(options) > 1 && depth < e.opt.SpillDepth {
+		en.sleep = e.pendingSleep
+		if e.spill != nil && len(en.options) > 1 && depth < e.opt.SpillDepth {
 			// Spill the unexplored sibling subtrees to the frontier and
 			// keep only the first option locally. The spilled unit
 			// carries the full option/object arrays so sleep sets are
-			// recomputed identically by whichever worker claims it.
+			// recomputed identically by whichever worker claims it; the
+			// entry is marked shared so the pool never recycles the
+			// published backing arrays.
 			u := &workUnit{
 				prefix:  e.appendPathDecisions(e.dec.alloc(len(e.base) + len(e.stack))),
-				options: options,
-				objs:    objs,
+				options: en.options,
+				objs:    en.objs,
 				sleep:   e.pendingSleep,
 				from:    1,
 			}
@@ -470,13 +532,14 @@ func (e *engine) runPath() {
 				// Fork the state at this decision point — before stepping
 				// the locally kept option — so claimers of the sibling
 				// subtrees resume here without replaying the prefix.
-				u.snap = e.sys.Fork()
+				u.snap = e.sys.ForkMachine()
 				u.traceSnap = append([]interp.Event(nil), e.trace...)
 			}
 			e.met.unitsSpilled.Inc()
 			e.spill(u)
-			en.options = options[:1]
-			en.objs = objs[:1]
+			en.shared = true
+			en.options = en.options[:1]
+			en.objs = en.objs[:1]
 		}
 		e.stack = append(e.stack, en)
 		e.replayIdx = len(e.stack)
@@ -562,7 +625,7 @@ func (e *engine) prepareUnit(u *workUnit) {
 		// pre-positioned decision point.
 		e.baseSleep = u.sleep
 	default:
-		en := &entry{isToss: u.toss, options: u.options[:u.from+1], cursor: u.from}
+		en := &entry{isToss: u.toss, options: u.options[:u.from+1], cursor: u.from, shared: true}
 		if u.toss {
 			// A toss decision point: the sleep context of the
 			// interrupted step travels beside it (toss entries carry no
@@ -596,6 +659,11 @@ func (e *engine) residualUnits() []*workUnit {
 	sleepCtx := e.baseSleep
 	for _, en := range e.stack {
 		if en.cursor+1 < len(en.options) {
+			// The entry's slices are published into the unit — and a
+			// sequential checkpoint continues exploring this same stack
+			// afterwards, so the entry must never reach the pool (a
+			// recycled backing array would clobber the published unit).
+			en.shared = true
 			u := &workUnit{
 				prefix:  append([]Decision(nil), prefix...),
 				options: en.options,
@@ -624,7 +692,7 @@ func (e *engine) residualUnits() []*workUnit {
 // cover records the visible-operation site process p is about to
 // execute.
 func (e *engine) cover(p int) {
-	proc, node := e.sys.Procs[p].At()
+	proc, node := e.sys.ProcAt(p)
 	if node < 0 {
 		return
 	}
@@ -646,20 +714,23 @@ func (e *engine) schedDepth() int {
 
 func (e *engine) deadlockMsg() string {
 	var parts []string
-	for i, p := range e.sys.Procs {
-		if p.Status() != interp.Running {
+	for i, n := 0, e.sys.NumProcs(); i < n; i++ {
+		if e.sys.ProcStatus(i) != interp.Running {
 			continue
 		}
-		op, obj, _ := p.PendingOp()
+		op, obj, _ := e.sys.ProcPendingOp(i)
 		parts = append(parts, fmt.Sprintf("P%d blocked on %s(%s)", i, op, obj))
 	}
 	return strings.Join(parts, ", ")
 }
 
 // scheduleOptions computes the transitions to explore from the current
-// global state: a persistent set (unless disabled) minus the sleep set,
-// together with the object each pending operation targets.
-func (e *engine) scheduleOptions() (options []int, objs []string) {
+// global state — a persistent set (unless disabled) minus the sleep
+// set, together with the object each pending operation targets — and
+// appends them to en.options/en.objs. Both the candidate set and the
+// sleep set are ordered by process index, so the sleep filter is a
+// two-pointer scan.
+func (e *engine) scheduleOptions(en *entry) {
 	e.enBuf = e.sys.AppendEnabled(e.enBuf[:0])
 	enabled := e.enBuf
 	var set []int
@@ -669,17 +740,20 @@ func (e *engine) scheduleOptions() (options []int, objs []string) {
 		set = e.persistentSet(enabled)
 	}
 	sleep := e.pendingSleep
+	si := 0
 	for _, p := range set {
-		if !e.opt.NoSleep && sleep != nil {
-			if _, asleep := sleep[p]; asleep {
+		if !e.opt.NoSleep {
+			for si < len(sleep) && sleep[si].proc < p {
+				si++
+			}
+			if si < len(sleep) && sleep[si].proc == p {
 				continue
 			}
 		}
-		options = append(options, p)
-		_, obj, _ := e.sys.Procs[p].PendingOp()
-		objs = append(objs, obj)
+		en.options = append(en.options, p)
+		_, obj, _ := e.sys.ProcPendingOp(p)
+		en.objs = append(en.objs, obj)
 	}
-	return options, objs
 }
 
 // persistentSet returns a persistent subset of the enabled processes,
@@ -694,49 +768,114 @@ func (e *engine) persistentSet(enabled []int) []int {
 	if len(enabled) <= 1 {
 		return enabled
 	}
+	t := e.footprint
+	n := e.sys.NumProcs()
+	if t.objProcs != nil {
+		// Mask path (≤ 64 processes): both heuristic queries run on
+		// precomputed bitmasks — no map traffic in the per-state loop.
+		var running uint64
+		for q := 0; q < n; q++ {
+			if e.sys.ProcStatus(q) == interp.Running {
+				running |= 1 << uint(q)
+			}
+		}
+		for _, p := range enabled {
+			_, obj, _ := e.sys.ProcPendingOp(p)
+			if obj == "" || t.objProcs[obj]&running&^(1<<uint(p)) == 0 {
+				e.oneBuf[0] = p
+				return e.oneBuf[:1]
+			}
+		}
+		var inS uint64
+		members := e.inList[:0]
+		inS |= 1 << uint(enabled[0])
+		members = append(members, enabled[0])
+		for changed := true; changed; {
+			changed = false
+			for q := 0; q < n; q++ {
+				if inS&(1<<uint(q)) != 0 || running&(1<<uint(q)) == 0 {
+					continue
+				}
+				for _, m := range members {
+					if t.overlaps(q, m) {
+						inS |= 1 << uint(q)
+						members = append(members, q)
+						changed = true
+						break
+					}
+				}
+			}
+		}
+		e.inList = members[:0]
+		out := e.setBuf[:0]
+		for _, p := range enabled {
+			if inS&(1<<uint(p)) != 0 {
+				out = append(out, p)
+			}
+		}
+		e.setBuf = out
+		if len(out) == 0 {
+			return enabled
+		}
+		return out
+	}
+
 	for _, p := range enabled {
-		_, obj, _ := e.sys.Procs[p].PendingOp()
+		_, obj, _ := e.sys.ProcPendingOp(p)
 		if obj == "" {
-			return []int{p}
+			e.oneBuf[0] = p
+			return e.oneBuf[:1]
 		}
 		private := true
-		for q, proc := range e.sys.Procs {
-			if q == p || proc.Status() != interp.Running {
+		for q := 0; q < n; q++ {
+			if q == p || e.sys.ProcStatus(q) != interp.Running {
 				continue
 			}
-			if e.footprint[q][obj] {
+			if t.sets[q][obj] {
 				private = false
 				break
 			}
 		}
 		if private {
-			return []int{p}
+			e.oneBuf[0] = p
+			return e.oneBuf[:1]
 		}
 	}
 
-	inS := make(map[int]bool)
+	if cap(e.inS) < n {
+		e.inS = make([]bool, n)
+	}
+	inS := e.inS[:n]
+	for i := range inS {
+		inS[i] = false
+	}
+	members := e.inList[:0]
 	inS[enabled[0]] = true
+	members = append(members, enabled[0])
 	for changed := true; changed; {
 		changed = false
-		for q, proc := range e.sys.Procs {
-			if inS[q] || proc.Status() != interp.Running {
+		for q := 0; q < n; q++ {
+			if inS[q] || e.sys.ProcStatus(q) != interp.Running {
 				continue
 			}
-			for m := range inS {
-				if overlap(e.footprint[q], e.footprint[m]) {
+			for _, m := range members {
+				if t.overlaps(q, m) {
 					inS[q] = true
+					members = append(members, q)
 					changed = true
 					break
 				}
 			}
 		}
 	}
-	var out []int
+	e.inList = members[:0]
+	out := e.setBuf[:0]
 	for _, p := range enabled {
 		if inS[p] {
 			out = append(out, p)
 		}
 	}
+	e.setBuf = out
 	if len(out) == 0 {
 		return enabled
 	}
@@ -758,22 +897,49 @@ func overlap(a, b map[string]bool) bool {
 // childSleep computes the sleep set for the subtree under the current
 // option of en: the inherited sleepers plus the previously explored
 // options, minus everything dependent on the chosen transition (two
-// transitions are dependent iff they target the same object).
-func childSleep(en *entry) map[int]string {
+// transitions are dependent iff they target the same object). The
+// inherited set and the explored options are both ordered by process
+// index and disjoint (a sleeping process is never offered as an
+// option), so a linear merge yields the child set already sorted. A
+// counting pass sizes the single allocation exactly — and skips it
+// entirely when the child set is empty (nil and empty are treated
+// alike by every consumer).
+func childSleep(en *entry) sleepSet {
 	chosenObj := en.objs[en.cursor]
-	out := make(map[int]string, len(en.sleep)+en.cursor)
-	for p, obj := range en.sleep {
-		if obj != chosenObj || obj == "" {
-			out[p] = obj
+	chosenP := en.options[en.cursor]
+	keep := func(p int, obj string) bool {
+		return (obj != chosenObj || obj == "") && p != chosenP
+	}
+	n := 0
+	for _, se := range en.sleep {
+		if keep(se.proc, se.obj) {
+			n++
 		}
 	}
 	for i := 0; i < en.cursor; i++ {
-		p, obj := en.options[i], en.objs[i]
-		if obj != chosenObj || obj == "" {
-			out[p] = obj
+		if keep(en.options[i], en.objs[i]) {
+			n++
 		}
 	}
-	delete(out, en.options[en.cursor])
+	if n == 0 {
+		return nil
+	}
+	out := make(sleepSet, 0, n)
+	i, j := 0, 0
+	for i < len(en.sleep) || j < en.cursor {
+		var p int
+		var obj string
+		if j >= en.cursor || (i < len(en.sleep) && en.sleep[i].proc < en.options[j]) {
+			p, obj = en.sleep[i].proc, en.sleep[i].obj
+			i++
+		} else {
+			p, obj = en.options[j], en.objs[j]
+			j++
+		}
+		if keep(p, obj) {
+			out = append(out, sleepEntry{proc: p, obj: obj})
+		}
+	}
 	return out
 }
 
@@ -932,18 +1098,10 @@ func (e *engine) appendSleepKey(dst []byte) []byte {
 		return dst
 	}
 	fpLen := len(dst)
-	e.sleepIdx = e.sleepIdx[:0]
-	for p := range sleep {
-		e.sleepIdx = append(e.sleepIdx, p)
-	}
-	// Sleep sets are tiny; insertion sort avoids sort.Ints' boxing.
-	for i := 1; i < len(e.sleepIdx); i++ {
-		for j := i; j > 0 && e.sleepIdx[j] < e.sleepIdx[j-1]; j-- {
-			e.sleepIdx[j], e.sleepIdx[j-1] = e.sleepIdx[j-1], e.sleepIdx[j]
-		}
-	}
-	for _, p := range e.sleepIdx {
-		obj := sleep[p]
+	// A sleepSet is already ordered by process index — the canonical
+	// order falls out of the representation.
+	for _, se := range sleep {
+		p, obj := se.proc, se.obj
 		dst = append(dst, byte(p), byte(p>>8))
 		dst = append(dst, byte(len(obj)), byte(len(obj)>>8))
 		dst = append(dst, obj...)

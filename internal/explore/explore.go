@@ -50,6 +50,13 @@ import (
 
 // Options configure a search.
 type Options struct {
+	// Engine selects the interpreter tier executing transitions: the
+	// zero value is interp.EngineBytecode (flat bytecode with
+	// incremental state hashing, the fast default); EngineSlots and
+	// EngineRef run the closure-compiled and reference interpreters,
+	// kept as differential oracles and ablation baselines. All three
+	// produce byte-identical reports.
+	Engine interp.EngineKind
 	// MaxDepth bounds the number of transitions along one path; 0 means
 	// the default (1,000,000).
 	MaxDepth int
@@ -474,7 +481,7 @@ type Explorer struct {
 
 // New returns a sequential explorer over a closed unit.
 func New(u *cfg.Unit, opt Options) (*Explorer, error) {
-	if _, err := interp.NewSystem(u); err != nil {
+	if _, err := interp.NewMachine(u, opt.Engine); err != nil {
 		return nil, err
 	}
 	return &Explorer{u: u, opt: opt.withDefaults()}, nil
@@ -495,7 +502,11 @@ func (x *Explorer) Run() *Report {
 // — on a single engine, emitting checkpoints at path boundaries and
 // stopping gracefully on cancellation, timeout, or budget exhaustion.
 func runSequential(ctx context.Context, u *cfg.Unit, opt Options, restored *restoredState) (*Report, error) {
-	sys, err := interp.NewSystem(u)
+	res, err := interp.Resolve(u)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := newMachine(res, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -510,6 +521,7 @@ func runSequential(ctx context.Context, u *cfg.Unit, opt Options, restored *rest
 	met := newExploreMetrics(opt.Obs)
 	met.workers.Set(0)
 	met.emitRunStart(opt, restored != nil)
+	met.noteEngine(opt, res)
 	e.setMetrics(met)
 	start := time.Now()
 
@@ -597,6 +609,26 @@ func runSequential(ctx context.Context, u *cfg.Unit, opt Options, restored *rest
 	return rep, nil
 }
 
+// newMachine instantiates one machine of the configured engine over the
+// shared resolution and, on the bytecode tier, switches on incremental
+// state hashing when the search will query StateHash for cache routing
+// (StateCache on, no test hash override). The other tiers answer
+// StateHash by a full recomputation of the same function, so routing —
+// and with it eviction behavior and merged reports — is identical
+// across engines.
+func newMachine(res *interp.Resolution, opt Options) (interp.Machine, error) {
+	m, err := res.NewMachine(opt.Engine)
+	if err != nil {
+		return nil, err
+	}
+	if opt.StateCache && opt.testCacheHash == nil {
+		if s, ok := m.(*interp.System); ok && s.Engine() == interp.EngineBytecode {
+			s.SetStateHashing(true)
+		}
+	}
+	return m, nil
+}
+
 // newStateCache builds the search's shared visited-state set, or nil
 // when StateCache is off. Both drivers construct exactly one cache per
 // run and attach it to every engine.
@@ -619,10 +651,51 @@ func copyUnits(units []*workUnit) []*workUnit {
 	return append([]*workUnit(nil), units...)
 }
 
+// footprintTable precomputes the two queries the persistent-set
+// heuristic makes against the static object footprints, so the
+// per-state loop runs on bitmasks instead of map lookups: per-object
+// masks of the processes that can ever touch the object, and the
+// pairwise footprint-overlap matrix. Immutable, shared read-only by
+// every worker of a parallel search.
+type footprintTable struct {
+	sets []map[string]bool
+	// objProcs maps an object to the mask of processes whose footprint
+	// contains it; nil when the unit has more than 64 processes (the
+	// engine then falls back to the map-based path).
+	objProcs map[string]uint64
+	overlap  []bool // n*n pairwise footprint overlap
+	n        int
+}
+
+// overlaps reports whether the footprints of processes q and m share an
+// object.
+func (t *footprintTable) overlaps(q, m int) bool { return t.overlap[q*t.n+m] }
+
 // footprints computes, per process, the set of objects transitively
-// reachable from its top-level procedure through the call graph. The
-// result is read-only and shared by every worker of a parallel search.
-func footprints(u *cfg.Unit) []map[string]bool {
+// reachable from its top-level procedure through the call graph,
+// packaged with the precomputed mask/overlap forms. The result is
+// read-only and shared by every worker of a parallel search.
+func footprints(u *cfg.Unit) *footprintTable {
+	sets := footprintSets(u)
+	t := &footprintTable{sets: sets, n: len(sets)}
+	t.overlap = make([]bool, t.n*t.n)
+	for i := range sets {
+		for j := range sets {
+			t.overlap[i*t.n+j] = overlap(sets[i], sets[j])
+		}
+	}
+	if t.n <= 64 {
+		t.objProcs = make(map[string]uint64)
+		for i, fp := range sets {
+			for o := range fp {
+				t.objProcs[o] |= 1 << uint(i)
+			}
+		}
+	}
+	return t
+}
+
+func footprintSets(u *cfg.Unit) []map[string]bool {
 	mentions := make(map[string]map[string]bool, len(u.Procs)) // proc -> objects
 	calls := make(map[string][]string, len(u.Procs))           // proc -> callees
 	for name, g := range u.Procs {

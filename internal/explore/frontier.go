@@ -15,13 +15,13 @@ import (
 // subtree of a spilled decision point becomes exactly one unit,
 // independent of which worker claims what when.
 //
-// All slices and the sleep map are immutable once published: units are
-// shared between goroutines read-only.
+// All slices — the sleep set included — are immutable once published:
+// units are shared between goroutines read-only.
 type workUnit struct {
 	prefix  []Decision
 	options []int
 	objs    []string
-	sleep   map[int]string
+	sleep   sleepSet
 	from    int
 	root    bool // the initial unit: empty prefix, whole tree
 	// toss marks a unit whose decision point is a VS_toss rather than a
@@ -36,9 +36,9 @@ type workUnit struct {
 	// of that state.
 	cont bool
 
-	// snap, when Options.SnapshotSpill is set, is a fork of the
-	// interpreter state at the unit's decision point, taken by the
-	// spilling worker. A claiming engine forks snap again and continues
+	// snap, when Options.SnapshotSpill is set, is a forked machine
+	// pinned at the unit's decision point, taken by the spilling
+	// worker. A claiming engine forks snap again and continues
 	// from it, skipping the prefix replay entirely; snap itself is
 	// never mutated and is shared by every split of the unit. traceSnap
 	// is the visible trace of the prefix (value-frozen events), seeding
@@ -46,7 +46,7 @@ type workUnit struct {
 	// replayed prefix. Both are nil for replay-mode units — residual
 	// and checkpoint-restored units always replay (checkpoints
 	// serialize prefixes, not snapshots).
-	snap      *interp.System
+	snap      interp.Machine
 	traceSnap []interp.Event
 }
 

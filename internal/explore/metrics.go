@@ -41,6 +41,13 @@ const (
 
 	MetricInterpForks  = "interp.forks"
 	MetricInterpFrames = "interp.frames"
+	// Bytecode-engine instruments: instructions dispatched, StateHash
+	// answers served from the incremental rolling hash vs full
+	// recomputation walks, and the one-time bytecode compile cost.
+	MetricInterpInstrs       = "interp.instrs"
+	MetricInterpHashIncr     = "interp.hash.incremental"
+	MetricInterpHashFull     = "interp.hash.full"
+	MetricInterpCompileNanos = "interp.bytecode.compile_ns"
 
 	// State-cache metrics (StateCache runs only): counters mirror
 	// statecache.Stats totals, gauges report final occupancy. Published
@@ -95,6 +102,7 @@ type exploreMetrics struct {
 	unitPrefixLen *obs.Histogram
 
 	interp interp.Metrics
+	reg    *obs.Registry
 	sink   *obs.Sink
 }
 
@@ -134,10 +142,28 @@ func newExploreMetrics(reg *obs.Registry) *exploreMetrics {
 		unitPrefixLen: reg.Histogram(MetricUnitPrefixLen),
 
 		interp: interp.Metrics{
-			Forks:  reg.Counter(MetricInterpForks),
-			Frames: reg.Counter(MetricInterpFrames),
+			Forks:    reg.Counter(MetricInterpForks),
+			Frames:   reg.Counter(MetricInterpFrames),
+			Instrs:   reg.Counter(MetricInterpInstrs),
+			HashIncr: reg.Counter(MetricInterpHashIncr),
+			HashFull: reg.Counter(MetricInterpHashFull),
 		},
+		reg:  reg,
 		sink: reg.Sink(),
+	}
+}
+
+// noteEngine publishes which interpreter tier the search runs on: the
+// registry's "engine" label (carried into the metrics JSON), and — on
+// the bytecode tier — the one-time compile cost gauge. Called after the
+// machines are built, so the lazily compiled module's time is visible.
+func (m *exploreMetrics) noteEngine(opt Options, res *interp.Resolution) {
+	if !m.on {
+		return
+	}
+	m.reg.SetLabel("engine", opt.Engine.String())
+	if opt.Engine == interp.EngineBytecode {
+		m.reg.Gauge(MetricInterpCompileNanos).Set(res.BytecodeCompileNanos())
 	}
 }
 
@@ -223,6 +249,7 @@ func (m *exploreMetrics) emitRunStart(opt Options, resumed bool) {
 	}
 	m.sink.Emit("run_start",
 		obs.F("mode", mode),
+		obs.F("engine", opt.Engine.String()),
 		obs.F("workers", opt.Workers),
 		obs.F("spill_depth", opt.SpillDepth),
 		obs.F("snapshot_spill", opt.SnapshotSpill),

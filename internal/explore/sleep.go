@@ -1,0 +1,28 @@
+package explore
+
+// sleepEntry records one sleeping process and the object its delayed
+// transition targets ("" for VS_assert, which targets no object).
+type sleepEntry struct {
+	proc int
+	obj  string
+}
+
+// sleepSet is a sleep set ordered by ascending process index; nil is
+// the empty set. The flat sorted form replaces a map[int]string on the
+// exploration hot path: sets are tiny (bounded by the process count),
+// so childSleep's linear merge and scheduleOptions' two-pointer scan
+// beat a map allocation per transition — and appendSleepKey reads its
+// canonical order straight off the slice instead of sorting per state.
+// Like the map it replaces, a published sleepSet is immutable: every
+// derivation allocates a fresh slice.
+type sleepSet []sleepEntry
+
+// has reports whether process p is asleep.
+func (s sleepSet) has(p int) bool {
+	for _, se := range s {
+		if se.proc >= p {
+			return se.proc == p
+		}
+	}
+	return false
+}

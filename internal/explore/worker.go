@@ -51,8 +51,8 @@ func runParallel(ctx context.Context, u *cfg.Unit, opt Options, restored *restor
 	var leafMu sync.Mutex
 
 	// Resolve the unit once — slot assignment and code compilation are
-	// immutable — and instantiate one private System per worker from the
-	// shared Resolution.
+	// immutable — and instantiate one private machine per worker from
+	// the shared Resolution.
 	res, err := interp.Resolve(u)
 	if err != nil {
 		return nil, err
@@ -65,13 +65,18 @@ func runParallel(ctx context.Context, u *cfg.Unit, opt Options, restored *restor
 	cache := newStateCache(opt)
 	workers := make([]*worker, opt.Workers)
 	for i := range workers {
-		eng := newEngine(res.NewSystem(), opt, fps, sites)
+		m, err := newMachine(res, opt)
+		if err != nil {
+			return nil, err
+		}
+		eng := newEngine(m, opt, fps, sites)
 		eng.shared = shared
 		eng.leafMu = &leafMu
 		eng.cache = cache
 		eng.setMetrics(met)
 		workers[i] = &worker{id: i, eng: eng, f: f}
 	}
+	met.noteEngine(opt, res)
 
 	acc := newAccum(opt, sites, len(u.Processes))
 	pending := []*workUnit{{root: true}}

@@ -11,12 +11,14 @@ import (
 	"reclose/internal/randprog"
 )
 
-// This file holds the differential oracle for the slot-resolved
-// interpreter: System (compiled, slot frames) and RefSystem (the
-// original string-map implementation kept as a behavioral reference)
-// are driven in lockstep over the same unit and must agree on every
-// observable — enabled sets, termination/deadlock predicates, events,
-// outcomes, and byte-exact state fingerprints.
+// This file holds the three-way differential oracle for the
+// interpreter tiers: the bytecode engine (with incremental state
+// hashing on), the slot-resolved closure engine, and the reference
+// string-map interpreter are driven in lockstep over the same unit and
+// must agree on every observable — enabled sets, termination/deadlock
+// predicates, events, outcomes, byte-exact state fingerprints, and the
+// canonical state hash (with the bytecode engine's incremental hash
+// additionally checked against its own full re-walk at every step).
 
 // stepChooser returns deterministic toss outcomes as a function of its
 // own call count, so two independent instances replay the same sequence
@@ -49,72 +51,115 @@ func outcomeStr(o *interp.Outcome) string {
 	return o.String()
 }
 
-// lockstep drives both interpreters over u with an identical schedule
-// and asserts agreement at every step.
+// engineNames labels the lockstep machines; index 0 (bytecode, with
+// incremental hashing enabled) is the baseline the others are compared
+// against.
+var engineNames = []string{"bytecode", "slots", "ref"}
+
+// lockstepMachines builds one machine per engine tier over u, with
+// incremental state hashing enabled on the bytecode instance.
+func lockstepMachines(t *testing.T, label string, u *cfg.Unit) []interp.Machine {
+	t.Helper()
+	ms := make([]interp.Machine, 0, 3)
+	for _, k := range []interp.EngineKind{interp.EngineBytecode, interp.EngineSlots, interp.EngineRef} {
+		m, err := interp.NewMachine(u, k)
+		if err != nil {
+			t.Fatalf("%s: NewMachine(%v): %v", label, k, err)
+		}
+		ms = append(ms, m)
+	}
+	ms[0].(*interp.System).SetStateHashing(true)
+	return ms
+}
+
+// lockstep drives all three interpreter tiers over u with an identical
+// schedule and asserts agreement at every step.
 func lockstep(t *testing.T, label string, u *cfg.Unit, maxSteps int) {
 	t.Helper()
-	sys, err := interp.NewSystem(u)
-	if err != nil {
-		t.Fatalf("%s: NewSystem: %v", label, err)
+	ms := lockstepMachines(t, label, u)
+	bc := ms[0].(*interp.System)
+	chs := make([]*stepChooser, len(ms))
+	outs := make([]*interp.Outcome, len(ms))
+	for i, m := range ms {
+		chs[i] = &stepChooser{}
+		outs[i] = m.Init(chs[i])
 	}
-	ref, err := interp.NewRefSystem(u)
-	if err != nil {
-		t.Fatalf("%s: NewRefSystem: %v", label, err)
+	for i := 1; i < len(ms); i++ {
+		if !sameOutcome(outs[0], outs[i]) {
+			t.Fatalf("%s: Init outcome: %s=%s %s=%s", label,
+				engineNames[0], outcomeStr(outs[0]), engineNames[i], outcomeStr(outs[i]))
+		}
 	}
-	chSys := &stepChooser{}
-	chRef := &stepChooser{}
-
-	outSys := sys.Init(chSys)
-	outRef := ref.Init(chRef)
-	if !sameOutcome(outSys, outRef) {
-		t.Fatalf("%s: Init outcome: sys=%s ref=%s", label, outcomeStr(outSys), outcomeStr(outRef))
-	}
-	if outSys != nil {
+	if outs[0] != nil {
 		return
 	}
 
 	for step := 0; step < maxSteps; step++ {
-		fpSys, fpRef := sys.Fingerprint(), ref.Fingerprint()
-		if fpSys != fpRef {
-			t.Fatalf("%s: step %d: fingerprint mismatch\n sys: %s\n ref: %s", label, step, fpSys, fpRef)
-		}
-		if got, want := sys.AllTerminated(), ref.AllTerminated(); got != want {
-			t.Fatalf("%s: step %d: AllTerminated sys=%v ref=%v", label, step, got, want)
-		}
-		if got, want := sys.Deadlocked(), ref.Deadlocked(); got != want {
-			t.Fatalf("%s: step %d: Deadlocked sys=%v ref=%v", label, step, got, want)
-		}
-		enSys, enRef := sys.EnabledProcs(), ref.EnabledProcs()
-		if fmt.Sprint(enSys) != fmt.Sprint(enRef) {
-			t.Fatalf("%s: step %d: enabled sys=%v ref=%v", label, step, enSys, enRef)
-		}
-		for i := range sys.Procs {
-			pSys, nSys := sys.Procs[i].At()
-			pRef, nRef := ref.Procs[i].At()
-			if pSys != pRef || nSys != nRef {
-				t.Fatalf("%s: step %d: P%d at sys=%s@n%d ref=%s@n%d", label, step, i, pSys, nSys, pRef, nRef)
+		fp0 := string(ms[0].AppendFingerprint(nil))
+		h0 := ms[0].StateHash()
+		for i := 1; i < len(ms); i++ {
+			if fp := string(ms[i].AppendFingerprint(nil)); fp != fp0 {
+				t.Fatalf("%s: step %d: fingerprint mismatch\n %s: %s\n %s: %s",
+					label, step, engineNames[0], fp0, engineNames[i], fp)
 			}
-			opSys, objSys, okSys := sys.Procs[i].PendingOp()
-			opRef, objRef, okRef := ref.Procs[i].PendingOp()
-			if opSys != opRef || objSys != objRef || okSys != okRef {
-				t.Fatalf("%s: step %d: P%d pending sys=(%s,%s,%v) ref=(%s,%s,%v)",
-					label, step, i, opSys, objSys, okSys, opRef, objRef, okRef)
+			if h := ms[i].StateHash(); h != h0 {
+				t.Fatalf("%s: step %d: state hash mismatch: %s=%#x %s=%#x",
+					label, step, engineNames[0], h0, engineNames[i], h)
 			}
 		}
-		if len(enSys) == 0 {
+		// The rolling hash must equal its own full re-walk at every
+		// visible-operation boundary.
+		if full := bc.RecomputeStateHash(); full != h0 {
+			t.Fatalf("%s: step %d: incremental hash %#x != full re-walk %#x\nstate: %s",
+				label, step, h0, full, fp0)
+		}
+		for i := 1; i < len(ms); i++ {
+			if got, want := ms[i].AllTerminated(), ms[0].AllTerminated(); got != want {
+				t.Fatalf("%s: step %d: AllTerminated %s=%v %s=%v", label, step, engineNames[i], got, engineNames[0], want)
+			}
+			if got, want := ms[i].Deadlocked(), ms[0].Deadlocked(); got != want {
+				t.Fatalf("%s: step %d: Deadlocked %s=%v %s=%v", label, step, engineNames[i], got, engineNames[0], want)
+			}
+		}
+		en0 := ms[0].AppendEnabled(nil)
+		for i := 1; i < len(ms); i++ {
+			if en := ms[i].AppendEnabled(nil); fmt.Sprint(en) != fmt.Sprint(en0) {
+				t.Fatalf("%s: step %d: enabled %s=%v %s=%v", label, step, engineNames[0], en0, engineNames[i], en)
+			}
+		}
+		for p := 0; p < ms[0].NumProcs(); p++ {
+			p0, n0 := ms[0].ProcAt(p)
+			op0, obj0, ok0 := ms[0].ProcPendingOp(p)
+			for i := 1; i < len(ms); i++ {
+				pi, ni := ms[i].ProcAt(p)
+				if pi != p0 || ni != n0 {
+					t.Fatalf("%s: step %d: P%d at %s=%s@n%d %s=%s@n%d",
+						label, step, p, engineNames[0], p0, n0, engineNames[i], pi, ni)
+				}
+				opI, objI, okI := ms[i].ProcPendingOp(p)
+				if opI != op0 || objI != obj0 || okI != ok0 {
+					t.Fatalf("%s: step %d: P%d pending %s=(%s,%s,%v) %s=(%s,%s,%v)",
+						label, step, p, engineNames[0], op0, obj0, ok0, engineNames[i], opI, objI, okI)
+				}
+			}
+		}
+		if len(en0) == 0 {
 			return
 		}
-		pick := enSys[step%len(enSys)]
-		evSys, oSys := sys.Step(pick, chSys)
-		evRef, oRef := ref.Step(pick, chRef)
-		if evSys.String() != evRef.String() || evSys.Stub != evRef.Stub {
-			t.Fatalf("%s: step %d: event sys=%s(stub=%v) ref=%s(stub=%v)",
-				label, step, evSys, evSys.Stub, evRef, evRef.Stub)
+		pick := en0[step%len(en0)]
+		ev0, o0 := ms[0].Step(pick, chs[0])
+		for i := 1; i < len(ms); i++ {
+			ev, o := ms[i].Step(pick, chs[i])
+			if ev.String() != ev0.String() || ev.Stub != ev0.Stub {
+				t.Fatalf("%s: step %d: event %s=%s(stub=%v) %s=%s(stub=%v)",
+					label, step, engineNames[0], ev0, ev0.Stub, engineNames[i], ev, ev.Stub)
+			}
+			if !sameOutcome(o0, o) {
+				t.Fatalf("%s: step %d: outcome %s=%s %s=%s",
+					label, step, engineNames[0], outcomeStr(o0), engineNames[i], outcomeStr(o))
+			}
 		}
-		if !sameOutcome(oSys, oRef) {
-			t.Fatalf("%s: step %d: outcome sys=%s ref=%s", label, step, outcomeStr(oSys), outcomeStr(oRef))
-		}
-		if oSys != nil {
+		if o0 != nil {
 			return
 		}
 	}
@@ -300,14 +345,17 @@ process main;
 	}
 }
 
-// TestForkMatchesOriginal forks mid-execution and checks that the clone
-// renders the same fingerprint and then behaves identically to the
-// original under the same schedule.
+// TestForkMatchesOriginal forks mid-execution — on every engine tier —
+// and checks that the clone renders the same fingerprint and state
+// hash and then behaves identically to the original under the same
+// schedule. The bytecode instance runs with incremental hashing on, so
+// this also covers the hash state surviving a Fork.
 func TestForkMatchesOriginal(t *testing.T) {
 	n := 60
 	if testing.Short() {
 		n = 15
 	}
+	engines := []interp.EngineKind{interp.EngineBytecode, interp.EngineSlots, interp.EngineRef}
 	for seed := 0; seed < n; seed++ {
 		r := rand.New(rand.NewSource(int64(1000 + seed)))
 		src := randprog.Generate(r, randprog.Config{Processes: 2, Helpers: seed % 2})
@@ -315,51 +363,65 @@ func TestForkMatchesOriginal(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: %v\n%s", seed, err, src)
 		}
-		sys, err := interp.NewSystem(closed)
-		if err != nil {
-			t.Fatal(err)
-		}
-		ch := &stepChooser{}
-		if out := sys.Init(ch); out != nil {
-			continue
-		}
-		// Run a prefix, then fork.
-		for step := 0; step < 5; step++ {
-			en := sys.EnabledProcs()
-			if len(en) == 0 {
-				break
+		for _, k := range engines {
+			label := fmt.Sprintf("seed %d/%v", seed, k)
+			sys, err := interp.NewMachine(closed, k)
+			if err != nil {
+				t.Fatal(err)
 			}
-			if _, out := sys.Step(en[step%len(en)], ch); out != nil {
-				break
+			if bc, ok := sys.(*interp.System); ok && k == interp.EngineBytecode {
+				bc.SetStateHashing(true)
 			}
-		}
-		clone := sys.Fork()
-		if got, want := clone.Fingerprint(), sys.Fingerprint(); got != want {
-			t.Fatalf("seed %d: fork fingerprint differs\nclone: %s\n orig: %s", seed, got, want)
-		}
-		// Both must evolve identically from here.
-		chA := &stepChooser{n: ch.n}
-		chB := &stepChooser{n: ch.n}
-		for step := 0; step < 100; step++ {
-			enA, enB := sys.EnabledProcs(), clone.EnabledProcs()
-			if fmt.Sprint(enA) != fmt.Sprint(enB) {
-				t.Fatalf("seed %d: step %d: enabled orig=%v clone=%v", seed, step, enA, enB)
+			ch := &stepChooser{}
+			if out := sys.Init(ch); out != nil {
+				continue
 			}
-			if len(enA) == 0 {
-				break
+			// Run a prefix, then fork.
+			for step := 0; step < 5; step++ {
+				en := sys.AppendEnabled(nil)
+				if len(en) == 0 {
+					break
+				}
+				if _, out := sys.Step(en[step%len(en)], ch); out != nil {
+					break
+				}
 			}
-			pick := enA[step%len(enA)]
-			evA, oA := sys.Step(pick, chA)
-			evB, oB := clone.Step(pick, chB)
-			if evA.String() != evB.String() || !sameOutcome(oA, oB) {
-				t.Fatalf("seed %d: step %d: orig=(%s,%s) clone=(%s,%s)",
-					seed, step, evA, outcomeStr(oA), evB, outcomeStr(oB))
+			clone := sys.ForkMachine()
+			if got, want := string(clone.AppendFingerprint(nil)), string(sys.AppendFingerprint(nil)); got != want {
+				t.Fatalf("%s: fork fingerprint differs\nclone: %s\n orig: %s", label, got, want)
 			}
-			if fpA, fpB := sys.Fingerprint(), clone.Fingerprint(); fpA != fpB {
-				t.Fatalf("seed %d: step %d: fingerprints diverged\n orig: %s\nclone: %s", seed, step, fpA, fpB)
+			if got, want := clone.StateHash(), sys.StateHash(); got != want {
+				t.Fatalf("%s: fork state hash differs: clone=%#x orig=%#x", label, got, want)
 			}
-			if oA != nil {
-				break
+			// Both must evolve identically from here.
+			chA := &stepChooser{n: ch.n}
+			chB := &stepChooser{n: ch.n}
+			for step := 0; step < 100; step++ {
+				enA, enB := sys.AppendEnabled(nil), clone.AppendEnabled(nil)
+				if fmt.Sprint(enA) != fmt.Sprint(enB) {
+					t.Fatalf("%s: step %d: enabled orig=%v clone=%v", label, step, enA, enB)
+				}
+				if len(enA) == 0 {
+					break
+				}
+				pick := enA[step%len(enA)]
+				evA, oA := sys.Step(pick, chA)
+				evB, oB := clone.Step(pick, chB)
+				if evA.String() != evB.String() || !sameOutcome(oA, oB) {
+					t.Fatalf("%s: step %d: orig=(%s,%s) clone=(%s,%s)",
+						label, step, evA, outcomeStr(oA), evB, outcomeStr(oB))
+				}
+				fpA := string(sys.AppendFingerprint(nil))
+				fpB := string(clone.AppendFingerprint(nil))
+				if fpA != fpB {
+					t.Fatalf("%s: step %d: fingerprints diverged\n orig: %s\nclone: %s", label, step, fpA, fpB)
+				}
+				if hA, hB := sys.StateHash(), clone.StateHash(); hA != hB {
+					t.Fatalf("%s: step %d: state hashes diverged: orig=%#x clone=%#x", label, step, hA, hB)
+				}
+				if oA != nil {
+					break
+				}
 			}
 		}
 	}

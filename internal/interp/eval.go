@@ -37,6 +37,14 @@ type frame struct {
 	code     *procCode
 	cells    []Cell
 	callNode int // caller's call-node ID; -1 in the top frame
+	// retPC is the bytecode resume point in the caller after this frame
+	// returns; -1 means control falls off the caller's graph (a trap).
+	// Unused by the slot engine.
+	retPC int32
+	// pinned marks a frame whose cells were address-taken; the bytecode
+	// engine's frame pool must not recycle it (stale pointers may still
+	// read its cells after the pop).
+	pinned bool
 }
 
 // newCells allocates a zeroed cell array: every variable starts as the

@@ -21,8 +21,18 @@ func (s *System) Fork() *System {
 	ns := &System{
 		Unit:         s.Unit,
 		res:          s.res,
+		eng:          s.eng,
+		bc:           s.bc, // immutable, shared like the Resolution
+		hashOn:       s.hashOn,
+		acc:          s.acc,
 		MaxInvisible: s.MaxInvisible,
 		met:          s.met,
+	}
+	if s.regs != nil {
+		ns.regs = make([]Value, len(s.regs))
+	}
+	if s.objHash != nil {
+		ns.objHash = append([]uint64(nil), s.objHash...)
 	}
 
 	// Pass 1: allocate every frame and register the identity of every
@@ -36,7 +46,8 @@ func (s *System) Fork() *System {
 		np := &Proc{Index: p.Index, TopProc: p.TopProc, cur: p.cur, status: p.status}
 		np.stack = make([]*frame, len(p.stack))
 		for fi, f := range p.stack {
-			nf := &frame{code: f.code, cells: make([]Cell, len(f.cells)), callNode: f.callNode}
+			nf := &frame{code: f.code, cells: make([]Cell, len(f.cells)), callNode: f.callNode,
+				retPC: f.retPC, pinned: f.pinned}
 			for ci := range f.cells {
 				fk.cellMap[&f.cells[ci]] = &nf.cells[ci]
 			}
@@ -47,9 +58,13 @@ func (s *System) Fork() *System {
 	}
 
 	// Pass 2: copy the cell values, rewriting pointers through the map.
+	// The hash bookkeeping is position-based, so it copies verbatim.
 	for _, pr := range pairs {
 		for ci := range pr.old.cells {
-			pr.new.cells[ci].V = fk.value(pr.old.cells[ci].V)
+			oc := &pr.old.cells[ci]
+			nc := &pr.new.cells[ci]
+			nc.V = fk.value(oc.V)
+			nc.hkey, nc.hc = oc.hkey, oc.hc
 		}
 	}
 

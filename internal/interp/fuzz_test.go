@@ -1,0 +1,65 @@
+package interp_test
+
+import (
+	"testing"
+
+	"reclose/internal/core"
+)
+
+// FuzzBytecodeLockstep feeds arbitrary MiniC source through the full
+// pipeline (parse, check, close) and, when it compiles, drives the
+// bytecode, slot, and reference engines in lockstep — any divergence in
+// events, outcomes, fingerprints, or state hashes fails the fuzz run.
+// scripts/verify.sh runs this for a short smoke period on every verify.
+func FuzzBytecodeLockstep(f *testing.F) {
+	f.Add(`
+chan c[2];
+proc main() {
+    var i;
+    for (i = 0; i < 3; i = i + 1) {
+        send(c, i);
+        recv(c, i);
+    }
+}
+process main;
+`)
+	f.Add(`
+sem s = 1;
+shared g = 0;
+proc worker() {
+    var t;
+    wait(s);
+    vread(g, t);
+    vwrite(g, t + 1);
+    signal(s);
+    VS_assert(t >= 0);
+}
+process worker;
+process worker;
+`)
+	f.Add(`
+chan out[4];
+proc helper(p) {
+    *p = *p + VS_toss(2);
+}
+proc main() {
+    var x = 1;
+    helper(&x);
+    var a[3];
+    a[x] = x;
+    send(out, a[1]);
+}
+process main;
+`)
+	f.Fuzz(func(t *testing.T, src string) {
+		u, err := core.CompileSource(src)
+		if err != nil {
+			t.Skip()
+		}
+		if u.IsOpen() || len(u.Processes) == 0 {
+			// Not executable: nothing to compare.
+			t.Skip()
+		}
+		lockstep(t, "fuzz", u, 150)
+	})
+}

@@ -1,0 +1,261 @@
+package interp
+
+import (
+	"fmt"
+
+	"reclose/internal/cfg"
+	"reclose/internal/comm"
+)
+
+// EngineKind selects one of the three interpreter tiers. The zero
+// value is the bytecode engine — the default everywhere an engine is
+// not named explicitly (explore.Options, the -engine flag).
+type EngineKind int
+
+// Engine tiers, fastest first. All three implement identical
+// observable semantics — events, outcomes, fingerprints, state hashes
+// — which the three-way differential oracle enforces; the slower tiers
+// exist as oracles and ablation baselines.
+const (
+	// EngineBytecode executes flat per-unit bytecode (bytecode.go,
+	// bcexec.go) with incremental state hashing.
+	EngineBytecode EngineKind = iota
+	// EngineSlots executes the closure-per-node slot programs
+	// (resolve.go), the PR 3 tier.
+	EngineSlots
+	// EngineRef executes the original string-map reference
+	// interpreter (refsys.go).
+	EngineRef
+)
+
+// String returns the engine's flag spelling.
+func (k EngineKind) String() string {
+	switch k {
+	case EngineBytecode:
+		return "bytecode"
+	case EngineSlots:
+		return "slots"
+	case EngineRef:
+		return "ref"
+	}
+	return fmt.Sprintf("EngineKind(%d)", int(k))
+}
+
+// ParseEngine parses a -engine flag value.
+func ParseEngine(s string) (EngineKind, error) {
+	switch s {
+	case "", "bytecode":
+		return EngineBytecode, nil
+	case "slots":
+		return EngineSlots, nil
+	case "ref":
+		return EngineRef, nil
+	}
+	return 0, fmt.Errorf("unknown engine %q (want bytecode, slots, or ref)", s)
+}
+
+// Machine is the executable-system interface the explorer drives: the
+// transition semantics plus the state identity operations (fingerprint
+// and hash) and deep-copy forking for snapshot-spill work units. Both
+// System (bytecode and slots engines) and RefSystem implement it.
+type Machine interface {
+	// Transition semantics.
+	Init(ch Chooser) *Outcome
+	Step(i int, ch Chooser) (Event, *Outcome)
+	Reset()
+	Enabled(i int) bool
+	AppendEnabled(dst []int) []int
+	AllTerminated() bool
+	Deadlocked() bool
+
+	// Process observation.
+	NumProcs() int
+	ProcStatus(i int) Status
+	ProcAt(i int) (proc string, node int)
+	ProcPendingOp(i int) (op, object string, ok bool)
+
+	// State identity and snapshotting.
+	AppendFingerprint(dst []byte) []byte
+	StateHash() uint64
+	ForkMachine() Machine
+
+	// Instrumentation.
+	SetMetrics(m Metrics)
+}
+
+// NewMachine builds a fresh machine of the requested engine over a
+// closed unit. For many machines over one unit, Resolve once and use
+// Resolution.NewMachine (the ref engine needs no resolution but gets
+// the same validation).
+func NewMachine(u *cfg.Unit, k EngineKind) (Machine, error) {
+	if k == EngineRef {
+		return NewRefSystem(u)
+	}
+	r, err := Resolve(u)
+	if err != nil {
+		return nil, err
+	}
+	return r.NewMachine(k)
+}
+
+// NewMachine instantiates a machine of the requested engine over the
+// shared compiled code.
+func (r *Resolution) NewMachine(k EngineKind) (Machine, error) {
+	switch k {
+	case EngineBytecode:
+		return r.NewBytecodeSystem(), nil
+	case EngineSlots:
+		return r.NewSystem(), nil
+	case EngineRef:
+		return NewRefSystem(r.unit)
+	}
+	return nil, fmt.Errorf("unknown engine %v", k)
+}
+
+// NewBytecodeSystem instantiates a System executing the resolution's
+// bytecode module (compiled on first use, shared by every instance).
+func (r *Resolution) NewBytecodeSystem() *System {
+	mod := r.ensureBytecode()
+	s := r.NewSystem()
+	s.eng = EngineBytecode
+	s.bc = mod
+	n := mod.maxRegs
+	if n < 1 {
+		n = 1 // fragment convention: register 0 always exists
+	}
+	s.regs = make([]Value, n)
+	return s
+}
+
+// BytecodeCompileNanos returns the wall time spent compiling the
+// resolution's bytecode module, or 0 if it has not been compiled.
+func (r *Resolution) BytecodeCompileNanos() int64 { return r.bcCompileNanos }
+
+// Engine returns the tier this system executes.
+func (s *System) Engine() EngineKind { return s.eng }
+
+// System's Machine adapters.
+
+// NumProcs returns the number of process instances.
+func (s *System) NumProcs() int { return len(s.Procs) }
+
+// ProcStatus returns process i's lifecycle state.
+func (s *System) ProcStatus(i int) Status { return s.Procs[i].Status() }
+
+// ProcAt returns the procedure name and node ID process i is stopped
+// at, or ("", -1) if terminated.
+func (s *System) ProcAt(i int) (string, int) { return s.Procs[i].At() }
+
+// ProcPendingOp returns process i's pending visible operation.
+func (s *System) ProcPendingOp(i int) (string, string, bool) { return s.Procs[i].PendingOp() }
+
+// ForkMachine returns Fork through the Machine interface.
+func (s *System) ForkMachine() Machine { return s.Fork() }
+
+// RefSystem's Machine adapters.
+
+// NumProcs returns the number of process instances.
+func (s *RefSystem) NumProcs() int { return len(s.Procs) }
+
+// ProcStatus returns process i's lifecycle state.
+func (s *RefSystem) ProcStatus(i int) Status { return s.Procs[i].Status() }
+
+// ProcAt returns the procedure name and node ID process i is stopped
+// at, or ("", -1) if terminated.
+func (s *RefSystem) ProcAt(i int) (string, int) { return s.Procs[i].At() }
+
+// ProcPendingOp returns process i's pending visible operation.
+func (s *RefSystem) ProcPendingOp(i int) (string, string, bool) { return s.Procs[i].PendingOp() }
+
+// AppendEnabled appends the indices of all enabled processes to dst in
+// ascending order.
+func (s *RefSystem) AppendEnabled(dst []int) []int {
+	for i := range s.Procs {
+		if s.Enabled(i) {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// SetMetrics is a no-op: the reference interpreter is an oracle, not a
+// measured engine.
+func (s *RefSystem) SetMetrics(Metrics) {}
+
+// StateHash recomputes the canonical state hash by a full walk; it
+// must equal System.StateHash for any state with an equal fingerprint,
+// so cache routing — and with it eviction behavior and merged reports
+// — is identical across engines.
+func (s *RefSystem) StateHash() uint64 {
+	h := uint64(hashSeed)
+	buf := make([]byte, 0, 64)
+	for _, name := range s.objSeq {
+		buf = s.objects[name].AppendFingerprint(buf[:0])
+		h = Mix64(h, fnvBytes(buf))
+	}
+	var acc uint64
+	for _, p := range s.Procs {
+		h = Mix64(h, uint64(p.status))
+		if p.status != Running {
+			continue
+		}
+		for fi, f := range p.stack {
+			h = Mix64(h, fnvString(f.graph.g.ProcName))
+			if fi == len(p.stack)-1 {
+				h = Mix64(h, uint64(p.cur.ID)*2+1)
+			} else {
+				h = Mix64(h, uint64(p.stack[fi+1].callNode)*2)
+			}
+			st := f.graph.slots
+			for i, name := range st.Names {
+				v := IntVal(0)
+				if c, ok := f.vars[name]; ok {
+					v = c.V
+				}
+				acc ^= Mix64(cellKey(p.Index, fi, i), valHash(v))
+			}
+		}
+	}
+	return Mix64(h, acc)
+}
+
+// ForkMachine returns an independent deep copy of the reference
+// system, with pointers remapped onto the clone's cells exactly like
+// System.Fork.
+func (s *RefSystem) ForkMachine() Machine {
+	fk := &forker{cellMap: make(map[*Cell]*Cell)}
+	ns := &RefSystem{
+		Unit:         s.Unit,
+		objSeq:       s.objSeq,
+		graphs:       s.graphs,
+		MaxInvisible: s.MaxInvisible,
+	}
+	type framePair struct{ old, new *refFrame }
+	var pairs []framePair
+	ns.Procs = make([]*RefProc, len(s.Procs))
+	for i, p := range s.Procs {
+		np := &RefProc{Index: p.Index, TopProc: p.TopProc, cur: p.cur, status: p.status}
+		np.stack = make([]*refFrame, len(p.stack))
+		for fi, f := range p.stack {
+			nf := &refFrame{graph: f.graph, vars: make(map[string]*Cell, len(f.vars)), callNode: f.callNode}
+			for name, c := range f.vars {
+				nc := &Cell{}
+				fk.cellMap[c] = nc
+				nf.vars[name] = nc
+			}
+			np.stack[fi] = nf
+			pairs = append(pairs, framePair{old: f, new: nf})
+		}
+		ns.Procs[i] = np
+	}
+	for _, pr := range pairs {
+		for name, c := range pr.old.vars {
+			pr.new.vars[name].V = fk.value(c.V)
+		}
+	}
+	ns.objects = make(map[string]comm.Object, len(s.objects))
+	for name, o := range s.objects {
+		ns.objects[name] = o.Clone(func(v any) any { return fk.value(v.(Value)) })
+	}
+	return ns
+}

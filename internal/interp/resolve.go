@@ -3,6 +3,7 @@ package interp
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"reclose/internal/ast"
 	"reclose/internal/cfg"
@@ -96,9 +97,11 @@ type nodeProg struct {
 // procCode is the compiled form of one procedure.
 type procCode struct {
 	name  string
+	nameH uint64 // fnvString(name), folded into the control hash
 	g     *cfg.Graph
 	slots *cfg.SlotTable
 	nodes []nodeProg
+	bc    *bcProc // bytecode form (ensureBytecode); nil until compiled
 }
 
 func (pc *procCode) nSlots() int { return len(pc.slots.Names) }
@@ -123,6 +126,12 @@ type Resolution struct {
 	objNames []string // sorted object names; the dense object order
 	objIdx   map[string]int
 	objSpecs []cfg.ObjectSpec // aligned with objNames
+
+	// Bytecode module, compiled on first use (ensureBytecode) and then
+	// shared — like the rest of the resolution — by every System.
+	bcOnce         sync.Once
+	bcMod          *bcModule
+	bcCompileNanos int64
 }
 
 // Unit returns the unit the resolution was compiled from.
@@ -153,7 +162,7 @@ func Resolve(u *cfg.Unit) (*Resolution, error) {
 	// Two passes: slot tables first so call compilation can link
 	// callees, then the node programs.
 	for name, g := range u.Procs {
-		r.procs[name] = &procCode{name: name, g: g, slots: cfg.BuildSlotTable(g)}
+		r.procs[name] = &procCode{name: name, nameH: fnvString(name), g: g, slots: cfg.BuildSlotTable(g)}
 	}
 	for _, pc := range r.procs {
 		r.compileProc(pc)

@@ -132,6 +132,28 @@ type System struct {
 	// order (sorted names); visOp.objIdx indexes into it.
 	objs []comm.Object
 
+	// eng names the execution backend; bc non-nil selects the bytecode
+	// dispatch loop (bcexec.go) over the per-node closures, sharing all
+	// other machinery (Fork, fingerprints, Enabled, visible ops).
+	eng EngineKind
+	bc  *bcModule
+	// regs is the shared expression register file (bcModule.maxRegs
+	// wide); registers are dead across node boundaries, so one file
+	// serves every frame.
+	regs []Value
+	// pool is the bytecode engine's free list of popped, unpinned frames.
+	pool []*frame
+
+	// Incremental state hashing (hash.go), maintained by the bytecode
+	// engine when hashOn: the rolling cell accumulator, per-object
+	// hashes, and a scratch buffer for object fingerprints.
+	hashOn   bool
+	acc      uint64
+	objHash  []uint64
+	objFpBuf []byte
+	// nd batches dispatched-instruction counts between metric flushes.
+	nd int64
+
 	// MaxInvisible bounds the invisible operations inside one transition;
 	// exceeding it reports divergence (the paper's VeriSoft uses a
 	// timeout for the same purpose).
@@ -140,6 +162,15 @@ type System struct {
 	// met carries the optional instrument counters (SetMetrics); the
 	// zero value is fully disabled.
 	met Metrics
+
+	// ectx is the scratch evaluation context reused by advance and
+	// execVisible. Passing a stack-allocated context into the compiled
+	// expression closures makes it escape on every visible operation;
+	// one per-System context removes that allocation. Safe because
+	// expression evaluation never re-enters advance or execVisible (a
+	// visible operation is a CFG node, not an expression), so the
+	// scratch is never live twice.
+	ectx evalCtx
 }
 
 // DefaultMaxInvisible is the default divergence bound.
@@ -172,6 +203,7 @@ func (r *Resolution) NewSystem() *System {
 	s := &System{
 		Unit:         r.unit,
 		res:          r,
+		eng:          EngineSlots,
 		MaxInvisible: DefaultMaxInvisible,
 	}
 	objs := comm.Build(r.unit.Objects, func(i int64) any { return IntVal(i) })
@@ -187,23 +219,59 @@ func (r *Resolution) NewSystem() *System {
 func (s *System) Resolution() *Resolution { return s.res }
 
 // Reset restores the initial program state: objects reset in place and
-// all processes at the start nodes of their top-level procedures with
-// fresh frames. (Frames are never recycled: recorded events may alias
-// array payloads in live cells.) The processes still need their initial
-// invisible prefixes run; use Init.
+// all processes at the start nodes of their top-level procedures. The
+// explorer Resets once per explored path, so this is a hot path: Procs
+// and unpinned root frames are reused in place (re-zeroing a cell
+// installs a fresh Value header and never mutates an old array backing,
+// so payloads recorded in events or captured by forks stay intact —
+// the same argument as getFrame). A pinned root frame — cells
+// address-taken, possibly still read through recorded pointer values —
+// is abandoned to the garbage collector and replaced. The processes
+// still need their initial invisible prefixes run; use Init.
 func (s *System) Reset() {
 	for _, o := range s.objs {
 		o.Reset()
 	}
-	s.Procs = s.Procs[:0]
+	reuse := len(s.Procs) == len(s.Unit.Processes)
+	if !reuse {
+		s.Procs = s.Procs[:0]
+	}
+	fresh := 0
 	for i, top := range s.Unit.Processes {
 		pc := s.res.procs[top]
-		p := &Proc{Index: i, TopProc: top}
-		p.stack = []*frame{{code: pc, cells: newCells(pc.nSlots()), callNode: -1}}
+		var p *Proc
+		if reuse {
+			p = s.Procs[i]
+			// Frames abandoned above the root (a path that ended inside
+			// nested calls) go back to the pool; putFrame skips pinned
+			// ones.
+			for k := len(p.stack) - 1; k >= 1; k-- {
+				s.putFrame(p.stack[k])
+				p.stack[k] = nil
+			}
+		} else {
+			p = &Proc{Index: i, TopProc: top}
+			s.Procs = append(s.Procs, p)
+		}
+		var fr *frame
+		if reuse && len(p.stack) > 0 && !p.stack[0].pinned {
+			fr = p.stack[0]
+			for j := range fr.cells {
+				fr.cells[j] = Cell{V: Value{Kind: KInt}}
+			}
+			fr.callNode, fr.retPC = -1, -1
+		} else {
+			fr = &frame{code: pc, cells: newCells(pc.nSlots()), callNode: -1, retPC: -1}
+			fresh++
+		}
+		p.stack = append(p.stack[:0], fr)
 		p.cur = pc.g.Entry
-		s.Procs = append(s.Procs, p)
+		p.status = Running
 	}
-	s.met.Frames.Add(int64(len(s.Procs)))
+	s.met.Frames.Add(int64(fresh))
+	if s.hashOn {
+		s.rebuildHash()
+	}
 }
 
 // Object returns the named communication object.
@@ -246,9 +314,13 @@ func catchOutcome(proc int, out **Outcome) {
 // its next visible operation or terminates. It implements the invisible
 // suffix of a transition.
 func (s *System) advance(p *Proc, ch Chooser) (out *Outcome) {
+	if s.bc != nil {
+		return s.bcAdvance(p, ch)
+	}
 	defer catchOutcome(p.Index, &out)
 	steps := 0
-	ctx := evalCtx{chooser: ch}
+	ctx := &s.ectx
+	ctx.chooser = ch
 	for {
 		if p.status != Running {
 			return nil
@@ -271,10 +343,10 @@ func (s *System) advance(p *Proc, ch Chooser) (out *Outcome) {
 		case cfg.NStart:
 			p.cur = prog.succ
 		case cfg.NAssign:
-			prog.exec(&ctx)
+			prog.exec(ctx)
 			p.cur = prog.succ
 		case cfg.NCond:
-			v := prog.cond(&ctx)
+			v := prog.cond(ctx)
 			if v.IsUndef() {
 				trapf("branch on undef (proc %s, node n%d)", top.code.name, n.ID)
 			}
@@ -308,7 +380,7 @@ func (s *System) advance(p *Proc, ch Chooser) (out *Outcome) {
 				// invisible suffix ends just before it.
 				return nil
 			}
-			s.enterCall(p, &ctx, prog.call)
+			s.enterCall(p, ctx, prog.call)
 		case cfg.NReturn:
 			if len(p.stack) == 1 {
 				// Termination statements in top-level procedures block
@@ -455,12 +527,13 @@ func (s *System) execVisible(p *Proc, ch Chooser) (ev Event, out *Outcome) {
 	if vis == nil {
 		trapf("process %d is not at a visible operation", p.Index)
 	}
-	ctx := evalCtx{frame: top, chooser: ch}
+	ctx := &s.ectx
+	ctx.frame, ctx.chooser = top, ch
 	ev = Event{Proc: p.Index, Op: vis.opName}
 
 	switch vis.op {
 	case opAssert:
-		v := vis.arg(&ctx)
+		v := s.visArg(p, n, ctx, vis)
 		ev.Value, ev.HasVal = v, true
 		switch v.Kind {
 		case KBool:
@@ -481,11 +554,11 @@ func (s *System) execVisible(p *Proc, ch Chooser) (ev Event, out *Outcome) {
 		ev.Object = vis.objName
 		switch vis.op {
 		case opSend:
-			v := vis.arg(&ctx)
+			v := s.visArg(p, n, ctx, vis)
 			ev.Value, ev.HasVal = v, true
 			c := obj.(*comm.Chan)
 			ev.Stub = c.EnvFacing()
-			if err := c.Send(v); err != nil {
+			if err := c.Send(boxValue(v)); err != nil {
 				trapf("%v", err)
 			}
 		case opRecv:
@@ -499,7 +572,7 @@ func (s *System) execVisible(p *Proc, ch Chooser) (ev Event, out *Outcome) {
 				v = raw.(Value)
 			}
 			ev.Value, ev.HasVal, ev.Stub = v, true, stub
-			vis.dst(&ctx, v)
+			s.visDst(p, n, ctx, vis, v)
 		case opWait:
 			if err := obj.(*comm.Sem).Wait(); err != nil {
 				trapf("%v", err)
@@ -507,19 +580,46 @@ func (s *System) execVisible(p *Proc, ch Chooser) (ev Event, out *Outcome) {
 		case opSignal:
 			obj.(*comm.Sem).Signal()
 		case opVwrite:
-			v := vis.arg(&ctx)
+			v := s.visArg(p, n, ctx, vis)
 			ev.Value, ev.HasVal = v, true
-			obj.(*comm.Shared).Write(v)
+			obj.(*comm.Shared).Write(boxValue(v))
 		case opVread:
 			v := obj.(*comm.Shared).Read().(Value)
 			ev.Value, ev.HasVal = v, true
-			vis.dst(&ctx, v)
+			s.visDst(p, n, ctx, vis, v)
 		default:
 			trapf("unknown builtin %s", vis.opName)
+		}
+		// Refresh the mutated object's incremental hash (vread is the
+		// only object op that leaves its object untouched).
+		if s.hashOn && vis.op != opVread {
+			s.rehashObj(vis.objIdx)
 		}
 	}
 	p.cur = prog.succ
 	return ev, nil
+}
+
+// visArg evaluates the value operand of the visible operation at node
+// n: via the compiled bytecode fragment on the bytecode engine, via the
+// expression closure otherwise.
+func (s *System) visArg(p *Proc, n *cfg.Node, ctx *evalCtx, vis *visOp) Value {
+	if s.bc != nil {
+		return s.runFragment(p, ctx.frame.code.bc.vis[n.ID].argPC, ctx.chooser)
+	}
+	return vis.arg(ctx)
+}
+
+// visDst stores v into the destination operand (recv/vread) of the
+// visible operation at node n. The fragment convention parks the value
+// in register 0.
+func (s *System) visDst(p *Proc, n *cfg.Node, ctx *evalCtx, vis *visOp, v Value) {
+	if s.bc != nil {
+		s.regs[0] = v
+		s.runFragment(p, ctx.frame.code.bc.vis[n.ID].dstPC, ctx.chooser)
+		return
+	}
+	vis.dst(ctx, v)
 }
 
 // Fingerprint returns a deterministic string identifying the current

@@ -45,9 +45,54 @@ type Pointer struct {
 	Elem int // -1 for the whole cell, >= 0 for an array element
 }
 
-// Cell is an addressable storage location (one variable).
+// boxedInts and boxedBools pre-box the values that dominate channel
+// payloads, so handing one to a communication object (whose queues
+// store interface values) does not heap-allocate a fresh box per
+// visible operation.
+var boxedInts = func() (t [256]any) {
+	for i := range t {
+		t[i] = IntVal(int64(i))
+	}
+	return t
+}()
+
+var boxedBools = [2]any{BoolVal(false), BoolVal(true)}
+
+// boxValue converts v to an interface value, reusing a pre-boxed
+// instance when v is byte-identical to one (the guards on the unused
+// fields keep the substitution exact).
+func boxValue(v Value) any {
+	if v.Ptr.Cell == nil && v.Arr == nil {
+		switch v.Kind {
+		case KInt:
+			if !v.B && v.I >= 0 && v.I < int64(len(boxedInts)) {
+				return boxedInts[v.I]
+			}
+		case KBool:
+			if v.I == 0 {
+				return boxedBools[b2i(v.B)]
+			}
+		}
+	}
+	return v
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Cell is an addressable storage location (one variable). hkey/hc are
+// the incremental-hash bookkeeping (hash.go): the cell's position key
+// (0 when the cell is not part of the live state) and its current
+// contribution to the rolling accumulator. They are engine-internal and
+// never rendered in fingerprints.
 type Cell struct {
-	V Value
+	V    Value
+	hkey uint64
+	hc   uint64
 }
 
 // Convenience constructors.

@@ -33,11 +33,12 @@ func checkGolden(t *testing.T, name string, got []byte) {
 }
 
 // TestMetricsGolden locks the metrics snapshot schema: versioned, with
-// "v" first, counters/gauges/histograms sorted by name, histograms
-// rendering only non-empty buckets. Any schema drift fails this test
-// byte-for-byte.
+// "v" first, then labels, counters/gauges/histograms sorted by name,
+// histograms rendering only non-empty buckets. Any schema drift fails
+// this test byte-for-byte.
 func TestMetricsGolden(t *testing.T) {
 	r := New()
+	r.SetLabel("engine", "bytecode")
 	r.Counter("explore.states").Add(1234)
 	r.Counter("explore.transitions").Add(5678)
 	r.Counter("explore.paths").Add(90)

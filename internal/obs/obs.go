@@ -202,6 +202,7 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	labels     map[string]string
 	sink       *Sink
 }
 
@@ -212,6 +213,31 @@ func New() *Registry {
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
 	}
+}
+
+// SetLabel attaches a string label to the registry (e.g. which engine a
+// run used); labels render in the metrics snapshot. No-op on a nil
+// receiver.
+func (r *Registry) SetLabel(key, value string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.labels == nil {
+		r.labels = make(map[string]string)
+	}
+	r.labels[key] = value
+	r.mu.Unlock()
+}
+
+// Label returns the named label ("" when absent or on a nil receiver).
+func (r *Registry) Label(key string) string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.labels[key]
 }
 
 // Counter returns the named counter, creating it on first use (nil on a
@@ -289,6 +315,7 @@ func (r *Registry) Sink() *Sink {
 // so the output is byte-stable for a given registry state.
 type metricsJSON struct {
 	V          int                     `json:"v"`
+	Labels     map[string]string       `json:"labels,omitempty"`
 	Counters   map[string]int64        `json:"counters"`
 	Gauges     map[string]int64        `json:"gauges,omitempty"`
 	Histograms map[string]histSnapshot `json:"histograms,omitempty"`
@@ -303,6 +330,12 @@ func (r *Registry) WriteMetrics(w io.Writer) error {
 	doc := metricsJSON{V: MetricsVersion, Counters: map[string]int64{}}
 	if r != nil {
 		r.mu.Lock()
+		if len(r.labels) > 0 {
+			doc.Labels = make(map[string]string, len(r.labels))
+			for k, v := range r.labels {
+				doc.Labels[k] = v
+			}
+		}
 		for name, c := range r.counters {
 			doc.Counters[name] = c.Load()
 		}

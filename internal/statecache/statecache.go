@@ -159,7 +159,17 @@ func ceilPow2(n int) int {
 // stored is simply not remembered). The key bytes are copied on insert,
 // so callers may reuse their buffer.
 func (c *Cache) Visit(key []byte, depth int) bool {
-	h := c.hash(key)
+	return c.VisitPrehashed(c.hash(key), key, depth)
+}
+
+// VisitPrehashed is Visit with the routing hash supplied by the caller.
+// Engines that maintain an incremental state hash pass it here directly,
+// skipping the full-key hash walk; correctness does not depend on the
+// hash (membership is decided by byte-exact key compare), only shard
+// routing and bucket layout do, so the caller must be consistent: a
+// given key must always arrive with the same hash for the lifetime of
+// the cache.
+func (c *Cache) VisitPrehashed(h uint64, key []byte, depth int) bool {
 	s := &c.shards[h&c.mask]
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -2,8 +2,11 @@
 # Tier-1 verification: build, vet, full tests, a race-detector leg over
 # the packages with real concurrency (the parallel exploration engine,
 # its checkpoint/resume tests, the interpreter it runs on, and the
-# observability instruments all of them share), and a short fuzz smoke
-# over the front end and the checkpoint decoder (5s per target).
+# observability instruments all of them share), an explicit race-mode
+# pass of the three-way engine differential (bytecode vs slots vs ref
+# must stay byte-identical even under the race scheduler's timings),
+# and a short fuzz smoke over the front end, the checkpoint decoder,
+# and the bytecode/slots lockstep oracle (5s per target).
 # -count=1 defeats the test cache: a verification run must actually run.
 set -eux
 
@@ -13,9 +16,11 @@ go build ./...
 go vet ./...
 go test -count=1 -timeout=10m ./...
 go test -count=1 -timeout=10m -race ./internal/explore/... ./internal/interp/... ./internal/obs/... ./internal/statecache/...
+go test -count=1 -timeout=10m -race -run 'TestEngineEquivalence|TestDifferential' ./internal/explore/ ./internal/interp/
 go test -fuzz=FuzzLexer -fuzztime=5s ./internal/lexer/
 go test -fuzz=FuzzParser -fuzztime=5s ./internal/parser/
 go test -fuzz=FuzzCheckpointDecode -fuzztime=5s ./internal/explore/
+go test -fuzz=FuzzBytecodeLockstep -fuzztime=5s ./internal/interp/
 
 # Bench smoke: one iteration of the interpreter and snapshot-vs-replay
 # benchmarks (catches bit-rot in the perf harness without paying for a
