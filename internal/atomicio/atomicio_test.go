@@ -1,0 +1,69 @@
+package atomicio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWriteFileReplaces checks create-then-replace semantics and that
+// no temp droppings remain.
+func TestWriteFileReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := WriteFile(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, []byte("v2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v2" {
+		t.Errorf("content = %q, want v2", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Errorf("dir has %d entries, want 1", len(entries))
+	}
+}
+
+// TestWriteFileFailureKeepsOld checks that a failed write (unwritable
+// directory for the temp file) leaves the previous contents intact and
+// cleans up.
+func TestWriteFileFailureKeepsOld(t *testing.T) {
+	if os.Getuid() == 0 {
+		t.Skip("directory permissions do not bind as root")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	if err := WriteFile(path, []byte("new"), 0o644); err == nil {
+		t.Fatal("write into read-only dir succeeded")
+	}
+	os.Chmod(dir, 0o755)
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "old" {
+		t.Errorf("content = %q, want old after failed replace", got)
+	}
+}

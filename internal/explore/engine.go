@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"reclose/internal/faultinject"
 	"reclose/internal/interp"
 	"reclose/internal/statecache"
 )
@@ -339,6 +340,14 @@ func (e *engine) runPathSafe() {
 			e.leaf(LeafInternalError, msg)
 		}
 	}()
+	if e.opt.Fault != nil {
+		// Fault-injection hook: a sleep rule stalls this path, an
+		// error or panic rule aborts it — recovered above into an
+		// internal-error incident, exactly like a real panic.
+		if err := e.opt.Fault.Fire(faultinject.PointExplorePath); err != nil {
+			panic(err)
+		}
+	}
 	e.runPath()
 }
 

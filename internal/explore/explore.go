@@ -42,6 +42,7 @@ import (
 
 	"reclose/internal/ast"
 	"reclose/internal/cfg"
+	"reclose/internal/faultinject"
 	"reclose/internal/interp"
 	"reclose/internal/obs"
 	"reclose/internal/sem"
@@ -139,6 +140,15 @@ type Options struct {
 	// snapshots, so restored units replay; sequential searches (Workers
 	// == 0) never spill and ignore the flag.
 	SnapshotSpill bool
+	// Fault, if non-nil, is a fault-injection plan fired at the
+	// engine's hook points — currently faultinject.PointExplorePath,
+	// hit once before every explored path. Sleep rules simulate slow
+	// or stuck searches (pair them with Timeout to exercise drained
+	// partial reports); error and panic rules surface through the
+	// per-path panic isolation as internal-error incidents, so an
+	// injected fault costs exactly one path, like a real interpreter
+	// bug would. A nil plan is free.
+	Fault *faultinject.Plan
 	// Obs, if non-nil, is the observability registry the search
 	// publishes into: live counters (explore.states, ... — see
 	// metrics.go) flushed at path boundaries, frontier/worker gauges,

@@ -1,0 +1,106 @@
+package explore_test
+
+import (
+	"testing"
+	"time"
+
+	"reclose/internal/core"
+	"reclose/internal/explore"
+	"reclose/internal/faultinject"
+	"reclose/internal/progs"
+)
+
+// TestFaultHookErrorCostsOnePath: an injected error at explore.path
+// surfaces through the per-path panic isolation as exactly one
+// internal-error incident — the same containment a real interpreter
+// bug gets — and the rest of the search completes.
+func TestFaultHookErrorCostsOnePath(t *testing.T) {
+	unit := core.MustCompileSource(progs.Philosophers(3))
+
+	clean, err := explore.Explore(unit, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan := faultinject.MustNew(1, faultinject.Rule{
+		Point:  faultinject.PointExplorePath,
+		Action: faultinject.ActError,
+		After:  2, // let a couple of paths through first
+		Count:  1,
+		Msg:    "injected interpreter fault",
+	})
+	rep, err := explore.Explore(unit, explore.Options{Fault: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.InternalErrors != clean.InternalErrors+1 {
+		t.Errorf("internal errors = %d, want %d (exactly one injected)", rep.InternalErrors, clean.InternalErrors+1)
+	}
+	if rep.Incomplete {
+		t.Errorf("one injected fault aborted the whole search: %s", rep.Cause)
+	}
+	if fires := plan.Fires(faultinject.PointExplorePath); fires != 1 {
+		t.Errorf("plan fired %d times, want 1", fires)
+	}
+	// The injected path died before exploring, taking the subtree it
+	// would have scheduled with it; everything already on the frontier
+	// still completes.
+	if rep.Paths <= 0 || rep.Paths > clean.Paths {
+		t.Errorf("paths = %d, clean run had %d", rep.Paths, clean.Paths)
+	}
+}
+
+// TestFaultHookPanicIsIsolated: an injected panic behaves like the
+// error — recovered into an internal-error incident, search continues.
+func TestFaultHookPanicIsIsolated(t *testing.T) {
+	unit := core.MustCompileSource(progs.Philosophers(3))
+	plan := faultinject.MustNew(1, faultinject.Rule{
+		Point:  faultinject.PointExplorePath,
+		Action: faultinject.ActPanic,
+		After:  1,
+		Count:  2,
+		Msg:    "injected worker panic",
+	})
+	rep, err := explore.Explore(unit, explore.Options{Fault: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.InternalErrors != 2 {
+		t.Errorf("internal errors = %d, want 2", rep.InternalErrors)
+	}
+	if rep.Incomplete {
+		t.Errorf("injected panics aborted the search: %s", rep.Cause)
+	}
+}
+
+// TestFaultHookSleepIsCounterNeutral: a sleep rule slows the search
+// but must not change any counter — the property the crash-recovery
+// equivalence suite depends on when it stalls searches to land kills
+// mid-job.
+func TestFaultHookSleepIsCounterNeutral(t *testing.T) {
+	unit := core.MustCompileSource(progs.Philosophers(3))
+	clean, err := explore.Explore(unit, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := faultinject.MustNew(1, faultinject.Rule{
+		Point:   faultinject.PointExplorePath,
+		Action:  faultinject.ActSleep,
+		SleepMS: 1,
+	})
+	// Count the sleeps through a swapped sleeper rather than wall time.
+	var slept int
+	plan.SetSleeper(func(time.Duration) { slept++ })
+	rep, err := explore.Explore(unit, explore.Options{Fault: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slept == 0 {
+		t.Fatal("sleep rule never fired")
+	}
+	if rep.States != clean.States || rep.Transitions != clean.Transitions ||
+		rep.Paths != clean.Paths || rep.Incidents() != clean.Incidents() ||
+		rep.Deadlocks != clean.Deadlocks || rep.InternalErrors != clean.InternalErrors {
+		t.Errorf("sleep changed counters: %+v vs clean %+v", rep, clean)
+	}
+}

@@ -1,0 +1,195 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilPlanIsNoOp pins the disabled form: every method on a nil
+// *Plan is safe and does nothing.
+func TestNilPlanIsNoOp(t *testing.T) {
+	var p *Plan
+	if err := p.Fire(PointWorkerAttempt); err != nil {
+		t.Errorf("nil plan Fire = %v, want nil", err)
+	}
+	if got := p.Hits(PointWorkerAttempt); got != 0 {
+		t.Errorf("nil plan Hits = %d, want 0", got)
+	}
+	if got := p.Fires(PointWorkerAttempt); got != 0 {
+		t.Errorf("nil plan Fires = %d, want 0", got)
+	}
+	if d := time.Since(p.Now()); d < -time.Second || d > time.Second {
+		t.Errorf("nil plan Now drifted by %v from the real clock", d)
+	}
+	p.SetSleeper(nil)
+	if s := p.String(); s != "faultinject: disabled" {
+		t.Errorf("nil plan String = %q", s)
+	}
+}
+
+// TestCountingRuleSchedule pins the After/Every/Count arithmetic: a
+// rule with After=2, Every=3, Count=2 fires exactly on hits 3 and 6.
+func TestCountingRuleSchedule(t *testing.T) {
+	p := MustNew(1, Rule{Point: "pt", Action: ActError, After: 2, Every: 3, Count: 2})
+	var firedAt []int
+	for hit := 1; hit <= 12; hit++ {
+		if err := p.Fire("pt"); err != nil {
+			firedAt = append(firedAt, hit)
+			var inj *Injected
+			if !errors.As(err, &inj) {
+				t.Fatalf("hit %d: error %T is not *Injected", hit, err)
+			}
+			if inj.Hit != hit {
+				t.Errorf("hit %d: Injected.Hit = %d", hit, inj.Hit)
+			}
+		}
+	}
+	if len(firedAt) != 2 || firedAt[0] != 3 || firedAt[1] != 6 {
+		t.Errorf("fired at hits %v, want [3 6]", firedAt)
+	}
+	if p.Hits("pt") != 12 || p.Fires("pt") != 2 {
+		t.Errorf("hits/fires = %d/%d, want 12/2", p.Hits("pt"), p.Fires("pt"))
+	}
+}
+
+// TestPanicRule checks that panic rules deliver an *Injected value
+// recognizable by IsInjected.
+func TestPanicRule(t *testing.T) {
+	p := MustNew(1, Rule{Point: "pt", Action: ActPanic, Msg: "boom"})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic")
+		}
+		if !IsInjected(r) {
+			t.Fatalf("panic value %T is not *Injected", r)
+		}
+		if inj := r.(*Injected); inj.Msg != "boom" || inj.Point != "pt" {
+			t.Errorf("panic value = %+v", inj)
+		}
+	}()
+	p.Fire("pt")
+}
+
+// TestSleepAndSkew checks the latency and clock actions: sleep calls
+// the (swapped) sleeper with the rule's duration, skew advances Now.
+func TestSleepAndSkew(t *testing.T) {
+	p := MustNew(1,
+		Rule{Point: "slow", Action: ActSleep, SleepMS: 250},
+		Rule{Point: "clock", Action: ActSkew, SkewMS: 60000},
+	)
+	var slept time.Duration
+	p.SetSleeper(func(d time.Duration) { slept += d })
+	if err := p.Fire("slow"); err != nil {
+		t.Fatalf("sleep rule returned error %v", err)
+	}
+	if slept != 250*time.Millisecond {
+		t.Errorf("slept %v, want 250ms", slept)
+	}
+	before := time.Now()
+	if err := p.Fire("clock"); err != nil {
+		t.Fatalf("skew rule returned error %v", err)
+	}
+	if skewed := p.Now().Sub(before); skewed < 59*time.Second {
+		t.Errorf("Now advanced by only %v after a 60s skew", skewed)
+	}
+}
+
+// TestProbDeterministicPerSeed checks that probabilistic rules are a
+// pure function of (seed, hit sequence): same seed, same fires;
+// different seeds eventually differ; the fire rate is in the right
+// ballpark.
+func TestProbDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []bool {
+		p := MustNew(seed, Rule{Point: "pt", Action: ActError, Prob: 0.3})
+		out := make([]bool, 400)
+		for i := range out {
+			out[i] = p.Fire("pt") != nil
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i+1)
+		}
+	}
+	c := run(8)
+	same := true
+	fires := 0
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+		if a[i] {
+			fires++
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 8 produced identical fire sequences")
+	}
+	if fires < 60 || fires > 180 {
+		t.Errorf("prob 0.3 fired %d/400 times, want roughly 120", fires)
+	}
+}
+
+// TestDecode round-trips the JSON rules format and rejects garbage and
+// invalid rules.
+func TestDecode(t *testing.T) {
+	p, err := Decode(3, []byte(`[{"point":"jobs.journal.write","action":"error","count":1}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Fire(PointJournalWrite); err == nil {
+		t.Error("decoded rule did not fire")
+	}
+	if err := p.Fire(PointJournalWrite); err != nil {
+		t.Error("count=1 rule fired twice")
+	}
+	if _, err := Decode(3, []byte(`{`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := Decode(3, []byte(`[{"point":"p","action":"sleep"}]`)); err == nil {
+		t.Error("sleep rule without sleep_ms accepted")
+	}
+	if _, err := Decode(3, []byte(`[{"point":"p","action":"warp"}]`)); err == nil {
+		t.Error("unknown action accepted")
+	}
+	if _, err := Decode(3, []byte(`[{"point":"p","action":"error","prob":1.5}]`)); err == nil {
+		t.Error("prob outside [0,1] accepted")
+	}
+}
+
+// TestConcurrentFire hammers one plan from many goroutines under the
+// race detector and checks the counters stay exact.
+func TestConcurrentFire(t *testing.T) {
+	p := MustNew(1, Rule{Point: "pt", Action: ActError, Every: 2})
+	const goroutines, per = 8, 200
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fires := 0
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < per; i++ {
+				if p.Fire("pt") != nil {
+					n++
+				}
+			}
+			mu.Lock()
+			fires += n
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if p.Hits("pt") != goroutines*per {
+		t.Errorf("hits = %d, want %d", p.Hits("pt"), goroutines*per)
+	}
+	if fires != goroutines*per/2 || p.Fires("pt") != fires {
+		t.Errorf("fires = %d (plan says %d), want %d", fires, p.Fires("pt"), goroutines*per/2)
+	}
+}

@@ -1,0 +1,88 @@
+package jobs
+
+import "time"
+
+// Backoff computes capped exponential retry delays with deterministic
+// seeded jitter. Delay is a pure function of (Seed, key, level), so
+// retry schedules are reproducible for a given seed regardless of how
+// concurrent workers interleave — the property the fault-injection
+// suite leans on.
+type Backoff struct {
+	Base   time.Duration // first delay (default 100ms)
+	Cap    time.Duration // upper bound on any delay (default 30s)
+	Factor float64       // growth per level (default 2)
+	Jitter float64       // ± fraction of the delay (default 0.2; negative disables)
+	Seed   uint64        // jitter stream seed
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 100 * time.Millisecond
+	}
+	if b.Cap <= 0 {
+		b.Cap = 30 * time.Second
+	}
+	if b.Factor < 1 {
+		b.Factor = 2
+	}
+	switch {
+	case b.Jitter == 0:
+		b.Jitter = 0.2
+	case b.Jitter < 0 || b.Jitter >= 1:
+		b.Jitter = 0 // explicitly disabled, or nonsense
+	}
+	return b
+}
+
+// Delay returns the wait before retry number level (1-based) of the
+// given key (normally the job ID): Base·Factor^(level-1), jittered by
+// ±Jitter, capped at Cap. The jitter draw is a hash of (Seed, key,
+// level), so the same retry of the same job under the same seed always
+// waits the same time, and different jobs desynchronize instead of
+// thundering in lockstep.
+func (b Backoff) Delay(key string, level int) time.Duration {
+	b = b.withDefaults()
+	if level < 1 {
+		level = 1
+	}
+	d := float64(b.Base)
+	for i := 1; i < level; i++ {
+		d *= b.Factor
+		if d >= float64(b.Cap) {
+			break
+		}
+	}
+	if d > float64(b.Cap) {
+		d = float64(b.Cap)
+	}
+	if b.Jitter > 0 {
+		h := b.Seed ^ 0x9e3779b97f4a7c15
+		for i := 0; i < len(key); i++ {
+			h = (h ^ uint64(key[i])) * 1099511628211
+		}
+		h = (h ^ uint64(level)) * 1099511628211
+		h ^= h >> 33
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+		u := float64(h>>11) / float64(1<<53) // uniform [0,1)
+		d *= 1 + b.Jitter*(2*u-1)
+	}
+	if d > float64(b.Cap) {
+		d = float64(b.Cap)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// nextBackoffLevel is the reset-on-success rule: an attempt that made
+// forward progress (advanced the job's persisted checkpoint) resets
+// the backoff to level 1 — the failure is treated as fresh, not as one
+// more of a losing streak; an attempt that made no progress escalates.
+func nextBackoffLevel(level int, progressed bool) int {
+	if progressed || level < 1 {
+		return 1
+	}
+	return level + 1
+}

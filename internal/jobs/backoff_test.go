@@ -1,0 +1,119 @@
+package jobs
+
+import (
+	"testing"
+	"time"
+)
+
+// Satellite 3: retry/backoff math — deterministic seeded jitter,
+// exponential growth, the cap, and reset-on-success.
+
+func TestBackoffDeterministicForSeed(t *testing.T) {
+	b := Backoff{Seed: 42}
+	for level := 1; level <= 8; level++ {
+		d1 := b.Delay("j000001", level)
+		d2 := b.Delay("j000001", level)
+		if d1 != d2 {
+			t.Fatalf("level %d: Delay not deterministic: %v vs %v", level, d1, d2)
+		}
+	}
+	// A different seed must reshuffle at least one level's jitter.
+	b2 := Backoff{Seed: 43}
+	same := true
+	for level := 1; level <= 8; level++ {
+		if b.Delay("j000001", level) != b2.Delay("j000001", level) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical schedules for all 8 levels")
+	}
+	// Different jobs get decorrelated jitter under one seed.
+	same = true
+	for level := 1; level <= 8; level++ {
+		if b.Delay("j000001", level) != b.Delay("j000002", level) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("two jobs share an identical 8-level schedule (jitter not keyed)")
+	}
+}
+
+func TestBackoffGrowthAndBounds(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Cap: 30 * time.Second, Factor: 2, Jitter: 0.2, Seed: 7}
+	for level := 1; level <= 20; level++ {
+		d := b.Delay("job", level)
+		if d < 0 {
+			t.Fatalf("level %d: negative delay %v", level, d)
+		}
+		if d > b.Cap {
+			t.Fatalf("level %d: delay %v exceeds cap %v", level, d, b.Cap)
+		}
+		// Within the jitter band around min(base*factor^(level-1), cap).
+		ideal := float64(b.Base)
+		for i := 1; i < level; i++ {
+			ideal *= b.Factor
+			if ideal > float64(b.Cap) {
+				ideal = float64(b.Cap)
+				break
+			}
+		}
+		lo := time.Duration(ideal * (1 - b.Jitter))
+		hi := time.Duration(ideal * (1 + b.Jitter))
+		if hi > b.Cap {
+			hi = b.Cap
+		}
+		if d < lo || d > hi {
+			t.Fatalf("level %d: delay %v outside jitter band [%v, %v]", level, d, lo, hi)
+		}
+	}
+}
+
+func TestBackoffCapSaturates(t *testing.T) {
+	// Jitter < 0 disables jitter so the schedule is exact.
+	b := Backoff{Base: time.Second, Cap: 4 * time.Second, Factor: 2, Jitter: -1, Seed: 1}
+	if d := b.Delay("j", 1); d != time.Second {
+		t.Errorf("level 1 = %v, want 1s", d)
+	}
+	if d := b.Delay("j", 2); d != 2*time.Second {
+		t.Errorf("level 2 = %v, want 2s", d)
+	}
+	for level := 3; level <= 30; level++ {
+		if d := b.Delay("j", level); d != 4*time.Second {
+			t.Errorf("level %d = %v, want cap 4s", level, d)
+		}
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	var b Backoff
+	d := b.Delay("j", 1)
+	w := b.withDefaults()
+	if w.Base != 100*time.Millisecond || w.Cap != 30*time.Second || w.Factor != 2 || w.Jitter != 0.2 {
+		t.Errorf("withDefaults = %+v", w)
+	}
+	lo := time.Duration(float64(w.Base) * 0.8)
+	hi := time.Duration(float64(w.Base) * 1.2)
+	if d < lo || d > hi {
+		t.Errorf("zero-value level-1 delay %v outside default band [%v, %v]", d, lo, hi)
+	}
+}
+
+func TestNextBackoffLevelResetOnSuccess(t *testing.T) {
+	// No progress: the level escalates monotonically.
+	level := 0
+	for i := 1; i <= 5; i++ {
+		level = nextBackoffLevel(level, false)
+		if level != i {
+			t.Fatalf("escalation step %d: level = %d", i, level)
+		}
+	}
+	// Progress (the attempt advanced the persisted checkpoint): the
+	// schedule restarts at level 1, not level+1.
+	if got := nextBackoffLevel(level, true); got != 1 {
+		t.Fatalf("reset-on-success: level = %d, want 1", got)
+	}
+}

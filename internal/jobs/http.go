@@ -1,0 +1,129 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"os"
+
+	"reclose/internal/obs"
+)
+
+// NewHandler serves the job API over a manager:
+//
+//	POST   /jobs            submit a Request; 202 + View, 429 when saturated
+//	GET    /jobs            list all jobs
+//	GET    /jobs/{id}       one job's state and result
+//	DELETE /jobs/{id}       cancel a job
+//	GET    /jobs/{id}/trace the job's JSONL trace stream (if Trace was set)
+//	GET    /metrics         the obs registry as JSON
+//	GET    /healthz         200 ok / 503 draining
+//
+// reg may be nil (then /metrics serves an empty document).
+func NewHandler(m *Manager, reg *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, MaxSourceBytes+4096+1))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "read body: "+err.Error())
+			return
+		}
+		req, err := ParseRequest(body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		v, err := m.Submit(req)
+		switch {
+		case errors.Is(err, ErrSaturated):
+			// Load shed: the queue is full and nothing outranked the
+			// request. Retry-After reflects a plausible drain interval.
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, err.Error())
+			return
+		case errors.Is(err, ErrDraining):
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		case err != nil:
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusAccepted, v)
+	})
+
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.List())
+	})
+
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		v, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	})
+
+	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if _, ok := m.Get(id); !ok {
+			httpError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		stopped, err := m.Cancel(id)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"cancelled": stopped})
+	})
+
+	mux.HandleFunc("GET /jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if _, ok := m.Get(id); !ok {
+			httpError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		f, err := os.Open(m.TracePath(id))
+		if err != nil {
+			httpError(w, http.StatusNotFound, "no trace for this job")
+			return
+		}
+		defer f.Close()
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		io.Copy(w, f)
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if reg == nil {
+			io.WriteString(w, "{}\n")
+			return
+		}
+		reg.WriteMetrics(w)
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if m.Draining() {
+			httpError(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

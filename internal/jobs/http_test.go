@@ -1,0 +1,237 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"reclose/internal/faultinject"
+	"reclose/internal/obs"
+	"reclose/internal/progs"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Manager, *httptest.Server) {
+	t.Helper()
+	if cfg.DataDir == "" {
+		cfg.DataDir = t.TempDir()
+	}
+	m, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(m, cfg.Obs))
+	t.Cleanup(func() {
+		srv.Close()
+		drain(t, m)
+	})
+	return m, srv
+}
+
+func postJob(t *testing.T, srv *httptest.Server, body string) (*http.Response, *View) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v View
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		return resp, &v
+	}
+	return resp, nil
+}
+
+// pollDone polls GET /jobs/{id} until the job is done (API-level
+// submit→poll→result smoke, mirrored by the daemon smoke test).
+func pollDone(t *testing.T, srv *httptest.Server, id string) *View {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(srv.URL + "/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v View
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.State == StateDone {
+			return &v
+		}
+		if v.State.terminal() {
+			t.Fatalf("job %s: %s (%s)", id, v.State, v.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return nil
+}
+
+func TestHTTPSubmitPollResult(t *testing.T) {
+	reg := obs.New()
+	_, srv := newTestServer(t, Config{Workers: 1, Obs: reg})
+	body, _ := json.Marshal(Request{Source: progs.Philosophers(3)})
+	resp, v := postJob(t, srv, string(body))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs = %d, want 202", resp.StatusCode)
+	}
+	got := pollDone(t, srv, v.ID)
+	if got.Result == nil || got.Result.Deadlocks == 0 {
+		t.Fatalf("result = %+v, want deadlocks", got.Result)
+	}
+
+	// The list shows it; metrics are served.
+	lresp, err := http.Get(srv.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []View
+	json.NewDecoder(lresp.Body).Decode(&list)
+	lresp.Body.Close()
+	if len(list) != 1 || list[0].ID != v.ID {
+		t.Fatalf("GET /jobs = %+v", list)
+	}
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	json.NewDecoder(mresp.Body).Decode(&doc)
+	mresp.Body.Close()
+	if doc.Counters[MetricCompleted] != 1 {
+		t.Errorf("metrics %s = %d, want 1", MetricCompleted, doc.Counters[MetricCompleted])
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 1})
+	for _, body := range []string{
+		`not json`,
+		`{}`,
+		`{"source":"x","priority":99}`,
+		`{"source":"x","close":"naive"}`,
+	} {
+		resp, _ := postJob(t, srv, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %q = %d, want 400", body, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/jobs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /jobs/nope = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestHTTPSaturationReturns429 drives the queue to its bound and
+// checks the load-shedding contract: 429 plus Retry-After.
+func TestHTTPSaturationReturns429(t *testing.T) {
+	plan := faultinject.MustNew(3, faultinject.Rule{
+		Point: faultinject.PointExplorePath, Action: faultinject.ActSleep, SleepMS: 50,
+	})
+	m, srv := newTestServer(t, Config{Workers: 1, QueueCap: 2, Fault: plan})
+	body, _ := json.Marshal(Request{Source: progs.Philosophers(3)})
+	first, v := postJob(t, srv, string(body))
+	if first.StatusCode != http.StatusAccepted {
+		t.Fatalf("first POST = %d", first.StatusCode)
+	}
+	waitState(t, m, v.ID, StateRunning)
+	for i := 0; i < 2; i++ {
+		resp, _ := postJob(t, srv, string(body))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("fill %d = %d", i, resp.StatusCode)
+		}
+	}
+	resp, _ := postJob(t, srv, string(body))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated POST = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+}
+
+func TestHTTPCancel(t *testing.T) {
+	plan := faultinject.MustNew(3, faultinject.Rule{
+		Point: faultinject.PointExplorePath, Action: faultinject.ActSleep, SleepMS: 20,
+	})
+	m, srv := newTestServer(t, Config{Workers: 1, Fault: plan})
+	body, _ := json.Marshal(Request{Source: progs.Philosophers(3)})
+	_, v := postJob(t, srv, string(body))
+	waitState(t, m, v.ID, StateRunning)
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/jobs/"+v.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE = %d", resp.StatusCode)
+	}
+	got := waitState(t, m, v.ID, StateCancelled)
+	if got.State != StateCancelled {
+		t.Fatalf("state = %s", got.State)
+	}
+}
+
+func TestHTTPTraceStream(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 1})
+	body, _ := json.Marshal(Request{Source: progs.Philosophers(3), Trace: true})
+	_, v := postJob(t, srv, string(body))
+	pollDone(t, srv, v.ID)
+	resp, err := http.Get(fmt.Sprintf("%s/jobs/%s/trace", srv.URL, v.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace = %d", resp.StatusCode)
+	}
+	dec := json.NewDecoder(resp.Body)
+	lines := 0
+	for dec.More() {
+		var ev map[string]any
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatalf("trace line %d: %v", lines, err)
+		}
+		lines++
+	}
+	if lines == 0 {
+		t.Error("trace stream is empty")
+	}
+}
+
+func TestHTTPHealthz(t *testing.T) {
+	m, srv := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	drain(t, m)
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining = %d, want 503", resp.StatusCode)
+	}
+}

@@ -1,0 +1,323 @@
+// Package jobs is the exploration job server behind cmd/verisoftd: a
+// bounded priority queue with admission control and load shedding, a
+// worker pool running searches through the explore package, per-job
+// retry with exponential backoff that resumes from the job's last
+// persisted checkpoint, and a crash-safe journal (write-temp-then-
+// rename under a data directory) so a daemon killed at any instant
+// reboots into a consistent job table and finishes its in-flight work.
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"unicode/utf8"
+
+	"reclose/internal/cfg"
+	"reclose/internal/core"
+	"reclose/internal/explore"
+	"reclose/internal/interp"
+	"reclose/internal/mgenv"
+)
+
+// State is a job's position in its lifecycle state machine:
+//
+//	queued ──► running ──► done
+//	  ▲           │  ├───► failed      (permanent error or retries exhausted)
+//	  │           │  └───► cancelled
+//	  │           ▼
+//	  └─── wait-retry                  (transient failure; backoff, then requeue)
+//
+// A daemon crash can leave a job persisted as queued, running, or
+// wait-retry; boot recovery requeues all three (running jobs resume
+// from their last persisted checkpoint).
+type State string
+
+// Job states.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateWaitRetry State = "wait-retry"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// terminal reports whether a state is final.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Request limits enforced by ParseRequest regardless of transport.
+const (
+	// MaxSourceBytes bounds the MiniC source of one job.
+	MaxSourceBytes = 1 << 20
+	// MaxPriority is the highest admission priority (0 is the lowest).
+	MaxPriority = 9
+	// maxRequestWorkers bounds the per-job explore worker count.
+	maxRequestWorkers = 64
+	// maxNaiveDomain bounds the -naive closing domain.
+	maxNaiveDomain = 64
+	// maxRequestIncidents bounds the per-job incident sample budget.
+	maxRequestIncidents = 256
+)
+
+// Request is the job-submission document (POST /jobs). All fields but
+// Source are optional.
+type Request struct {
+	// Source is the MiniC program to explore: an open program (closed
+	// per Close), or an already-closed one — e.g. the output of
+	// `reclose -emit`, which is how closed CFGs travel as jobs.
+	Source string `json:"source"`
+	// Close selects how an open program is closed: "auto" (the paper's
+	// transformation, default), "naive" (explicit most general
+	// environment over [0,NaiveDomain)), or "none" (reject open
+	// programs).
+	Close       string `json:"close,omitempty"`
+	NaiveDomain int    `json:"naive_domain,omitempty"`
+	// Priority is the admission priority, 0 (lowest) to 9: when the
+	// queue is full, a new job may evict the oldest queued job of any
+	// strictly lower priority.
+	Priority int `json:"priority,omitempty"`
+
+	// Engine selects the interpreter tier ("bytecode", "slots", "ref";
+	// default bytecode).
+	Engine string `json:"engine,omitempty"`
+	// MaxDepth bounds path depth (0 = explore default).
+	MaxDepth int `json:"max_depth,omitempty"`
+	// MaxStates bounds the whole job (0 = unlimited): reaching it ends
+	// the job as done-but-truncated, like the CLI flag.
+	MaxStates int64 `json:"max_states,omitempty"`
+	// AttemptStates is the per-attempt state budget (0 = server
+	// default): an attempt that exhausts it checkpoints and the job is
+	// requeued with backoff, so one giant job cannot pin a worker.
+	AttemptStates int64 `json:"attempt_states,omitempty"`
+	// AttemptTimeoutMS is the per-attempt wall-clock budget in
+	// milliseconds (0 = server default).
+	AttemptTimeoutMS int64 `json:"attempt_timeout_ms,omitempty"`
+	// Workers is the explore worker count for this job (0 =
+	// sequential).
+	Workers int `json:"workers,omitempty"`
+	// NoPOR / NoSleep disable the partial-order reductions.
+	NoPOR   bool `json:"no_por,omitempty"`
+	NoSleep bool `json:"no_sleep,omitempty"`
+	// MaxIncidents bounds recorded incident samples (0 = default 16).
+	MaxIncidents int `json:"max_incidents,omitempty"`
+	// Trace streams the job's obs events to a JSONL file under the
+	// data directory, served at GET /jobs/<id>/trace.
+	Trace bool `json:"trace,omitempty"`
+}
+
+// ParseRequest decodes and validates a job-submission document. It
+// never panics on hostile input (FuzzJobRequest) and enforces the
+// bounds above so a single request cannot exhaust the server.
+func ParseRequest(data []byte) (*Request, error) {
+	if len(data) > MaxSourceBytes+4096 {
+		return nil, fmt.Errorf("jobs: request body is %d bytes (limit %d)", len(data), MaxSourceBytes+4096)
+	}
+	var r Request
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("jobs: malformed request: %w", err)
+	}
+	if err := r.validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+func (r *Request) validate() error {
+	if r.Source == "" {
+		return fmt.Errorf("jobs: request has no source")
+	}
+	if len(r.Source) > MaxSourceBytes {
+		return fmt.Errorf("jobs: source is %d bytes (limit %d)", len(r.Source), MaxSourceBytes)
+	}
+	if !utf8.ValidString(r.Source) {
+		return fmt.Errorf("jobs: source is not valid UTF-8")
+	}
+	switch r.Close {
+	case "", "auto", "none":
+	case "naive":
+		if r.NaiveDomain < 1 || r.NaiveDomain > maxNaiveDomain {
+			return fmt.Errorf("jobs: naive close needs naive_domain in [1,%d], got %d", maxNaiveDomain, r.NaiveDomain)
+		}
+	default:
+		return fmt.Errorf("jobs: unknown close mode %q", r.Close)
+	}
+	if r.Priority < 0 || r.Priority > MaxPriority {
+		return fmt.Errorf("jobs: priority %d outside [0,%d]", r.Priority, MaxPriority)
+	}
+	if r.Engine != "" {
+		if _, err := interp.ParseEngine(r.Engine); err != nil {
+			return fmt.Errorf("jobs: %w", err)
+		}
+	}
+	if r.MaxDepth < 0 || r.MaxStates < 0 || r.AttemptStates < 0 || r.AttemptTimeoutMS < 0 {
+		return fmt.Errorf("jobs: negative budget")
+	}
+	if r.Workers < 0 || r.Workers > maxRequestWorkers {
+		return fmt.Errorf("jobs: workers %d outside [0,%d]", r.Workers, maxRequestWorkers)
+	}
+	if r.MaxIncidents < 0 || r.MaxIncidents > maxRequestIncidents {
+		return fmt.Errorf("jobs: max_incidents %d outside [0,%d]", r.MaxIncidents, maxRequestIncidents)
+	}
+	return nil
+}
+
+// compile builds the closed unit a request describes. Compile and
+// closing errors are permanent: the job fails without retry.
+func (r *Request) compile() (*cfg.Unit, error) {
+	unit, err := core.CompileSource(r.Source)
+	if err != nil {
+		return nil, err
+	}
+	if !unit.IsOpen() {
+		return unit, nil
+	}
+	switch r.Close {
+	case "none":
+		return nil, fmt.Errorf("jobs: program is open and close mode is none")
+	case "naive":
+		composed, _, err := mgenv.ComposeSource(r.Source, r.NaiveDomain)
+		return composed, err
+	default:
+		closed, _, err := core.Close(unit)
+		return closed, err
+	}
+}
+
+// IncidentSummary is one recorded incident in a job result.
+type IncidentSummary struct {
+	Kind  string `json:"kind"`
+	Msg   string `json:"msg"`
+	Depth int    `json:"depth"`
+}
+
+// Result is the final outcome of a done job: the merged Report's
+// counters plus its incident samples. Replays and ReplaySteps are
+// deliberately absent — they measure how the work was scheduled
+// (restarts re-replay prefixes), not what was explored, and the
+// crash-recovery contract promises equality of everything here with
+// an uninterrupted run.
+type Result struct {
+	States      int64 `json:"states"`
+	Transitions int64 `json:"transitions"`
+	Paths       int64 `json:"paths"`
+	MaxDepth    int   `json:"max_depth"`
+
+	Terminated     int64 `json:"terminated"`
+	Deadlocks      int64 `json:"deadlocks"`
+	Violations     int64 `json:"violations"`
+	Traps          int64 `json:"traps"`
+	Divergences    int64 `json:"divergences"`
+	DepthHits      int64 `json:"depth_hits"`
+	SleepPrunes    int64 `json:"sleep_prunes"`
+	CachePrunes    int64 `json:"cache_prunes"`
+	InternalErrors int64 `json:"internal_errors"`
+	Incidents      int64 `json:"incidents"`
+
+	OpsCovered int `json:"ops_covered"`
+	OpsTotal   int `json:"ops_total"`
+
+	// Complete is false when the job ended on its own MaxStates budget
+	// (Cause says why), mirroring the CLI's truncated searches.
+	Complete bool   `json:"complete"`
+	Cause    string `json:"cause,omitempty"`
+
+	Samples []IncidentSummary `json:"samples,omitempty"`
+}
+
+// resultFromReport projects a merged report into the persisted form.
+func resultFromReport(rep *explore.Report) *Result {
+	res := &Result{
+		States:         rep.States,
+		Transitions:    rep.Transitions,
+		Paths:          rep.Paths,
+		MaxDepth:       rep.MaxDepth,
+		Terminated:     rep.Terminated,
+		Deadlocks:      rep.Deadlocks,
+		Violations:     rep.Violations,
+		Traps:          rep.Traps,
+		Divergences:    rep.Divergences,
+		DepthHits:      rep.DepthHits,
+		SleepPrunes:    rep.SleepPrunes,
+		CachePrunes:    rep.CachePrunes,
+		InternalErrors: rep.InternalErrors,
+		Incidents:      rep.Incidents(),
+		OpsCovered:     rep.OpsCovered,
+		OpsTotal:       rep.OpsTotal,
+		Complete:       !rep.Incomplete,
+		Cause:          "",
+	}
+	if rep.Incomplete {
+		res.Cause = rep.Cause.String()
+	}
+	for _, in := range rep.Samples {
+		res.Samples = append(res.Samples, IncidentSummary{
+			Kind:  in.Kind.String(),
+			Msg:   in.Msg,
+			Depth: in.Depth,
+		})
+	}
+	return res
+}
+
+// Job is the in-memory job table entry. Fields are guarded by the
+// manager's table lock; the worker running the job mutates it only
+// through manager methods.
+type Job struct {
+	ID  string
+	Req Request
+
+	State    State
+	Priority int
+	Seq      uint64 // admission order, for FIFO-within-priority and eviction age
+
+	Attempts         int    // attempts started (including the current one)
+	Retries          int    // transient failures that scheduled a retry
+	Resumes          int    // attempts that resumed from a checkpoint
+	BackoffLevel     int    // current backoff escalation level
+	Checkpoint       []byte `json:"-"` // encoded explore.Snapshot, nil when none
+	CheckpointStates int64  // states recorded in the persisted checkpoint
+
+	Result *Result
+	Error  string // terminal error for failed jobs
+
+	// unit is the compiled closed system, built on first attempt and
+	// kept in memory only (the journal re-compiles from source).
+	unit *cfg.Unit
+	// cancel stops the running attempt (set while State == running).
+	cancel func()
+	// cancelled marks a cancel request that arrived while the job was
+	// running (or mid-pop); the attempt's outcome routing honours it.
+	cancelled bool
+	// recovered marks a job requeued by boot recovery.
+	recovered bool
+}
+
+// View is the externally visible job state (GET /jobs/<id>).
+type View struct {
+	ID               string  `json:"id"`
+	State            State   `json:"state"`
+	Priority         int     `json:"priority"`
+	Attempts         int     `json:"attempts"`
+	Retries          int     `json:"retries"`
+	Resumes          int     `json:"resumes"`
+	CheckpointStates int64   `json:"checkpoint_states,omitempty"`
+	Result           *Result `json:"result,omitempty"`
+	Error            string  `json:"error,omitempty"`
+}
+
+// view snapshots a job under the manager lock.
+func (j *Job) view() *View {
+	return &View{
+		ID:               j.ID,
+		State:            j.State,
+		Priority:         j.Priority,
+		Attempts:         j.Attempts,
+		Retries:          j.Retries,
+		Resumes:          j.Resumes,
+		CheckpointStates: j.CheckpointStates,
+		Result:           j.Result,
+		Error:            j.Error,
+	}
+}

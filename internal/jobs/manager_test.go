@@ -1,0 +1,428 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"reclose/internal/faultinject"
+	"reclose/internal/obs"
+	"reclose/internal/progs"
+)
+
+// waitState polls until the job reaches a terminal state or any of the
+// wanted states, with a generous deadline (the host is a 1-CPU box).
+func waitState(t *testing.T, m *Manager, id string, want ...State) *View {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		v, ok := m.Get(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		for _, w := range want {
+			if v.State == w {
+				return v
+			}
+		}
+		if v.State.terminal() {
+			t.Fatalf("job %s terminal in %s (error %q), want one of %v", id, v.State, v.Error, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %v", id, want)
+	return nil
+}
+
+func drain(t *testing.T, m *Manager) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func philReq() *Request {
+	return &Request{Source: progs.Philosophers(3)}
+}
+
+func TestManagerRunsJobToDone(t *testing.T) {
+	m, err := Open(Config{DataDir: t.TempDir(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drain(t, m)
+	v, err := m.Submit(philReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, m, v.ID, StateDone)
+	if got.Result == nil || !got.Result.Complete {
+		t.Fatalf("result = %+v, want complete", got.Result)
+	}
+	if got.Result.Deadlocks == 0 {
+		t.Error("philosophers should deadlock at least once")
+	}
+	if got.Attempts != 1 || got.Retries != 0 || got.Resumes != 0 {
+		t.Errorf("attempts/retries/resumes = %d/%d/%d, want 1/0/0", got.Attempts, got.Retries, got.Resumes)
+	}
+}
+
+func TestManagerPermanentFailureNoRetry(t *testing.T) {
+	m, err := Open(Config{DataDir: t.TempDir(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drain(t, m)
+	v, err := m.Submit(&Request{Source: "int main() { syntax error here"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, m, v.ID, StateFailed)
+	if got.Attempts != 1 {
+		t.Errorf("compile failure retried: attempts = %d", got.Attempts)
+	}
+}
+
+func TestManagerOpenProgramRejectedUnderCloseNone(t *testing.T) {
+	m, err := Open(Config{DataDir: t.TempDir(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drain(t, m)
+	v, err := m.Submit(&Request{Source: progs.DeadlockProne, Close: "none"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, m, v.ID, StateFailed)
+	if !strings.Contains(got.Error, "open") {
+		t.Errorf("error = %q, want an open-program rejection", got.Error)
+	}
+}
+
+func TestManagerClosesOpenProgram(t *testing.T) {
+	m, err := Open(Config{DataDir: t.TempDir(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drain(t, m)
+	v, err := m.Submit(&Request{Source: progs.DeadlockProne}) // close: auto
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, m, v.ID, StateDone)
+	if got.Result.Deadlocks == 0 {
+		t.Error("closed DeadlockProne should expose its deadlock")
+	}
+}
+
+// TestManagerRetriesInjectedPanics drives a panic storm: the first two
+// attempts of every job die inside the worker, the third succeeds.
+// With zero backoff delay weight the retries are quick.
+func TestManagerRetriesInjectedPanics(t *testing.T) {
+	reg := obs.New()
+	plan := faultinject.MustNew(7, faultinject.Rule{
+		Point:  faultinject.PointWorkerAttempt,
+		Action: faultinject.ActPanic,
+		Count:  2,
+		Msg:    "injected worker crash",
+	})
+	m, err := Open(Config{
+		DataDir: t.TempDir(),
+		Workers: 1,
+		Backoff: Backoff{Base: time.Millisecond, Cap: 5 * time.Millisecond, Seed: 1},
+		Obs:     reg,
+		Fault:   plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drain(t, m)
+	v, err := m.Submit(philReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, m, v.ID, StateDone)
+	if got.Attempts != 3 || got.Retries != 2 {
+		t.Errorf("attempts/retries = %d/%d, want 3/2", got.Attempts, got.Retries)
+	}
+	if n := reg.Counter(MetricPanics).Load(); n != 2 {
+		t.Errorf("panics counter = %d, want 2", n)
+	}
+	if n := reg.Counter(MetricRetries).Load(); n != 2 {
+		t.Errorf("retries counter = %d, want 2", n)
+	}
+}
+
+// TestManagerRetriesExhausted: a job whose every attempt panics fails
+// permanently after MaxAttempts.
+func TestManagerRetriesExhausted(t *testing.T) {
+	plan := faultinject.MustNew(7, faultinject.Rule{
+		Point:  faultinject.PointWorkerAttempt,
+		Action: faultinject.ActPanic,
+		Msg:    "always crash",
+	})
+	m, err := Open(Config{
+		DataDir:     t.TempDir(),
+		Workers:     1,
+		MaxAttempts: 3,
+		Backoff:     Backoff{Base: time.Millisecond, Cap: 5 * time.Millisecond, Seed: 1},
+		Fault:       plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drain(t, m)
+	v, err := m.Submit(philReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, m, v.ID, StateFailed)
+	if got.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3", got.Attempts)
+	}
+	if !strings.Contains(got.Error, "retries exhausted") {
+		t.Errorf("error = %q, want retries-exhausted", got.Error)
+	}
+}
+
+// TestManagerAttemptBudgetResumes slices a job into many attempts via a
+// small per-attempt state budget; each retry resumes from the persisted
+// checkpoint and the final counters match a one-shot run.
+func TestManagerAttemptBudgetResumes(t *testing.T) {
+	oneShot, err := Open(Config{DataDir: t.TempDir(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := oneShot.Submit(philReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := waitState(t, oneShot, v.ID, StateDone).Result
+	drain(t, oneShot)
+
+	m, err := Open(Config{
+		DataDir:              t.TempDir(),
+		Workers:              1,
+		MaxAttempts:          100,
+		CheckpointEveryPaths: 2,
+		Backoff:              Backoff{Base: time.Millisecond, Cap: 2 * time.Millisecond, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drain(t, m)
+	req := philReq()
+	req.AttemptStates = want.States / 4 // force several slices
+	if req.AttemptStates < 1 {
+		req.AttemptStates = 1
+	}
+	v, err = m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, m, v.ID, StateDone)
+	if got.Resumes == 0 {
+		t.Errorf("job finished without resuming (attempts %d)", got.Attempts)
+	}
+	if !sameResult(got.Result, want) {
+		t.Errorf("sliced result = %+v, want %+v", got.Result, want)
+	}
+	if len(got.Result.Samples) != len(want.Samples) {
+		t.Errorf("sliced samples = %d, want %d", len(got.Result.Samples), len(want.Samples))
+	}
+}
+
+// sameResult compares everything but the sample slice (compared by
+// multiset of kinds elsewhere; slicing may reorder discovery).
+func sameResult(a, b *Result) bool {
+	return a.States == b.States &&
+		a.Transitions == b.Transitions &&
+		a.Paths == b.Paths &&
+		a.MaxDepth == b.MaxDepth &&
+		a.Terminated == b.Terminated &&
+		a.Deadlocks == b.Deadlocks &&
+		a.Violations == b.Violations &&
+		a.Traps == b.Traps &&
+		a.Divergences == b.Divergences &&
+		a.DepthHits == b.DepthHits &&
+		a.SleepPrunes == b.SleepPrunes &&
+		a.InternalErrors == b.InternalErrors &&
+		a.Incidents == b.Incidents &&
+		a.Complete == b.Complete
+}
+
+// TestManagerJobOwnMaxStatesEndsDone: the job's own budget truncates
+// the search and the job finishes done-but-incomplete, not retried.
+func TestManagerJobOwnMaxStatesEndsDone(t *testing.T) {
+	m, err := Open(Config{DataDir: t.TempDir(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drain(t, m)
+	req := philReq()
+	req.MaxStates = 10
+	v, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, m, v.ID, StateDone)
+	if got.Result.Complete {
+		t.Error("truncated job reported complete")
+	}
+	if got.Result.Cause == "" {
+		t.Error("truncated job has no cause")
+	}
+}
+
+func TestManagerCancelQueuedAndRunning(t *testing.T) {
+	// Workers: 1 and a slow first job keep the second queued.
+	plan := faultinject.MustNew(5, faultinject.Rule{
+		Point:   faultinject.PointExplorePath,
+		Action:  faultinject.ActSleep,
+		SleepMS: 20,
+	})
+	m, err := Open(Config{DataDir: t.TempDir(), Workers: 1, Fault: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drain(t, m)
+	running, err := m.Submit(philReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := m.Submit(philReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, running.ID, StateRunning)
+
+	if ok, _ := m.Cancel(queued.ID); !ok {
+		t.Fatal("cancel queued = false")
+	}
+	if v, _ := m.Get(queued.ID); v.State != StateCancelled {
+		t.Fatalf("queued job state = %s, want cancelled", v.State)
+	}
+	if ok, _ := m.Cancel(running.ID); !ok {
+		t.Fatal("cancel running = false")
+	}
+	got := waitState(t, m, running.ID, StateCancelled)
+	if got.State != StateCancelled {
+		t.Fatalf("running job state = %s", got.State)
+	}
+	// Cancelling a terminal job is a no-op.
+	if ok, _ := m.Cancel(running.ID); ok {
+		t.Error("cancel of terminal job = true")
+	}
+}
+
+// TestManagerShedMatchesObsCounter is the admission-control invariant
+// of satellite 3: the queue bound holds and the obs shed counter equals
+// the queue's own count exactly.
+func TestManagerShedMatchesObsCounter(t *testing.T) {
+	reg := obs.New()
+	// A stuck worker pins the queue: every submitted job stays queued.
+	plan := faultinject.MustNew(5, faultinject.Rule{
+		Point:   faultinject.PointExplorePath,
+		Action:  faultinject.ActSleep,
+		SleepMS: 50,
+	})
+	m, err := Open(Config{DataDir: t.TempDir(), Workers: 1, QueueCap: 3, Obs: reg, Fault: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drain(t, m)
+
+	// One job occupies the worker; 3 fill the queue.
+	first, err := m.Submit(philReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, first.ID, StateRunning)
+	low := make([]*View, 3)
+	for i := range low {
+		v, err := m.Submit(philReq()) // priority 0
+		if err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+		low[i] = v
+	}
+	// Saturated with equal priority → 429-style rejection.
+	if _, err := m.Submit(philReq()); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("submit on full queue: %v, want ErrSaturated", err)
+	}
+	// Two high-priority admissions shed the two oldest low jobs.
+	for i := 0; i < 2; i++ {
+		req := philReq()
+		req.Priority = 5
+		if _, err := m.Submit(req); err != nil {
+			t.Fatalf("high %d: %v", i, err)
+		}
+	}
+	if d := m.QueueDepth(); d > 3 {
+		t.Errorf("queue depth %d exceeds bound 3", d)
+	}
+	if m.ShedCount() != 2 {
+		t.Errorf("shedCount = %d, want 2", m.ShedCount())
+	}
+	if n := reg.Counter(MetricShed).Load(); n != m.ShedCount() {
+		t.Errorf("obs shed counter %d != queue shed count %d", n, m.ShedCount())
+	}
+	if n := reg.Counter(MetricRejected).Load(); n != 1 {
+		t.Errorf("rejected counter = %d, want 1", n)
+	}
+	// The shed jobs are failed with a shed error.
+	for _, v := range low[:2] {
+		got, _ := m.Get(v.ID)
+		if got.State != StateFailed || !strings.Contains(got.Error, "shed") {
+			t.Errorf("shed job %s: state %s error %q", v.ID, got.State, got.Error)
+		}
+	}
+}
+
+func TestManagerDrainRejectsSubmits(t *testing.T) {
+	m, err := Open(Config{DataDir: t.TempDir(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, m)
+	if _, err := m.Submit(philReq()); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit after drain: %v, want ErrDraining", err)
+	}
+}
+
+// TestManagerDrainParksRunningJob: graceful shutdown checkpoints the
+// running attempt and journals it back as queued; a new manager over
+// the same data directory finishes it.
+func TestManagerDrainParksRunningJob(t *testing.T) {
+	dir := t.TempDir()
+	plan := faultinject.MustNew(5, faultinject.Rule{
+		Point:   faultinject.PointExplorePath,
+		Action:  faultinject.ActSleep,
+		SleepMS: 5,
+	})
+	m, err := Open(Config{DataDir: dir, Workers: 1, CheckpointEveryPaths: 1, Fault: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Submit(philReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, v.ID, StateRunning)
+	time.Sleep(50 * time.Millisecond) // let some paths checkpoint
+	drain(t, m)
+
+	m2, err := Open(Config{DataDir: dir, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drain(t, m2)
+	got := waitState(t, m2, v.ID, StateDone)
+	if !got.Result.Complete {
+		t.Errorf("parked job finished incomplete: %+v", got.Result)
+	}
+}

@@ -1,0 +1,106 @@
+package jobs
+
+import "reclose/internal/obs"
+
+// Registry metric names published by the job server, in the obs style:
+// nil-receiver instruments so a manager without a registry pays only
+// nil checks. The admission-control invariant suite pins
+// MetricShed == queue.shedCount exactly.
+const (
+	MetricSubmitted = "jobs.submitted" // accepted submissions
+	MetricRejected  = "jobs.rejected"  // admissions refused (HTTP 429)
+	MetricShed      = "jobs.shed"      // queued jobs evicted by higher-priority admissions
+	MetricCompleted = "jobs.completed" // jobs finished done
+	MetricFailed    = "jobs.failed"    // jobs finished failed
+	MetricCancelled = "jobs.cancelled" // jobs cancelled
+	MetricAttempts  = "jobs.attempts"  // attempts started
+	MetricRetries   = "jobs.retries"   // transient failures that scheduled a retry
+	MetricResumes   = "jobs.resumes"   // attempts resumed from a persisted checkpoint
+	MetricPanics    = "jobs.panics"    // worker panics recovered (isolation + retry)
+
+	MetricCheckpoints        = "jobs.checkpoints"         // checkpoint snapshots persisted
+	MetricCheckpointFailures = "jobs.checkpoint_failures" // checkpoint persists that failed (job continues)
+	MetricJournalErrors      = "jobs.journal_errors"      // journal writes that failed (state kept in memory)
+	MetricRecovered          = "jobs.recovered"           // jobs requeued by boot recovery
+	MetricJournalCorrupt     = "jobs.journal_corrupt"     // records quarantined at boot
+
+	MetricQueueDepth    = "jobs.queue.depth"     // current queue occupancy
+	MetricQueueDepthMax = "jobs.queue.depth.max" // high-water occupancy
+	MetricQueueCap      = "jobs.queue.cap"       // configured bound
+	MetricRunning       = "jobs.running"         // attempts currently executing
+	MetricWorkers       = "jobs.workers"         // worker pool size
+)
+
+// managerMetrics holds the instruments; all nil (no-op) without a
+// registry.
+type managerMetrics struct {
+	submitted *obs.Counter
+	rejected  *obs.Counter
+	shed      *obs.Counter
+	completed *obs.Counter
+	failed    *obs.Counter
+	cancelled *obs.Counter
+	attempts  *obs.Counter
+	retries   *obs.Counter
+	resumes   *obs.Counter
+	panics    *obs.Counter
+
+	checkpoints        *obs.Counter
+	checkpointFailures *obs.Counter
+	journalErrors      *obs.Counter
+	recovered          *obs.Counter
+	journalCorrupt     *obs.Counter
+
+	queueDepth    *obs.Gauge
+	queueDepthMax *obs.Gauge
+	queueCap      *obs.Gauge
+	running       *obs.Gauge
+	workers       *obs.Gauge
+
+	sink *obs.Sink
+}
+
+func newManagerMetrics(reg *obs.Registry) *managerMetrics {
+	return &managerMetrics{
+		submitted: reg.Counter(MetricSubmitted),
+		rejected:  reg.Counter(MetricRejected),
+		shed:      reg.Counter(MetricShed),
+		completed: reg.Counter(MetricCompleted),
+		failed:    reg.Counter(MetricFailed),
+		cancelled: reg.Counter(MetricCancelled),
+		attempts:  reg.Counter(MetricAttempts),
+		retries:   reg.Counter(MetricRetries),
+		resumes:   reg.Counter(MetricResumes),
+		panics:    reg.Counter(MetricPanics),
+
+		checkpoints:        reg.Counter(MetricCheckpoints),
+		checkpointFailures: reg.Counter(MetricCheckpointFailures),
+		journalErrors:      reg.Counter(MetricJournalErrors),
+		recovered:          reg.Counter(MetricRecovered),
+		journalCorrupt:     reg.Counter(MetricJournalCorrupt),
+
+		queueDepth:    reg.Gauge(MetricQueueDepth),
+		queueDepthMax: reg.Gauge(MetricQueueDepthMax),
+		queueCap:      reg.Gauge(MetricQueueCap),
+		running:       reg.Gauge(MetricRunning),
+		workers:       reg.Gauge(MetricWorkers),
+
+		sink: reg.Sink(),
+	}
+}
+
+// noteQueueDepth refreshes the occupancy gauges after any queue
+// mutation.
+func (m *managerMetrics) noteQueueDepth(depth int) {
+	m.queueDepth.Set(int64(depth))
+	m.queueDepthMax.SetMax(int64(depth))
+}
+
+// emit streams one job lifecycle event when a sink is attached.
+func (m *managerMetrics) emit(event, jobID string, fields ...obs.Field) {
+	if m.sink == nil {
+		return
+	}
+	all := append([]obs.Field{obs.F("job", jobID)}, fields...)
+	m.sink.Emit(event, all...)
+}

@@ -17,10 +17,21 @@ go vet ./...
 go test -count=1 -timeout=10m ./...
 go test -count=1 -timeout=10m -race ./internal/explore/... ./internal/interp/... ./internal/obs/... ./internal/statecache/...
 go test -count=1 -timeout=10m -race -run 'TestEngineEquivalence|TestDifferential' ./internal/explore/ ./internal/interp/
+
+# Job-server race leg: the daemon's queue/retry/journal machinery plus
+# the fault-injection plan it is tested with, including the 50-seed
+# crash-recovery equivalence run, all under the race detector.
+go test -count=1 -timeout=10m -race ./internal/jobs/... ./internal/faultinject/... ./internal/atomicio/...
+
+# Daemon smoke: a real verisoftd subprocess — boot, submit a job over
+# HTTP, poll to the result, drain with SIGTERM, exit 0.
+go test -count=1 -timeout=10m -run 'TestDaemonSmoke' ./cmd/verisoftd/
+
 go test -fuzz=FuzzLexer -fuzztime=5s ./internal/lexer/
 go test -fuzz=FuzzParser -fuzztime=5s ./internal/parser/
 go test -fuzz=FuzzCheckpointDecode -fuzztime=5s ./internal/explore/
 go test -fuzz=FuzzBytecodeLockstep -fuzztime=5s ./internal/interp/
+go test -fuzz=FuzzJobRequest -fuzztime=5s ./internal/jobs/
 
 # Bench smoke: one iteration of the interpreter and snapshot-vs-replay
 # benchmarks (catches bit-rot in the perf harness without paying for a
