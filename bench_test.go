@@ -205,20 +205,75 @@ func BenchmarkFiveESSClose(b *testing.B) {
 	}
 }
 
-// BenchmarkFiveESSExplore measures bounded exploration throughput on the
-// closed application.
+// BenchmarkFiveESSExplore measures bounded exploration throughput on
+// the closed application, per POR mode. Every row is a *complete*
+// search of its depth-bounded tree (the medium scale at MaxDepth 30;
+// small exhausts outright): under a MaxStates truncation every mode
+// executes exactly MaxStates−Paths transitions by construction, which
+// hides the reduction the por=dynamic row exists to show. The
+// transitions metric is the quantity dynamic POR shrinks; ns/op
+// follows it.
 func BenchmarkFiveESSExplore(b *testing.B) {
-	for _, scale := range []string{"small", "medium"} {
-		b.Run(scale, func(b *testing.B) {
-			closed := mustCloseB(b, fiveess.Source(fiveess.Scale(scale)))
-			var trans int64
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				rep := exploreB(b, closed, explore.Options{MaxDepth: 500, MaxStates: 20000})
-				trans = rep.Transitions
-			}
-			b.ReportMetric(float64(trans), "transitions")
-		})
+	cases := []struct {
+		scale string
+		opt   explore.Options
+	}{
+		{"small", explore.Options{MaxDepth: 500}},
+		{"medium", explore.Options{MaxDepth: 30, MaxStates: 1 << 21}},
+	}
+	for _, c := range cases {
+		closed := mustCloseB(b, fiveess.Source(fiveess.Scale(c.scale)))
+		for _, por := range []explore.PORMode{explore.PORStatic, explore.PORDynamic} {
+			b.Run(fmt.Sprintf("%s/por=%s", c.scale, por), func(b *testing.B) {
+				var trans int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					opt := c.opt
+					opt.POR = por
+					rep := exploreB(b, closed, opt)
+					if rep.Incomplete {
+						b.Fatalf("search truncated (states=%d): transitions are not comparable", rep.States)
+					}
+					trans = rep.Transitions
+				}
+				b.ReportMetric(float64(trans), "transitions")
+			})
+		}
+	}
+}
+
+// BenchmarkDPOR is the dynamic-POR ablation on complete searches: the
+// philosophers ring (whose static footprints make every fork
+// potentially shared, so persistent sets degenerate) explored under
+// static and dynamic POR, and under dynamic POR with priority-directed
+// search. The transitions metric carries the reduction; backtracks
+// counts the dynamically inserted backtrack points that replace the
+// static over-approximation.
+func BenchmarkDPOR(b *testing.B) {
+	for _, n := range []int{5, 6} {
+		closed := mustCloseB(b, progs.Philosophers(n))
+		for _, mode := range []struct {
+			name string
+			opt  explore.Options
+		}{
+			{"static", explore.Options{POR: explore.PORStatic}},
+			{"dynamic", explore.Options{POR: explore.PORDynamic}},
+			{"dynamic+priority", explore.Options{POR: explore.PORDynamic, Search: explore.SearchPriority}},
+		} {
+			b.Run(fmt.Sprintf("phil-%d/%s", n, mode.name), func(b *testing.B) {
+				var trans, backtracks int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					opt := mode.opt
+					opt.MaxIncidents = 1 << 20
+					rep := exploreB(b, closed, opt)
+					trans = rep.Transitions
+					backtracks = rep.PorBacktracks
+				}
+				b.ReportMetric(float64(trans), "transitions")
+				b.ReportMetric(float64(backtracks), "backtracks")
+			})
+		}
 	}
 }
 

@@ -39,6 +39,7 @@ import (
 	_ "net/http/pprof" // registered on DefaultServeMux; served only with -pprof
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -76,6 +77,9 @@ type cli struct {
 	naive       int
 	noPOR       bool
 	noSleep     bool
+	por         string
+	search      string
+	interest    string
 	stateCache  bool
 	cacheShards int
 	cacheMem    int64
@@ -110,8 +114,11 @@ func newCLI(stdout, stderr io.Writer) *cli {
 	fs.IntVar(&c.depth, "depth", 0, "depth bound on explored paths (0 = default 1e6)")
 	fs.Int64Var(&c.maxStates, "max-states", 0, "abort after visiting this many global states (0 = unlimited)")
 	fs.IntVar(&c.naive, "naive", 0, "close naively with an explicit most general environment over domain [0,D) instead of transforming")
-	fs.BoolVar(&c.noPOR, "no-por", false, "disable persistent-set reduction")
+	fs.BoolVar(&c.noPOR, "no-por", false, "disable persistent-set reduction (same as -por=off)")
 	fs.BoolVar(&c.noSleep, "no-sleep", false, "disable sleep sets")
+	fs.StringVar(&c.por, "por", "", "partial-order reduction: static (persistent sets, the default), dynamic (Flanagan-Godefroid backtrack sets), or off")
+	fs.StringVar(&c.search, "search", "", "frontier order: dfs (strict depth-first, the default) or priority (score-directed)")
+	fs.StringVar(&c.interest, "interest", "", "comma-separated object names the priority search should steer toward (requires -search=priority)")
 	fs.BoolVar(&c.stateCache, "state-cache", false, "enable the state-hashing ablation")
 	fs.IntVar(&c.cacheShards, "cache-shards", 0, "lock shards in the state cache, rounded up to a power of two (0 = default 16; requires -state-cache)")
 	fs.Int64Var(&c.cacheMem, "cache-mem", 0, "approximate state-cache memory budget in bytes; over budget, cold entries are evicted (0 = unbounded; requires -state-cache)")
@@ -162,6 +169,20 @@ func (c *cli) run() (int, error) {
 	if err != nil {
 		return 1, err
 	}
+	por, err := explore.ParsePOR(c.por)
+	if err != nil {
+		return 1, err
+	}
+	search, err := explore.ParseSearch(c.search)
+	if err != nil {
+		return 1, err
+	}
+	if c.noPOR && c.por != "" && por != explore.POROff {
+		return 1, fmt.Errorf("-no-por contradicts -por=%s", por)
+	}
+	if c.interest != "" && search != explore.SearchPriority {
+		return 1, fmt.Errorf("-interest requires -search=priority")
+	}
 
 	unit, how, err := c.prepare(string(src))
 	if err != nil {
@@ -199,6 +220,8 @@ func (c *cli) run() (int, error) {
 		MaxStates:       c.maxStates,
 		NoPOR:           c.noPOR,
 		NoSleep:         c.noSleep,
+		POR:             por,
+		Search:          search,
 		StateCache:      c.stateCache,
 		CacheShards:     c.cacheShards,
 		MaxCacheBytes:   c.cacheMem,
@@ -209,6 +232,13 @@ func (c *cli) run() (int, error) {
 		SnapshotSpill:   c.snapSpill,
 		Timeout:         c.timeout,
 		Obs:             reg,
+	}
+	if c.interest != "" {
+		names := strings.Split(c.interest, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+		opt.Score = explore.InterestScore(names...)
 	}
 	if c.progress > 0 {
 		opt.ProgressEvery = c.progress

@@ -222,3 +222,82 @@ func TestCLICacheFlags(t *testing.T) {
 		t.Error("explore.cache.inserts = 0, want > 0")
 	}
 }
+
+// TestCLIPORFlags drives the -por / -search / -interest flags end to
+// end: a dynamic-POR priority-directed run on the philosophers ring
+// still finds the deadlock (exit 3), its metrics file carries the
+// dynamic-POR counters, and the invalid spellings and contradictory
+// combinations are rejected before any search starts.
+func TestCLIPORFlags(t *testing.T) {
+	prog := writeProg(t, progs.Philosophers(3))
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "metrics.json")
+	trace := filepath.Join(dir, "trace.jsonl")
+	var out, errb bytes.Buffer
+	code := realMain([]string{
+		"-por", "dynamic", "-search", "priority", "-interest", "fork0, fork1",
+		"-metrics-out", metrics, "-trace-out", trace, prog,
+	}, &out, &errb)
+	if code != 3 {
+		t.Fatalf("exit code = %d, want 3 (deadlock found)\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errb.String())
+	}
+	data, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatalf("read -metrics-out: %v", err)
+	}
+	var doc struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("-metrics-out is not JSON: %v", err)
+	}
+	if _, ok := doc.Counters["explore.por.backtracks"]; !ok {
+		t.Error("metrics file has no explore.por.backtracks counter")
+	}
+	tdata, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatalf("read -trace-out: %v", err)
+	}
+	start := strings.SplitN(string(tdata), "\n", 2)[0]
+	if !strings.Contains(start, `"ev":"run_start"`) ||
+		!strings.Contains(start, `"por":"dynamic"`) ||
+		!strings.Contains(start, `"search":"priority"`) {
+		t.Errorf("run_start event does not carry the search modes: %s", start)
+	}
+
+	// A static run spelled explicitly matches the default run's summary.
+	var defOut, expOut bytes.Buffer
+	if code := realMain([]string{prog}, &defOut, &errb); code != 3 {
+		t.Fatalf("default run: exit = %d, want 3", code)
+	}
+	if code := realMain([]string{"-por", "static", "-search", "dfs", prog}, &expOut, &errb); code != 3 {
+		t.Fatalf("explicit static run: exit = %d, want 3", code)
+	}
+	def := summaryRE.FindStringSubmatch(defOut.String())
+	exp := summaryRE.FindStringSubmatch(expOut.String())
+	if def == nil || exp == nil {
+		t.Fatalf("missing summary lines:\n%s\n%s", defOut.String(), expOut.String())
+	}
+	for i := 1; i <= 4; i++ {
+		if def[i] != exp[i] {
+			t.Errorf("explicit -por=static -search=dfs diverged from default summary: %v vs %v", exp[1:5], def[1:5])
+		}
+	}
+
+	// Rejections.
+	for _, args := range [][]string{
+		{"-por", "bogus", prog},
+		{"-search", "bogus", prog},
+		{"-no-por", "-por", "dynamic", prog},
+		{"-interest", "fork0", prog}, // -interest without -search=priority
+	} {
+		if code := realMain(args, &out, &errb); code != 1 {
+			t.Errorf("%v: exit = %d, want 1", args, code)
+		}
+	}
+	// -no-por combined with the agreeing -por=off spelling is fine.
+	if code := realMain([]string{"-no-por", "-por", "off", prog}, &out, &errb); code != 3 {
+		t.Errorf("-no-por -por=off: exit = %d, want 3", code)
+	}
+}

@@ -94,6 +94,11 @@ type snapCounters struct {
 	CachePrunes           int64 `json:"cache_prunes"`
 	InternalErrors        int64 `json:"internal_errors"`
 	StatesAtFirstIncident int64 `json:"states_at_first_incident,omitempty"`
+	// The POR counters are zero outside dynamic mode; omitempty keeps
+	// static-mode snapshots byte-identical to the pre-DPOR format.
+	PorBacktracks    int64 `json:"por_backtracks,omitempty"`
+	PorSleepBlocked  int64 `json:"por_sleep_blocked,omitempty"`
+	PorDynamicPruned int64 `json:"por_dynamic_pruned,omitempty"`
 }
 
 // snapDecision is one recorded decision.
@@ -116,6 +121,25 @@ type snapUnit struct {
 	Root    bool              `json:"root,omitempty"`
 	Toss    bool              `json:"toss,omitempty"`
 	Cont    bool              `json:"cont,omitempty"`
+	// Stack serializes a dynamic-POR stack-continuation unit; when
+	// non-empty, Options/Objs/From are unused.
+	Stack []snapFrame `json:"stack,omitempty"`
+}
+
+// snapFrame is one serialized DFS stack frame of a stack-continuation
+// unit, carrying the still-growing backtrack set across the cut.
+type snapFrame struct {
+	Toss      bool              `json:"toss,omitempty"`
+	Options   []int             `json:"options,omitempty"`
+	Objs      []string          `json:"objs,omitempty"`
+	Cursor    int               `json:"cursor,omitempty"`
+	Sleep     map[string]string `json:"sleep,omitempty"`
+	Enabled   []int             `json:"enabled,omitempty"`
+	EnObjs    []string          `json:"en_objs,omitempty"`
+	Backtrack []int             `json:"backtrack,omitempty"`
+	Statics   []int             `json:"statics,omitempty"`
+	Sealed    bool              `json:"sealed,omitempty"`
+	Dynamic   bool              `json:"dynamic,omitempty"`
 }
 
 // snapIncident is one serialized incident sample. The trace is not
@@ -180,6 +204,9 @@ func buildSnapshot(rep *Report, units []*workUnit) *Snapshot {
 			CachePrunes:           rep.CachePrunes,
 			InternalErrors:        rep.InternalErrors,
 			StatesAtFirstIncident: rep.StatesAtFirstIncident,
+			PorBacktracks:         rep.PorBacktracks,
+			PorSleepBlocked:       rep.PorSleepBlocked,
+			PorDynamicPruned:      rep.PorDynamicPruned,
 		},
 		Coverage: hex.EncodeToString(covBytes(rep.cov)),
 		Cache:    rep.cacheSum,
@@ -269,6 +296,9 @@ func restoreSnapshot(u *cfg.Unit, snap *Snapshot) (*restoredState, error) {
 		CachePrunes:           c.CachePrunes,
 		InternalErrors:        c.InternalErrors,
 		StatesAtFirstIncident: c.StatesAtFirstIncident,
+		PorBacktracks:         c.PorBacktracks,
+		PorSleepBlocked:       c.PorSleepBlocked,
+		PorDynamicPruned:      c.PorDynamicPruned,
 	}
 	for i, si := range snap.Samples {
 		kind, ok := leafKindFromString(si.Kind)
@@ -312,18 +342,60 @@ func snapFromUnit(u *workUnit) snapUnit {
 		Prefix:  snapFromDecisions(u.prefix),
 		Options: u.options,
 		Objs:    u.objs,
+		Sleep:   snapFromSleep(u.sleep),
 		From:    u.from,
 		Root:    u.root,
 		Toss:    u.toss,
 		Cont:    u.cont,
 	}
-	if len(u.sleep) > 0 {
-		su.Sleep = make(map[string]string, len(u.sleep))
-		for _, se := range u.sleep {
-			su.Sleep[strconv.Itoa(se.proc)] = se.obj
-		}
+	for i := range u.stack {
+		f := &u.stack[i]
+		su.Stack = append(su.Stack, snapFrame{
+			Toss:      f.toss,
+			Options:   f.options,
+			Objs:      f.objs,
+			Cursor:    f.cursor,
+			Sleep:     snapFromSleep(f.sleep),
+			Enabled:   f.enabled,
+			EnObjs:    f.enObjs,
+			Backtrack: f.backtrack,
+			Statics:   f.statics,
+			Sealed:    f.sealed,
+			Dynamic:   f.dynamic,
+		})
 	}
 	return su
+}
+
+// snapFromSleep renders a sleep set as a JSON-friendly map (object keys
+// must be strings).
+func snapFromSleep(s sleepSet) map[string]string {
+	if len(s) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(s))
+	for _, se := range s {
+		out[strconv.Itoa(se.proc)] = se.obj
+	}
+	return out
+}
+
+// sleepFromSnap parses a serialized sleep set, restoring the by-process
+// order invariant (JSON map iteration is unordered).
+func sleepFromSnap(m map[string]string) (sleepSet, error) {
+	if len(m) == 0 {
+		return nil, nil
+	}
+	s := make(sleepSet, 0, len(m))
+	for k, obj := range m {
+		p, err := strconv.Atoi(k)
+		if err != nil {
+			return nil, fmt.Errorf("bad sleep key %q", k)
+		}
+		s = append(s, sleepEntry{proc: p, obj: obj})
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i].proc < s[j].proc })
+	return s, nil
 }
 
 // unitFromSnap deserializes one work unit, rejecting structurally
@@ -338,18 +410,46 @@ func unitFromSnap(su *snapUnit) (*workUnit, error) {
 		toss:    su.Toss,
 		cont:    su.Cont,
 	}
-	if len(su.Sleep) > 0 {
-		u.sleep = make(sleepSet, 0, len(su.Sleep))
-		for k, obj := range su.Sleep {
-			p, err := strconv.Atoi(k)
+	sleep, err := sleepFromSnap(su.Sleep)
+	if err != nil {
+		return nil, err
+	}
+	u.sleep = sleep
+	if len(su.Stack) > 0 {
+		u.stack = make([]stackFrame, 0, len(su.Stack))
+		for i := range su.Stack {
+			sf := &su.Stack[i]
+			fsleep, err := sleepFromSnap(sf.Sleep)
 			if err != nil {
-				return nil, fmt.Errorf("bad sleep key %q", k)
+				return nil, fmt.Errorf("frame %d: %w", i, err)
 			}
-			u.sleep = append(u.sleep, sleepEntry{proc: p, obj: obj})
+			if sf.Cursor < 0 || sf.Cursor >= len(sf.Options) {
+				return nil, fmt.Errorf("frame %d: cursor %d out of range (have %d options)",
+					i, sf.Cursor, len(sf.Options))
+			}
+			if !sf.Toss && len(sf.Objs) != len(sf.Options) {
+				return nil, fmt.Errorf("frame %d: have %d objs for %d options",
+					i, len(sf.Objs), len(sf.Options))
+			}
+			if len(sf.EnObjs) != len(sf.Enabled) {
+				return nil, fmt.Errorf("frame %d: have %d enabled objs for %d enabled procs",
+					i, len(sf.EnObjs), len(sf.Enabled))
+			}
+			u.stack = append(u.stack, stackFrame{
+				toss:      sf.Toss,
+				options:   sf.Options,
+				objs:      sf.Objs,
+				cursor:    sf.Cursor,
+				sleep:     fsleep,
+				enabled:   sf.Enabled,
+				enObjs:    sf.EnObjs,
+				backtrack: sf.Backtrack,
+				statics:   sf.Statics,
+				sealed:    sf.Sealed,
+				dynamic:   sf.Dynamic,
+			})
 		}
-		// JSON map iteration is unordered; restore the sleepSet's
-		// by-process invariant.
-		sort.Slice(u.sleep, func(i, j int) bool { return u.sleep[i].proc < u.sleep[j].proc })
+		return u, nil
 	}
 	if u.root || u.cont {
 		return u, nil

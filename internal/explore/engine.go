@@ -3,6 +3,7 @@ package explore
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -42,6 +43,22 @@ type entry struct {
 	// the entry pool must not recycle them — a claimer may still be
 	// reading the published slices.
 	shared bool
+
+	// Dynamic-POR state (POR == PORDynamic only; see dpor.go).
+	// dynamic marks an entry expanded lazily: options starts as a
+	// single enabled transition and grows as dependency insertions
+	// fold in. enabled/enObjs record the full enabled set (with
+	// pending-operation objects) at the decision state; backtrack is
+	// the pending backtrack set; statics the static persistent
+	// candidates recorded for the cache-hit seal rule. sealed marks an
+	// entry whose option set is statically complete — dependency
+	// insertions into it are no-ops.
+	dynamic   bool
+	sealed    bool
+	enabled   []int
+	enObjs    []string
+	backtrack []int
+	statics   []int
 }
 
 func (e *entry) choice() int { return e.options[e.cursor] }
@@ -107,7 +124,15 @@ type engine struct {
 	inList []int         // closure-member list scratch (persistentSet)
 	setBuf []int         // persistent-set result scratch (consumed by scheduleOptions before the next call)
 	oneBuf [1]int        // singleton persistent-set scratch
+	runBuf []uint64      // running-process mask scratch (persistentSet)
 	dec    decisionArena // spill-prefix allocator
+
+	// Dynamic-POR per-path last-access vector: dporLast[objIndex] is
+	// the stack index of the last executed transition targeting the
+	// object (-1 for none this path); dporTouched lists the indices to
+	// clear at the next path start (dpor.go).
+	dporLast    []int
+	dporTouched []int
 
 	// met is the search's shared observability instruments (noMetrics
 	// when disabled — never nil); metCur tracks how much of e.rep has
@@ -281,7 +306,14 @@ func (e *engine) getEntry() *entry {
 	if k := len(e.entPool); k > 0 {
 		en := e.entPool[k-1]
 		e.entPool = e.entPool[:k-1]
-		*en = entry{options: en.options[:0], objs: en.objs[:0]}
+		*en = entry{
+			options:   en.options[:0],
+			objs:      en.objs[:0],
+			enabled:   en.enabled[:0],
+			enObjs:    en.enObjs[:0],
+			backtrack: en.backtrack[:0],
+			statics:   en.statics[:0],
+		}
 		return en
 	}
 	return &entry{}
@@ -296,13 +328,22 @@ func (e *engine) putEntry(en *entry) {
 }
 
 // backtrack advances the deepest decision point with options left,
-// popping exhausted entries. It reports whether the search continues.
+// popping exhausted entries. A dynamic entry whose options exhaust
+// first folds its pending backtrack points in as fresh options; only
+// when none remain is it popped. It reports whether the search
+// continues.
 func (e *engine) backtrack() bool {
 	for len(e.stack) > 0 {
 		top := e.stack[len(e.stack)-1]
 		top.cursor++
 		if top.cursor < len(top.options) {
 			return true
+		}
+		if top.dynamic && !top.sealed && e.foldBacktracks(top) {
+			return true
+		}
+		if top.dynamic && len(top.enabled) > len(top.options) {
+			e.rep.PorDynamicPruned += int64(len(top.enabled) - len(top.options))
 		}
 		e.stack[len(e.stack)-1] = nil
 		e.stack = e.stack[:len(e.stack)-1]
@@ -383,6 +424,7 @@ func (e *engine) runPath() {
 	e.pendingSleep = e.baseSleep
 	e.pathEnded = false
 	e.midPath = false
+	e.dporBegin()
 
 	if e.snapRoot == nil {
 		if out := e.sys.Init(e.ch); out != nil {
@@ -420,6 +462,9 @@ func (e *engine) runPath() {
 			e.replayIdx++
 			p := en.choice()
 			e.pendingSleep = childSleep(en)
+			if e.opt.POR == PORDynamic {
+				e.dporTrack(e.replayIdx-1, p, en.objs[en.cursor])
+			}
 			e.cover(p)
 			ev, out := e.sys.Step(p, e.ch)
 			e.noteReplayStep()
@@ -466,6 +511,12 @@ func (e *engine) runPath() {
 		if depth > e.rep.MaxDepth {
 			e.rep.MaxDepth = depth
 		}
+		if e.opt.POR == PORDynamic {
+			// The FG backtrack-set update runs at every new state —
+			// leaf states included (a deadlocked process's pending
+			// operation still demands its conflict's accessor yield).
+			e.dporUpdate()
+		}
 
 		if e.sys.AllTerminated() {
 			e.leaf(LeafTerminated, "all processes terminated")
@@ -510,13 +561,20 @@ func (e *engine) runPath() {
 				pruned = e.cache.Visit(e.fpBuf, depth)
 			}
 			if pruned {
+				// Stateful-DPOR soundness: the pruned subtree can no
+				// longer insert backtrack points into this path's
+				// ancestors, so seal them to their statically complete
+				// candidate sets (dpor.go).
+				if e.opt.POR == PORDynamic {
+					e.sealStack()
+				}
 				e.leaf(LeafCachePruned, "state already visited")
 				return
 			}
 		}
 
 		en := e.getEntry()
-		e.scheduleOptions(en)
+		e.scheduleOptions(en, depth)
 		if len(en.options) == 0 {
 			e.putEntry(en)
 			e.leaf(LeafSleepPruned, "all enabled transitions asleep")
@@ -537,6 +595,9 @@ func (e *engine) runPath() {
 				sleep:   e.pendingSleep,
 				from:    1,
 			}
+			if e.opt.Search == SearchPriority {
+				u.score = e.unitScore(depth, en, 1)
+			}
 			if e.opt.SnapshotSpill {
 				// Fork the state at this decision point — before stepping
 				// the locally kept option — so claimers of the sibling
@@ -555,6 +616,9 @@ func (e *engine) runPath() {
 
 		p := en.choice()
 		e.pendingSleep = childSleep(en)
+		if e.opt.POR == PORDynamic {
+			e.dporTrack(len(e.stack)-1, p, en.objs[en.cursor])
+		}
 		e.rep.Transitions++
 		if e.shared != nil {
 			e.shared.transitions.Add(1)
@@ -627,6 +691,18 @@ func (e *engine) prepareUnit(u *workUnit) {
 	case u.root:
 		// The whole tree: nothing to replay.
 		return
+	case len(u.stack) > 0:
+		// A stack-continuation unit (dynamic POR): rebuild the whole
+		// DFS stack — cursors, backtrack sets, seal flags — from the
+		// published frames. The copies are engine-local, so dependency
+		// insertions during the continued search mutate only this
+		// engine's entries.
+		e.baseSleep = u.sleep
+		for i := range u.stack {
+			en := e.getEntry()
+			entryFromFrame(en, &u.stack[i])
+			e.stack = append(e.stack, en)
+		}
 	case u.cont:
 		// A continuation unit: the prefix reaches a state whose
 		// exploration had not started when the search was cut. Carry
@@ -663,6 +739,15 @@ func (e *engine) prepareUnit(u *workUnit) {
 // engine's assigned subtree exactly — nothing is lost, nothing is
 // explored twice.
 func (e *engine) residualUnits() []*workUnit {
+	if e.opt.POR == PORDynamic {
+		// Dynamic entries carry backtrack sets that are still growing;
+		// per-entry units cannot express that, so the whole remainder
+		// travels as one stack-continuation unit (dpor.go).
+		if u := e.stackResidual(); u != nil {
+			return []*workUnit{u}
+		}
+		return nil
+	}
 	var units []*workUnit
 	prefix := append([]Decision(nil), e.base...)
 	sleepCtx := e.baseSleep
@@ -685,6 +770,9 @@ func (e *engine) residualUnits() []*workUnit {
 				u.objs = en.objs
 				u.sleep = en.sleep
 			}
+			if e.opt.Search == SearchPriority {
+				u.score = e.shapeScore(u)
+			}
 			units = append(units, u)
 		}
 		if !en.isToss {
@@ -693,7 +781,11 @@ func (e *engine) residualUnits() []*workUnit {
 		prefix = append(prefix, Decision{Toss: en.isToss, Value: en.choice()})
 	}
 	if e.midPath {
-		units = append(units, &workUnit{prefix: prefix, sleep: e.pendingSleep, cont: true})
+		u := &workUnit{prefix: prefix, sleep: e.pendingSleep, cont: true}
+		if e.opt.Search == SearchPriority {
+			u.score = e.shapeScore(u)
+		}
+		units = append(units, u)
 	}
 	return units
 }
@@ -734,18 +826,26 @@ func (e *engine) deadlockMsg() string {
 }
 
 // scheduleOptions computes the transitions to explore from the current
-// global state — a persistent set (unless disabled) minus the sleep
-// set, together with the object each pending operation targets — and
-// appends them to en.options/en.objs. Both the candidate set and the
-// sleep set are ordered by process index, so the sleep filter is a
-// two-pointer scan.
-func (e *engine) scheduleOptions(en *entry) {
+// global state and appends them to en.options/en.objs. Static mode
+// expands a persistent set (all enabled processes under POROff) minus
+// the sleep set; dynamic mode delegates to scheduleDynamic — except at
+// spillable depths, where the entry is expanded statically and sealed
+// so it can be published to the frontier (publication seal rule,
+// dpor.go). Both the candidate set and the sleep set are ordered by
+// process index, so the sleep filter is a two-pointer scan.
+func (e *engine) scheduleOptions(en *entry, depth int) {
 	e.enBuf = e.sys.AppendEnabled(e.enBuf[:0])
 	enabled := e.enBuf
+	dynamic := e.opt.POR == PORDynamic
+	if dynamic && !(e.spill != nil && depth < e.opt.SpillDepth) {
+		e.scheduleDynamic(en, enabled)
+		return
+	}
 	var set []int
-	if e.opt.NoPOR {
+	switch e.opt.POR {
+	case POROff:
 		set = enabled
-	} else {
+	default:
 		set = e.persistentSet(enabled)
 	}
 	sleep := e.pendingSleep
@@ -763,6 +863,9 @@ func (e *engine) scheduleOptions(en *entry) {
 		_, obj, _ := e.sys.ProcPendingOp(p)
 		en.objs = append(en.objs, obj)
 	}
+	if dynamic {
+		en.sealed = true
+	}
 }
 
 // persistentSet returns a persistent subset of the enabled processes,
@@ -773,74 +876,48 @@ func (e *engine) scheduleOptions(en *entry) {
 //     all, like VS_assert), that single process is persistent;
 //   - otherwise, grow a closure from the first enabled process by
 //     footprint overlap and return its enabled members.
+//
+// Both heuristic queries run on the footprintTable's precomputed
+// bitmask forms (multi-word above 64 processes) — no map traffic in
+// the per-state loop.
 func (e *engine) persistentSet(enabled []int) []int {
 	if len(enabled) <= 1 {
 		return enabled
 	}
 	t := e.footprint
 	n := e.sys.NumProcs()
-	if t.objProcs != nil {
-		// Mask path (≤ 64 processes): both heuristic queries run on
-		// precomputed bitmasks — no map traffic in the per-state loop.
-		var running uint64
-		for q := 0; q < n; q++ {
-			if e.sys.ProcStatus(q) == interp.Running {
-				running |= 1 << uint(q)
-			}
-		}
-		for _, p := range enabled {
-			_, obj, _ := e.sys.ProcPendingOp(p)
-			if obj == "" || t.objProcs[obj]&running&^(1<<uint(p)) == 0 {
-				e.oneBuf[0] = p
-				return e.oneBuf[:1]
-			}
-		}
-		var inS uint64
-		members := e.inList[:0]
-		inS |= 1 << uint(enabled[0])
-		members = append(members, enabled[0])
-		for changed := true; changed; {
-			changed = false
-			for q := 0; q < n; q++ {
-				if inS&(1<<uint(q)) != 0 || running&(1<<uint(q)) == 0 {
-					continue
-				}
-				for _, m := range members {
-					if t.overlaps(q, m) {
-						inS |= 1 << uint(q)
-						members = append(members, q)
-						changed = true
-						break
-					}
-				}
-			}
-		}
-		e.inList = members[:0]
-		out := e.setBuf[:0]
-		for _, p := range enabled {
-			if inS&(1<<uint(p)) != 0 {
-				out = append(out, p)
-			}
-		}
-		e.setBuf = out
-		if len(out) == 0 {
-			return enabled
-		}
-		return out
+	pw := t.procWords
+	if cap(e.runBuf) < pw {
+		e.runBuf = make([]uint64, pw)
 	}
-
+	running := e.runBuf[:pw]
+	for i := range running {
+		running[i] = 0
+	}
+	for q := 0; q < n; q++ {
+		if e.sys.ProcStatus(q) == interp.Running {
+			running[q>>6] |= 1 << uint(q&63)
+		}
+	}
 	for _, p := range enabled {
 		_, obj, _ := e.sys.ProcPendingOp(p)
 		if obj == "" {
 			e.oneBuf[0] = p
 			return e.oneBuf[:1]
 		}
+		oi, ok := t.objIndex[obj]
+		if !ok {
+			// Object outside the static universe: cannot prove privacy.
+			continue
+		}
 		private := true
-		for q := 0; q < n; q++ {
-			if q == p || e.sys.ProcStatus(q) != interp.Running {
-				continue
+		base := oi * pw
+		for w := 0; w < pw; w++ {
+			m := t.objProcs[base+w] & running[w]
+			if w == p>>6 {
+				m &^= 1 << uint(p&63)
 			}
-			if t.sets[q][obj] {
+			if m != 0 {
 				private = false
 				break
 			}
@@ -864,7 +941,7 @@ func (e *engine) persistentSet(enabled []int) []int {
 	for changed := true; changed; {
 		changed = false
 		for q := 0; q < n; q++ {
-			if inS[q] || e.sys.ProcStatus(q) != interp.Running {
+			if inS[q] || running[q>>6]&(1<<uint(q&63)) == 0 {
 				continue
 			}
 			for _, m := range members {
@@ -891,18 +968,6 @@ func (e *engine) persistentSet(enabled []int) []int {
 	return out
 }
 
-func overlap(a, b map[string]bool) bool {
-	if len(b) < len(a) {
-		a, b = b, a
-	}
-	for k := range a {
-		if b[k] {
-			return true
-		}
-	}
-	return false
-}
-
 // childSleep computes the sleep set for the subtree under the current
 // option of en: the inherited sleepers plus the previously explored
 // options, minus everything dependent on the chosen transition (two
@@ -913,6 +978,11 @@ func overlap(a, b map[string]bool) bool {
 // counting pass sizes the single allocation exactly — and skips it
 // entirely when the child set is empty (nil and empty are treated
 // alike by every consumer).
+//
+// Dynamic-POR entries can break the ordering premise: backtrack points
+// fold in after earlier options, so the explored prefix may read
+// [2, 0, 1]. The sorted-check below routes those through an explicit
+// sort, preserving the sleepSet by-process invariant.
 func childSleep(en *entry) sleepSet {
 	chosenObj := en.objs[en.cursor]
 	chosenP := en.options[en.cursor]
@@ -925,15 +995,33 @@ func childSleep(en *entry) sleepSet {
 			n++
 		}
 	}
+	sorted := true
 	for i := 0; i < en.cursor; i++ {
 		if keep(en.options[i], en.objs[i]) {
 			n++
+		}
+		if i > 0 && en.options[i-1] > en.options[i] {
+			sorted = false
 		}
 	}
 	if n == 0 {
 		return nil
 	}
 	out := make(sleepSet, 0, n)
+	if !sorted {
+		for _, se := range en.sleep {
+			if keep(se.proc, se.obj) {
+				out = append(out, se)
+			}
+		}
+		for i := 0; i < en.cursor; i++ {
+			if keep(en.options[i], en.objs[i]) {
+				out = append(out, sleepEntry{proc: en.options[i], obj: en.objs[i]})
+			}
+		}
+		sort.Slice(out, func(a, b int) bool { return out[a].proc < out[b].proc })
+		return out
+	}
 	i, j := 0, 0
 	for i < len(en.sleep) || j < en.cursor {
 		var p int

@@ -68,11 +68,34 @@ type Options struct {
 	// state count never overshoots the bound and a run resumed after a
 	// MaxStates cut reaches exactly the totals of an uninterrupted run.
 	MaxStates int64
+	// POR selects the partial-order reduction: PORStatic (default)
+	// expands persistent sets from static object footprints, PORDynamic
+	// runs Flanagan–Godefroid dynamic POR (backtrack points inserted
+	// where actual conflicts are observed; typically far fewer
+	// transitions on systems whose static footprints over-approximate),
+	// POROff expands every enabled process. Static and off preserve the
+	// classic deterministic exploration exactly; dynamic guarantees the
+	// same incident multiset as the static oracle but explores a
+	// different (smaller) tree. See dpor.go and DESIGN.md §14.
+	POR PORMode
 	// NoPOR disables persistent-set reduction (all enabled processes are
-	// scheduled at every state).
+	// scheduled at every state). Equivalent to POR == POROff; kept for
+	// compatibility, withDefaults keeps the two in sync.
 	NoPOR bool
 	// NoSleep disables sleep sets.
 	NoSleep bool
+	// Search selects the frontier discipline: SearchDFS (default) is
+	// the classic LIFO depth-first order; SearchPriority explores the
+	// best-scored pending subtree first, under Score (DefaultScore when
+	// nil). Priority search relaxes strict order determinism to the
+	// same-incident-multiset contract and, uniquely, makes the
+	// sequential driver spill shallow sibling subtrees into its queue
+	// so there is something to prioritize.
+	Search SearchMode
+	// Score ranks frontier units in priority mode; nil means
+	// DefaultScore. InterestScore builds one from a set of interesting
+	// objects.
+	Score func(UnitInfo) float64
 	// StateCache enables fingerprint-based pruning: a global state whose
 	// full fingerprint was already visited at an equal or shallower
 	// depth is pruned. VeriSoft itself stores no states; this began as
@@ -212,6 +235,14 @@ func (opt Options) withDefaults() Options {
 	}
 	if opt.Workers < 0 {
 		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	// NoPOR and POR == POROff are the same switch; engine code reads
+	// only POR.
+	if opt.NoPOR {
+		opt.POR = POROff
+	}
+	if opt.POR == POROff {
+		opt.NoPOR = true
 	}
 	if opt.ProgressEvery <= 0 {
 		opt.ProgressEvery = time.Second
@@ -364,6 +395,17 @@ type Report struct {
 	DepthHits   int64
 	SleepPrunes int64
 	CachePrunes int64
+	// Dynamic-POR counters (zero outside POR == PORDynamic):
+	// PorBacktracks counts backtrack points inserted at earlier
+	// decision points when a dependent transition executed;
+	// PorSleepBlocked counts candidate insertions (and dynamic
+	// expansions) suppressed because the process was asleep;
+	// PorDynamicPruned counts enabled transitions never expanded at
+	// fully-explored dynamic decision points — the reduction's win
+	// over full expansion.
+	PorBacktracks    int64
+	PorSleepBlocked  int64
+	PorDynamicPruned int64
 	// InternalErrors counts paths that ended in an isolated
 	// engine/interpreter panic (LeafInternalError): the panic is
 	// recovered, recorded as an incident carrying the offending
@@ -536,15 +578,23 @@ func runSequential(ctx context.Context, u *cfg.Unit, opt Options, restored *rest
 	start := time.Now()
 
 	acc := newAccum(opt, sites, len(u.Processes))
-	pending := []*workUnit{{root: true}}
+	q := &seqQueue{priority: opt.Search == SearchPriority, met: met}
+	q.push(&workUnit{root: true})
 	if restored != nil {
 		acc.addRestored(restored)
 		met.addRestored(restored.rep)
 		met.emitResume(restored)
-		pending = append([]*workUnit(nil), restored.units...)
+		q.reset(restored.units)
 		e.preStates = restored.rep.States
 		e.preTransitions = restored.rep.Transitions
 		e.prePaths = restored.rep.Paths
+	}
+	if opt.Search == SearchPriority {
+		// Priority mode makes the sequential engine spill shallow
+		// sibling subtrees into the queue (DFS mode never spills:
+		// backtracking preserves the classic order exactly), so the
+		// heap has units to prioritize.
+		e.spill = func(u *workUnit) { q.push(u) }
 	}
 
 	var nextCkpt time.Time
@@ -556,15 +606,14 @@ func runSequential(ctx context.Context, u *cfg.Unit, opt Options, restored *rest
 		nextCkptPaths = acc.rep.Paths + opt.CheckpointEveryPaths
 	}
 
-	for len(pending) > 0 && !e.stop {
-		n := len(pending)
-		unit := pending[n-1]
-		pending = pending[:n-1]
+	for q.len() > 0 && !e.stop {
+		unit := q.pop()
 		// Claim-splitting, sequential flavor: explore options[from]
 		// now, its remaining siblings right after — preserving exact
-		// DFS order.
+		// DFS order (in priority mode the split re-enters the heap at
+		// the unit's score).
 		if unit.rest() {
-			pending = append(pending, unit.split())
+			q.push(unit.split())
 		}
 		e.prepareUnit(unit)
 		for {
@@ -582,7 +631,7 @@ func runSequential(ctx context.Context, u *cfg.Unit, opt Options, restored *rest
 					due = true
 				}
 				if due {
-					units := append(copyUnits(pending), e.residualUnits()...)
+					units := append(q.snapshot(), e.residualUnits()...)
 					snap := seqSnapshot(acc, e, units, cache)
 					met.emitCheckpoint(snap)
 					opt.Checkpoint(snap)
@@ -600,10 +649,13 @@ func runSequential(ctx context.Context, u *cfg.Unit, opt Options, restored *rest
 			e.rep.Replays++
 		}
 	}
+	// Counters bumped between paths (backtrack fold-ins, final pops)
+	// have no later path boundary to flush them; flush once more.
+	met.flushReport(e.rep, &e.metCur)
 
 	stopped := e.stop
 	cause := e.cause
-	leftover := append(copyUnits(pending), e.residualUnits()...)
+	leftover := append(q.snapshot(), e.residualUnits()...)
 	acc.addEngine(e)
 	rep := acc.finalize(0, nil)
 	rep.cacheSum = cacheSnap(cache)
@@ -661,20 +713,32 @@ func copyUnits(units []*workUnit) []*workUnit {
 	return append([]*workUnit(nil), units...)
 }
 
-// footprintTable precomputes the two queries the persistent-set
-// heuristic makes against the static object footprints, so the
-// per-state loop runs on bitmasks instead of map lookups: per-object
+// footprintTable precomputes the queries the persistent-set heuristic
+// and dynamic POR make against the static object footprints, so the
+// per-state loop runs on bitmasks instead of map lookups: a dense
+// object index (shared with dpor's last-access vector), per-object
 // masks of the processes that can ever touch the object, and the
-// pairwise footprint-overlap matrix. Immutable, shared read-only by
-// every worker of a parallel search.
+// pairwise footprint-overlap matrix. Multi-word masks cover units with
+// more than 64 processes — there is no map-based fallback path.
+// Immutable, shared read-only by every worker of a parallel search.
 type footprintTable struct {
-	sets []map[string]bool
-	// objProcs maps an object to the mask of processes whose footprint
-	// contains it; nil when the unit has more than 64 processes (the
-	// engine then falls back to the map-based path).
-	objProcs map[string]uint64
-	overlap  []bool // n*n pairwise footprint overlap
-	n        int
+	n int
+	// objIndex assigns every statically-known object a dense index, in
+	// sorted name order (deterministic); numObjs is the universe size.
+	objIndex map[string]int
+	numObjs  int
+	// procWords is the word count of one process bitmask
+	// ((n+63)/64); objProcs holds numObjs*procWords words — for object
+	// index oi, words [oi*procWords, (oi+1)*procWords) are the mask of
+	// processes whose footprint contains the object.
+	procWords int
+	objProcs  []uint64
+	overlap   []bool // n*n pairwise footprint overlap
+	// class holds each object's dynamic-POR conflict class (objClass,
+	// indexed by objIndex): it decides which operation pairs on the
+	// object are dependent-and-possibly-co-enabled, i.e. which pending
+	// operations demand a backtrack point at a past access (dpor.go).
+	class []uint8
 }
 
 // overlaps reports whether the footprints of processes q and m share an
@@ -683,26 +747,70 @@ func (t *footprintTable) overlaps(q, m int) bool { return t.overlap[q*t.n+m] }
 
 // footprints computes, per process, the set of objects transitively
 // reachable from its top-level procedure through the call graph,
-// packaged with the precomputed mask/overlap forms. The result is
-// read-only and shared by every worker of a parallel search.
+// packaged with the precomputed index/mask/overlap forms. The result
+// is read-only and shared by every worker of a parallel search.
 func footprints(u *cfg.Unit) *footprintTable {
 	sets := footprintSets(u)
-	t := &footprintTable{sets: sets, n: len(sets)}
+	t := &footprintTable{n: len(sets)}
 	t.overlap = make([]bool, t.n*t.n)
 	for i := range sets {
 		for j := range sets {
-			t.overlap[i*t.n+j] = overlap(sets[i], sets[j])
+			t.overlap[i*t.n+j] = overlapSets(sets[i], sets[j])
 		}
 	}
-	if t.n <= 64 {
-		t.objProcs = make(map[string]uint64)
-		for i, fp := range sets {
-			for o := range fp {
-				t.objProcs[o] |= 1 << uint(i)
+	var names []string
+	seen := make(map[string]bool)
+	for _, fp := range sets {
+		for o := range fp {
+			if !seen[o] {
+				seen[o] = true
+				names = append(names, o)
 			}
 		}
 	}
+	sort.Strings(names)
+	t.numObjs = len(names)
+	t.objIndex = make(map[string]int, len(names))
+	for i, o := range names {
+		t.objIndex[o] = i
+	}
+	t.procWords = (t.n + 63) / 64
+	if t.procWords == 0 {
+		t.procWords = 1
+	}
+	t.objProcs = make([]uint64, t.numObjs*t.procWords)
+	for i, fp := range sets {
+		for o := range fp {
+			oi := t.objIndex[o]
+			t.objProcs[oi*t.procWords+(i>>6)] |= 1 << uint(i&63)
+		}
+	}
+	t.class = make([]uint8, t.numObjs)
+	for i := range t.class {
+		t.class[i] = uint8(classOther)
+	}
+	for _, spec := range u.Objects {
+		oi, ok := t.objIndex[spec.Name]
+		if !ok {
+			continue
+		}
+		t.class[oi] = uint8(objClassOf(spec))
+	}
 	return t
+}
+
+// overlapSets reports whether two footprint sets share an object
+// (table construction only; the per-state loop uses the matrix).
+func overlapSets(a, b map[string]bool) bool {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	for k := range a {
+		if b[k] {
+			return true
+		}
+	}
+	return false
 }
 
 func footprintSets(u *cfg.Unit) []map[string]bool {
@@ -784,6 +892,8 @@ func newCoverage(t *siteTable) coverage {
 }
 
 func (c coverage) set(i int) { c[i>>6] |= 1 << (uint(i) & 63) }
+
+func (c coverage) get(i int) bool { return c[i>>6]&(1<<(uint(i)&63)) != 0 }
 
 func (c coverage) or(d coverage) {
 	for i := range c {

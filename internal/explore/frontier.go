@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"container/heap"
 	"sync"
 	"sync/atomic"
 
@@ -36,6 +37,20 @@ type workUnit struct {
 	// of that state.
 	cont bool
 
+	// stack, when non-empty, makes this a stack-continuation unit
+	// (dynamic POR): a deep copy of a whole DFS stack — cursors, sleep
+	// contexts, and still-growing backtrack sets included — claimed as
+	// one piece by one engine, which rebuilds the stack and continues.
+	// options/objs/from are unused (rest() is false: the unit never
+	// splits, so backtrack insertions stay engine-local). sleep is the
+	// base sleep context under the stack.
+	stack []stackFrame
+
+	// score orders the unit in priority-search mode (higher first);
+	// seq breaks ties by push order. Both are unused under DFS.
+	score float64
+	seq   int64
+
 	// snap, when Options.SnapshotSpill is set, is a forked machine
 	// pinned at the unit's decision point, taken by the spilling
 	// worker. A claiming engine forks snap again and continues
@@ -68,8 +83,83 @@ func (u *workUnit) split() *workUnit {
 		toss:      u.toss,
 		snap:      u.snap,
 		traceSnap: u.traceSnap,
+		score:     u.score,
 	}
 }
+
+// unitHeap is a max-heap of work units ordered by score (higher
+// first), ties broken by push sequence (earlier first) so the order is
+// total and deterministic. Implements container/heap.Interface.
+type unitHeap []*workUnit
+
+func (h unitHeap) Len() int { return len(h) }
+func (h unitHeap) Less(i, j int) bool {
+	if h[i].score != h[j].score {
+		return h[i].score > h[j].score
+	}
+	return h[i].seq < h[j].seq
+}
+func (h unitHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *unitHeap) Push(x any)        { *h = append(*h, x.(*workUnit)) }
+func (h *unitHeap) Pop() any {
+	old := *h
+	n := len(old)
+	u := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return u
+}
+
+// seqQueue is the sequential driver's pending-unit store: a LIFO
+// stack in DFS mode (preserving the classic exploration order
+// exactly), a score-ordered max-heap in priority mode. Single-owner —
+// no locking.
+type seqQueue struct {
+	priority bool
+	units    unitHeap
+	seq      int64
+	met      *exploreMetrics
+}
+
+func (q *seqQueue) push(u *workUnit) {
+	if q.priority {
+		u.seq = q.seq
+		q.seq++
+		heap.Push(&q.units, u)
+		q.met.observePriority(u.score)
+		return
+	}
+	q.units = append(q.units, u)
+}
+
+func (q *seqQueue) pop() *workUnit {
+	if q.priority {
+		return heap.Pop(&q.units).(*workUnit)
+	}
+	n := len(q.units)
+	u := q.units[n-1]
+	q.units[n-1] = nil
+	q.units = q.units[:n-1]
+	return u
+}
+
+// reset replaces the queue's contents (restored snapshots).
+func (q *seqQueue) reset(units []*workUnit) {
+	q.units = nil
+	if q.priority {
+		for _, u := range units {
+			q.push(u)
+		}
+		return
+	}
+	q.units = append(q.units, units...)
+}
+
+func (q *seqQueue) len() int { return len(q.units) }
+
+// snapshot copies the pending units (checkpoints; the units themselves
+// are immutable).
+func (q *seqQueue) snapshot() []*workUnit { return copyUnits(q.units) }
 
 // decisionArena allocates the decision-prefix slices that spilled work
 // units publish to the frontier. Spill prefixes are immutable once
@@ -107,12 +197,22 @@ type frontierShard struct {
 	_     [64]byte
 }
 
-// frontier is the shared work pool: one shard per worker. A worker
-// pushes and pops its own shard LIFO (preserving depth-first locality)
-// and steals the oldest unit (FIFO) from sibling shards when its own is
-// empty — stolen units are the shallowest, i.e. the largest subtrees.
+// frontier is the shared work pool. In DFS mode it is one shard per
+// worker: a worker pushes and pops its own shard LIFO (preserving
+// depth-first locality) and steals the oldest unit (FIFO) from sibling
+// shards when its own is empty — stolen units are the shallowest, i.e.
+// the largest subtrees. In priority mode every worker shares one
+// score-ordered max-heap instead: the globally most promising unit is
+// always claimed next, at the cost of one lock.
 type frontier struct {
 	shards []frontierShard
+
+	// prio is the shared heap of priority mode (nil in DFS mode),
+	// guarded by pmu; pseq hands out push sequence numbers for
+	// deterministic tie-breaking.
+	prio unitHeap
+	pmu  sync.Mutex
+	pseq int64
 
 	// inflight counts units pushed but not yet fully processed; the
 	// search is complete when it reaches zero. queued counts units
@@ -121,6 +221,8 @@ type frontier struct {
 	inflight atomic.Int64
 	queued   atomic.Int64
 	units    atomic.Int64
+
+	priority bool
 
 	stop *atomic.Bool // the search's global stop flag
 
@@ -133,8 +235,8 @@ type frontier struct {
 	cond *sync.Cond
 }
 
-func newFrontier(shards int, stop *atomic.Bool, met *exploreMetrics) *frontier {
-	f := &frontier{shards: make([]frontierShard, shards), stop: stop, met: met}
+func newFrontier(shards int, priority bool, stop *atomic.Bool, met *exploreMetrics) *frontier {
+	f := &frontier{shards: make([]frontierShard, shards), priority: priority, stop: stop, met: met}
 	f.cond = sync.NewCond(&f.mu)
 	return f
 }
@@ -145,10 +247,19 @@ func newFrontier(shards int, stop *atomic.Bool, met *exploreMetrics) *frontier {
 func (f *frontier) push(worker int, u *workUnit) {
 	f.met.frontierInflight.SetMax(f.inflight.Add(1))
 	f.units.Add(1)
-	s := &f.shards[worker%len(f.shards)]
-	s.mu.Lock()
-	s.units = append(s.units, u)
-	s.mu.Unlock()
+	if f.priority {
+		f.pmu.Lock()
+		u.seq = f.pseq
+		f.pseq++
+		heap.Push(&f.prio, u)
+		f.pmu.Unlock()
+		f.met.observePriority(u.score)
+	} else {
+		s := &f.shards[worker%len(f.shards)]
+		s.mu.Lock()
+		s.units = append(s.units, u)
+		s.mu.Unlock()
+	}
 	f.met.frontierQueued.SetMax(f.queued.Add(1))
 	f.mu.Lock()
 	f.cond.Signal()
@@ -178,8 +289,20 @@ func (f *frontier) claim(worker int) *workUnit {
 }
 
 // take pops the newest unit from the worker's own shard, else steals
-// the oldest unit from a sibling shard.
+// the oldest unit from a sibling shard. Priority mode instead pops the
+// best-scored unit off the shared heap.
 func (f *frontier) take(worker int) *workUnit {
+	if f.priority {
+		f.pmu.Lock()
+		if f.prio.Len() == 0 {
+			f.pmu.Unlock()
+			return nil
+		}
+		u := heap.Pop(&f.prio).(*workUnit)
+		f.pmu.Unlock()
+		f.queued.Add(-1)
+		return u
+	}
 	n := len(f.shards)
 	home := worker % n
 	s := &f.shards[home]
@@ -224,6 +347,12 @@ func (f *frontier) done() {
 // frontier is empty and ready to be reseeded for another round.
 func (f *frontier) drain() []*workUnit {
 	var out []*workUnit
+	if f.priority {
+		f.pmu.Lock()
+		out = append(out, f.prio...)
+		f.prio = nil
+		f.pmu.Unlock()
+	}
 	for i := range f.shards {
 		s := &f.shards[i]
 		s.mu.Lock()

@@ -51,10 +51,43 @@ func FuzzCheckpointDecode(f *testing.F) {
 		f.Fatalf("Explore (periodic checkpoint): %v", err)
 	}
 
+	// A dynamic-POR checkpoint: its stack-continuation unit carries the
+	// serialized DFS stack — frames with backtrack sets, enabled sets,
+	// sleep maps, and seal flags — which the strict-mode seeds above
+	// never exercise.
+	var dynamic []byte
+	_, err = Explore(closed, Options{
+		POR:                  PORDynamic,
+		CheckpointEveryPaths: 3,
+		Checkpoint: func(s *Snapshot) {
+			if dynamic != nil {
+				return
+			}
+			if data, err := s.Encode(); err == nil && bytes.Contains(data, []byte(`"stack"`)) {
+				dynamic = data
+			}
+		},
+	})
+	if err != nil {
+		f.Fatalf("Explore (dynamic checkpoint): %v", err)
+	}
+	if dynamic == nil {
+		f.Fatal("dynamic-POR search checkpointed no stack-bearing snapshot")
+	}
+
 	f.Add(real1)
 	if periodic != nil {
 		f.Add(periodic)
 	}
+	f.Add(dynamic)
+	// Mutations targeting the stack-frame fields.
+	f.Add(dynamic[:len(dynamic)*3/4])                                                     // truncated mid-stack
+	f.Add(bytes.ReplaceAll(dynamic, []byte(`"cursor": 1`), []byte(`"cursor": 99`)))       // cursor past options
+	f.Add(bytes.ReplaceAll(dynamic, []byte(`"cursor": 1`), []byte(`"cursor": -2`)))       // negative cursor
+	f.Add(bytes.ReplaceAll(dynamic, []byte(`"backtrack"`), []byte(`"statics"`)))          // duplicate keys
+	f.Add(bytes.ReplaceAll(dynamic, []byte(`"dynamic": true`), []byte(`"sealed": true`))) // seal-state skew
+	f.Add(bytes.ReplaceAll(dynamic, []byte(`"objs"`), []byte(`"en_objs"`)))               // objs/enabled length skew
+	f.Add(bytes.ReplaceAll(dynamic, []byte(`"stack"`), []byte(`"stack!"`)))               // stack dropped entirely
 	// Structural mutations of the real checkpoint.
 	f.Add(real1[:len(real1)/2])                                                        // truncated mid-object
 	f.Add(bytes.ReplaceAll(real1, []byte(`"version": 1`), []byte(`"version": 99`)))    // version skew

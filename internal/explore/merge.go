@@ -50,6 +50,9 @@ func (a *accum) add(r *Report) {
 	t.DepthHits += r.DepthHits
 	t.SleepPrunes += r.SleepPrunes
 	t.CachePrunes += r.CachePrunes
+	t.PorBacktracks += r.PorBacktracks
+	t.PorSleepBlocked += r.PorSleepBlocked
+	t.PorDynamicPruned += r.PorDynamicPruned
 	t.InternalErrors += r.InternalErrors
 	if r.StatesAtFirstIncident > 0 &&
 		(t.StatesAtFirstIncident == 0 || r.StatesAtFirstIncident < t.StatesAtFirstIncident) {

@@ -39,6 +39,15 @@ const (
 	MetricPathDepth     = "explore.path.depth"
 	MetricUnitPrefixLen = "explore.unit.prefix_len"
 
+	// Dynamic-POR counters (POR == dynamic runs only; mirror the
+	// Report's Por* fields exactly) and the priority-frontier score
+	// histogram (Search == priority runs only; one observation per
+	// pushed unit, scores clamped at zero).
+	MetricPorBacktracks    = "explore.por.backtracks"
+	MetricPorSleepBlocked  = "explore.por.sleep_blocked"
+	MetricPorDynamicPruned = "explore.por.dynamic_pruned"
+	MetricFrontierPriority = "explore.frontier.priority"
+
 	MetricInterpForks  = "interp.forks"
 	MetricInterpFrames = "interp.frames"
 	// Bytecode-engine instruments: instructions dispatched, StateHash
@@ -98,8 +107,13 @@ type exploreMetrics struct {
 	frontierQueued   *obs.Gauge
 	frontierInflight *obs.Gauge
 
-	pathDepth     *obs.Histogram
-	unitPrefixLen *obs.Histogram
+	porBacktracks    *obs.Counter
+	porSleepBlocked  *obs.Counter
+	porDynamicPruned *obs.Counter
+
+	pathDepth        *obs.Histogram
+	unitPrefixLen    *obs.Histogram
+	frontierPriority *obs.Histogram
 
 	interp interp.Metrics
 	reg    *obs.Registry
@@ -138,8 +152,13 @@ func newExploreMetrics(reg *obs.Registry) *exploreMetrics {
 		frontierQueued:   reg.Gauge(MetricFrontierQueued),
 		frontierInflight: reg.Gauge(MetricFrontierInflight),
 
-		pathDepth:     reg.Histogram(MetricPathDepth),
-		unitPrefixLen: reg.Histogram(MetricUnitPrefixLen),
+		porBacktracks:    reg.Counter(MetricPorBacktracks),
+		porSleepBlocked:  reg.Counter(MetricPorSleepBlocked),
+		porDynamicPruned: reg.Counter(MetricPorDynamicPruned),
+
+		pathDepth:        reg.Histogram(MetricPathDepth),
+		unitPrefixLen:    reg.Histogram(MetricUnitPrefixLen),
+		frontierPriority: reg.Histogram(MetricFrontierPriority),
 
 		interp: interp.Metrics{
 			Forks:    reg.Counter(MetricInterpForks),
@@ -173,12 +192,15 @@ func (m *exploreMetrics) noteEngine(opt Options, res *interp.Resolution) {
 // registry totals remain exactly the sums the report accumulator
 // computes.
 type metricsCursor struct {
-	states      int64
-	transitions int64
-	paths       int64
-	replays     int64
-	replaySteps int64
-	incidents   int64
+	states           int64
+	transitions      int64
+	paths            int64
+	replays          int64
+	replaySteps      int64
+	incidents        int64
+	porBacktracks    int64
+	porSleepBlocked  int64
+	porDynamicPruned int64
 }
 
 // flushReport adds the not-yet-flushed part of a partial report,
@@ -194,6 +216,9 @@ func (m *exploreMetrics) flushReport(r *Report, cur *metricsCursor) {
 	m.replaySteps.Add(r.ReplaySteps - cur.replaySteps)
 	inc := r.Incidents()
 	m.incidents.Add(inc - cur.incidents)
+	m.porBacktracks.Add(r.PorBacktracks - cur.porBacktracks)
+	m.porSleepBlocked.Add(r.PorSleepBlocked - cur.porSleepBlocked)
+	m.porDynamicPruned.Add(r.PorDynamicPruned - cur.porDynamicPruned)
 	m.depthMax.SetMax(int64(r.MaxDepth))
 	cur.states = r.States
 	cur.transitions = r.Transitions
@@ -201,6 +226,22 @@ func (m *exploreMetrics) flushReport(r *Report, cur *metricsCursor) {
 	cur.replays = r.Replays
 	cur.replaySteps = r.ReplaySteps
 	cur.incidents = inc
+	cur.porBacktracks = r.PorBacktracks
+	cur.porSleepBlocked = r.PorSleepBlocked
+	cur.porDynamicPruned = r.PorDynamicPruned
+}
+
+// observePriority records one priority-frontier push (priority mode
+// only); negative scores clamp to zero for the integer histogram.
+func (m *exploreMetrics) observePriority(score float64) {
+	if !m.on {
+		return
+	}
+	s := int64(score)
+	if s < 0 {
+		s = 0
+	}
+	m.frontierPriority.Observe(s)
 }
 
 // addRestored folds a restored snapshot's counters in, keeping registry
@@ -216,6 +257,9 @@ func (m *exploreMetrics) addRestored(r *Report) {
 	m.replays.Add(r.Replays)
 	m.replaySteps.Add(r.ReplaySteps)
 	m.incidents.Add(r.Incidents())
+	m.porBacktracks.Add(r.PorBacktracks)
+	m.porSleepBlocked.Add(r.PorSleepBlocked)
+	m.porDynamicPruned.Add(r.PorDynamicPruned)
 	m.depthMax.SetMax(int64(r.MaxDepth))
 	m.resumes.Inc()
 }
@@ -250,6 +294,8 @@ func (m *exploreMetrics) emitRunStart(opt Options, resumed bool) {
 	m.sink.Emit("run_start",
 		obs.F("mode", mode),
 		obs.F("engine", opt.Engine.String()),
+		obs.F("por", opt.POR.String()),
+		obs.F("search", opt.Search.String()),
 		obs.F("workers", opt.Workers),
 		obs.F("spill_depth", opt.SpillDepth),
 		obs.F("snapshot_spill", opt.SnapshotSpill),

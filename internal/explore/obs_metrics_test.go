@@ -25,6 +25,9 @@ func checkRegistryMatches(t *testing.T, reg *obs.Registry, rep *explore.Report) 
 		{explore.MetricReplays, rep.Replays},
 		{explore.MetricReplaySteps, rep.ReplaySteps},
 		{explore.MetricIncidents, rep.Incidents()},
+		{explore.MetricPorBacktracks, rep.PorBacktracks},
+		{explore.MetricPorSleepBlocked, rep.PorSleepBlocked},
+		{explore.MetricPorDynamicPruned, rep.PorDynamicPruned},
 	} {
 		if got := reg.Counter(c.metric).Load(); got != c.want {
 			t.Errorf("%s = %d, report says %d", c.metric, got, c.want)
@@ -136,6 +139,60 @@ func TestMetricsMatchReportResumed(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestMetricsDynamicPOR checks the dynamic-POR instrumentation: the
+// por.* registry counters equal the merged report counters across
+// sequential and parallel drivers, the backtrack counter actually
+// moves on a workload where dynamic POR bites, and priority search
+// fills the frontier-priority histogram with one observation per
+// spilled unit.
+func TestMetricsDynamicPOR(t *testing.T) {
+	closed, _, err := core.CloseSource(progs.Philosophers(4))
+	if err != nil {
+		t.Fatalf("CloseSource: %v", err)
+	}
+	for _, workers := range []int{0, 2} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			reg := obs.New()
+			// The shallow SpillDepth keeps most of the parallel search
+			// below the publication-seal horizon: entries at spillable
+			// depths are statically expanded (soundness rule 1), so with
+			// the default horizon this workload's entire 16-level tree
+			// would degenerate to static and insert no backtracks.
+			rep, err := explore.Explore(closed, explore.Options{
+				POR:          explore.PORDynamic,
+				Workers:      workers,
+				SpillDepth:   4,
+				Obs:          reg,
+				MaxIncidents: 1 << 20,
+			})
+			if err != nil {
+				t.Fatalf("Explore: %v", err)
+			}
+			checkRegistryMatches(t, reg, rep)
+			if rep.PorBacktracks == 0 {
+				t.Error("dynamic POR inserted no backtrack points on the philosophers ring")
+			}
+		})
+	}
+	t.Run("priority-histogram", func(t *testing.T) {
+		reg := obs.New()
+		rep, err := explore.Explore(closed, explore.Options{
+			Search:       explore.SearchPriority,
+			Workers:      2,
+			Obs:          reg,
+			MaxIncidents: 1 << 20,
+		})
+		if err != nil {
+			t.Fatalf("Explore: %v", err)
+		}
+		checkRegistryMatches(t, reg, rep)
+		h := reg.Histogram(explore.MetricFrontierPriority)
+		if h.Count() == 0 {
+			t.Error("priority search recorded no frontier-priority observations")
+		}
+	})
 }
 
 // TestMetricsNilRegistry pins the disabled mode: Options.Obs == nil

@@ -86,7 +86,7 @@ func TestSharedSnapshot(t *testing.T) {
 	s.paths.Store(7)
 	s.incidents.Store(2)
 	var stop atomic.Bool
-	f := newFrontier(2, &stop, noMetrics)
+	f := newFrontier(2, false, &stop, noMetrics)
 	f.push(0, &workUnit{root: true})
 	f.push(1, &workUnit{root: true})
 
@@ -122,7 +122,7 @@ func TestStartProgressFinalDelivery(t *testing.T) {
 	}
 	s := &sharedState{}
 	var stopFlag atomic.Bool
-	f := newFrontier(2, &stopFlag, noMetrics)
+	f := newFrontier(2, false, &stopFlag, noMetrics)
 	stop := startProgress(opt, s, f, time.Now())
 	s.states.Store(42)
 	stop()

@@ -43,7 +43,7 @@ func runParallel(ctx context.Context, u *cfg.Unit, opt Options, restored *restor
 	met := newExploreMetrics(opt.Obs)
 	met.workers.Set(int64(opt.Workers))
 	met.emitRunStart(opt, restored != nil)
-	f := newFrontier(opt.Workers, &shared.stop, met)
+	f := newFrontier(opt.Workers, opt.Search == SearchPriority, &shared.stop, met)
 	shared.wake = f.wake
 
 	fps := footprints(u)
@@ -274,6 +274,9 @@ func (w *worker) run() {
 // mid-path at a fresh state, leaving a continuation unit behind).
 func (w *worker) process(u *workUnit) {
 	e := w.eng
+	// Fold-ins and pruning bumps land between paths (in backtrack), so a
+	// final flush per unit keeps the instruments caught up with e.rep.
+	defer func() { e.met.flushReport(e.rep, &e.metCur) }()
 
 	// Claim-splitting: hand the remaining sibling options straight back
 	// so other workers can start on them while we replay.

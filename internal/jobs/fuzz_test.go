@@ -3,6 +3,8 @@ package jobs
 import (
 	"testing"
 	"unicode/utf8"
+
+	"reclose/internal/explore"
 )
 
 // FuzzJobRequest hammers the job-submission JSON decoder: whatever the
@@ -14,6 +16,9 @@ func FuzzJobRequest(f *testing.F) {
 	f.Add([]byte(`{"source":"x","close":"naive","naive_domain":3,"priority":9}`))
 	f.Add([]byte(`{"source":"x","engine":"bytecode","max_states":100,"attempt_states":10}`))
 	f.Add([]byte(`{"source":"x","workers":64,"max_incidents":256,"trace":true}`))
+	f.Add([]byte(`{"source":"x","por":"dynamic","search":"priority"}`))
+	f.Add([]byte(`{"source":"x","no_por":true,"por":"dynamic"}`))
+	f.Add([]byte(`{"source":"x","por":"bogus"}`))
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`{"source":`))
 	f.Add([]byte(`[{"source":"x"}]`))
@@ -45,6 +50,16 @@ func FuzzJobRequest(f *testing.F) {
 		}
 		if req.Close == "naive" && (req.NaiveDomain < 1 || req.NaiveDomain > maxNaiveDomain) {
 			t.Fatalf("accepted naive close with domain %d", req.NaiveDomain)
+		}
+		por, err := explore.ParsePOR(req.POR)
+		if err != nil {
+			t.Fatalf("accepted unparseable por %q", req.POR)
+		}
+		if req.NoPOR && req.POR != "" && por != explore.POROff {
+			t.Fatalf("accepted contradictory no_por + por=%q", req.POR)
+		}
+		if _, err := explore.ParseSearch(req.Search); err != nil {
+			t.Fatalf("accepted unparseable search %q", req.Search)
 		}
 	})
 }

@@ -235,3 +235,41 @@ func TestHTTPHealthz(t *testing.T) {
 		t.Fatalf("healthz while draining = %d, want 503", resp.StatusCode)
 	}
 }
+
+// TestHTTPPORModes submits a dynamic-POR priority-search job and a
+// legacy-spelled static job for the same deadlocking program: both must
+// complete and agree on whether a deadlock exists, the invalid and
+// contradictory mode spellings must be rejected at admission, and the
+// agreeing no_por + por=off combination must be accepted.
+func TestHTTPPORModes(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 1})
+	src := progs.Philosophers(3)
+	for _, req := range []Request{
+		{Source: src, POR: "dynamic", Search: "priority"},
+		{Source: src},
+	} {
+		body, _ := json.Marshal(req)
+		resp, v := postJob(t, srv, string(body))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("POST /jobs (por=%q search=%q) = %d, want 202", req.POR, req.Search, resp.StatusCode)
+		}
+		got := pollDone(t, srv, v.ID)
+		if got.Result == nil || got.Result.Deadlocks == 0 {
+			t.Fatalf("por=%q search=%q: result = %+v, want deadlocks", req.POR, req.Search, got.Result)
+		}
+	}
+	for _, body := range []string{
+		`{"source":"x","por":"bogus"}`,
+		`{"source":"x","search":"bogus"}`,
+		`{"source":"x","no_por":true,"por":"dynamic"}`,
+	} {
+		resp, _ := postJob(t, srv, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST /jobs %s = %d, want 400", body, resp.StatusCode)
+		}
+	}
+	resp, _ := postJob(t, srv, `{"source":"x","no_por":true,"por":"off"}`)
+	if resp.StatusCode == http.StatusBadRequest {
+		t.Errorf("POST /jobs no_por+por=off rejected; the spellings agree")
+	}
+}

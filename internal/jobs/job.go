@@ -100,6 +100,16 @@ type Request struct {
 	// NoPOR / NoSleep disable the partial-order reductions.
 	NoPOR   bool `json:"no_por,omitempty"`
 	NoSleep bool `json:"no_sleep,omitempty"`
+	// POR selects the reduction: "static" (persistent sets, default),
+	// "dynamic" (Flanagan-Godefroid backtrack sets), or "off". The
+	// legacy NoPOR spelling maps to "off"; combining it with a
+	// contradicting POR is rejected.
+	POR string `json:"por,omitempty"`
+	// Search selects the frontier order: "dfs" (default) or
+	// "priority" (score-directed; dynamic and priority jobs satisfy
+	// the same-incident-set contract rather than same-order
+	// determinism).
+	Search string `json:"search,omitempty"`
 	// MaxIncidents bounds recorded incident samples (0 = default 16).
 	MaxIncidents int `json:"max_incidents,omitempty"`
 	// Trace streams the job's obs events to a JSONL file under the
@@ -156,6 +166,16 @@ func (r *Request) validate() error {
 	}
 	if r.Workers < 0 || r.Workers > maxRequestWorkers {
 		return fmt.Errorf("jobs: workers %d outside [0,%d]", r.Workers, maxRequestWorkers)
+	}
+	por, err := explore.ParsePOR(r.POR)
+	if err != nil {
+		return fmt.Errorf("jobs: %w", err)
+	}
+	if r.NoPOR && r.POR != "" && por != explore.POROff {
+		return fmt.Errorf("jobs: no_por contradicts por=%q", r.POR)
+	}
+	if _, err := explore.ParseSearch(r.Search); err != nil {
+		return fmt.Errorf("jobs: %w", err)
 	}
 	if r.MaxIncidents < 0 || r.MaxIncidents > maxRequestIncidents {
 		return fmt.Errorf("jobs: max_incidents %d outside [0,%d]", r.MaxIncidents, maxRequestIncidents)

@@ -706,11 +706,25 @@ func (m *Manager) exploreOptions(j *Job, snap *explore.Snapshot) (explore.Option
 		}
 		engine = e
 	}
+	// Mode strings were validated at admission (Request.validate), so
+	// parse errors here are impossible for persisted jobs from this
+	// version; a job file hand-edited into an invalid mode fails the
+	// attempt cleanly instead of panicking.
+	por, err := explore.ParsePOR(j.Req.POR)
+	if err != nil {
+		return explore.Options{}, nil, err
+	}
+	search, err := explore.ParseSearch(j.Req.Search)
+	if err != nil {
+		return explore.Options{}, nil, err
+	}
 	opt := explore.Options{
 		Engine:       engine,
 		MaxDepth:     j.Req.MaxDepth,
 		NoPOR:        j.Req.NoPOR,
 		NoSleep:      j.Req.NoSleep,
+		POR:          por,
+		Search:       search,
 		MaxIncidents: j.Req.MaxIncidents,
 		Workers:      j.Req.Workers,
 		Fault:        m.cfg.Fault,

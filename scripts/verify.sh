@@ -18,6 +18,12 @@ go test -count=1 -timeout=10m ./...
 go test -count=1 -timeout=10m -race ./internal/explore/... ./internal/interp/... ./internal/obs/... ./internal/statecache/...
 go test -count=1 -timeout=10m -race -run 'TestEngineEquivalence|TestDifferential' ./internal/explore/ ./internal/interp/
 
+# Dynamic-POR equivalence leg: the backtrack-set search and the
+# priority frontier must find exactly the static oracle's incident set
+# across workers × spill × cache shards, with the race detector
+# watching the shared frontier heap and per-entry backtrack folds.
+go test -count=1 -timeout=10m -race -run 'TestDPOR|TestPrioritySearch|TestStrictModesUnchanged|TestWideMask' ./internal/explore/
+
 # Job-server race leg: the daemon's queue/retry/journal machinery plus
 # the fault-injection plan it is tested with, including the 50-seed
 # crash-recovery equivalence run, all under the race detector.
