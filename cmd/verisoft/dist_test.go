@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"reclose/internal/progs"
+)
+
+// TestMain lets the test binary stand in for the verisoft executable:
+// a -dist-workers run respawns os.Executable() with -worker-mode, and
+// when that executable is this test binary the flag routes straight
+// into realMain's worker path — so the dist CLI tests drive real
+// coordinator/worker subprocesses.
+func TestMain(m *testing.M) {
+	for _, a := range os.Args[1:] {
+		if a == "-worker-mode" {
+			os.Exit(realMain([]string{"-worker-mode"}, os.Stdout, os.Stderr))
+		}
+	}
+	os.Exit(m.Run())
+}
+
+// TestCLIDistWorkers runs a full multi-process search from the CLI and
+// checks the user-visible contract: the incident exit code, the
+// distributed worker-stat lines, and a summary identical to the
+// in-process run's counters.
+func TestCLIDistWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	prog := writeProg(t, progs.DeadlockProne)
+
+	var seqOut, errb bytes.Buffer
+	if code := realMain([]string{prog}, &seqOut, &errb); code != 3 {
+		t.Fatalf("sequential exit code = %d, want 3\nstderr:\n%s", code, errb.String())
+	}
+	seq := summaryRE.FindStringSubmatch(seqOut.String())
+	if seq == nil {
+		t.Fatalf("no summary: line in sequential output:\n%s", seqOut.String())
+	}
+
+	var out bytes.Buffer
+	errb.Reset()
+	code := realMain([]string{"-dist-workers", "2", "-dist-slice", "16", prog}, &out, &errb)
+	if code != 3 {
+		t.Fatalf("dist exit code = %d, want 3\nstderr:\n%s\nstdout:\n%s", code, errb.String(), out.String())
+	}
+	got := summaryRE.FindStringSubmatch(out.String())
+	if got == nil {
+		t.Fatalf("no summary: line in dist output:\n%s", out.String())
+	}
+	// states, transitions, paths, incidents must match the sequential
+	// run exactly; the workers field reports the fleet size instead.
+	for i, field := range []string{"states", "transitions", "paths", "incidents"} {
+		if got[i+1] != seq[i+1] {
+			t.Errorf("dist summary %s = %s, sequential = %s", field, got[i+1], seq[i+1])
+		}
+	}
+	if got[5] != "2" {
+		t.Errorf("dist summary workers = %s, want 2", got[5])
+	}
+	if !bytes.Contains(out.Bytes(), []byte("W0:")) || !bytes.Contains(out.Bytes(), []byte("W1:")) {
+		t.Errorf("dist output missing per-worker stat lines:\n%s", out.String())
+	}
+}
+
+// TestCLIDistFlagValidation pins the flag interactions: dist tuning
+// flags require -dist-workers, and dist mode rejects the modes it
+// cannot serve.
+func TestCLIDistFlagValidation(t *testing.T) {
+	prog := writeProg(t, progs.DeadlockProne)
+	for _, args := range [][]string{
+		{"-dist-slice", "64", prog},
+		{"-dist-lease", "1s", prog},
+		{"-dist-workers", "2", "-shortest", prog},
+		{"-dist-workers", "2", "-resume", "nope.ckpt", prog},
+		{"-dist-workers", "-1", prog},
+	} {
+		var out, errb bytes.Buffer
+		if code := realMain(args, &out, &errb); code != 1 {
+			t.Errorf("%v: exit code = %d, want 1\nstderr:\n%s", args, code, errb.String())
+		}
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"reclose/internal/atomicio"
 	"reclose/internal/cfg"
 	"reclose/internal/core"
+	"reclose/internal/dist"
 	"reclose/internal/explore"
 	"reclose/internal/interp"
 	"reclose/internal/mgenv"
@@ -90,6 +91,10 @@ type cli struct {
 	workers     int
 	spillDepth  int
 	snapSpill   bool
+	distWorkers int
+	distSlice   int64
+	distLease   time.Duration
+	workerMode  bool
 	progress    time.Duration
 
 	timeout   time.Duration
@@ -129,6 +134,10 @@ func newCLI(stdout, stderr io.Writer) *cli {
 	fs.IntVar(&c.workers, "workers", 0, "parallel search workers (0 = sequential, -1 = GOMAXPROCS)")
 	fs.IntVar(&c.spillDepth, "spill-depth", 0, "depth above which workers spill sibling subtrees to the shared frontier (0 = default 16)")
 	fs.BoolVar(&c.snapSpill, "snapshot-spill", false, "attach state snapshots to spilled work units so claimers skip prefix replay (parallel engine only)")
+	fs.IntVar(&c.distWorkers, "dist-workers", 0, "distribute the search across this many worker OS processes (0 = in-process); results merge deterministically, byte-identical to the in-process engine")
+	fs.Int64Var(&c.distSlice, "dist-slice", 0, "per-batch state budget a distributed worker explores before reporting back (0 = default 4096; requires -dist-workers)")
+	fs.DurationVar(&c.distLease, "dist-lease", 0, "lease timeout after which a distributed worker is declared dead and its work reassigned (0 = default 60s; requires -dist-workers)")
+	fs.BoolVar(&c.workerMode, "worker-mode", false, "run as a distributed exploration worker speaking the frame protocol on stdin/stdout (spawned by a -dist-workers coordinator, not for interactive use)")
 	fs.DurationVar(&c.progress, "progress", 0, "print progress lines at this interval (0 = off)")
 	fs.DurationVar(&c.timeout, "timeout", 0, "wall-clock budget for the search; on expiry the partial result is reported (0 = unlimited)")
 	fs.StringVar(&c.ckptFile, "checkpoint", "", "write checkpoint snapshots to this file (periodically with -checkpoint-every, and on interrupt or budget exhaustion)")
@@ -157,6 +166,18 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 }
 
 func (c *cli) run() (int, error) {
+	if c.workerMode {
+		// Worker mode never touches argv sources or flags beyond this
+		// point: the coordinator ships everything (program, options,
+		// fault plan) in the hello frame.
+		err := dist.WorkerMain(os.Stdin, os.Stdout, func(format string, args ...any) {
+			fmt.Fprintf(c.stderr, "verisoft worker: "+format+"\n", args...)
+		})
+		if err != nil {
+			return 1, err
+		}
+		return 0, nil
+	}
 	if c.fs.NArg() != 1 {
 		c.fs.Usage()
 		return 2, nil
@@ -182,6 +203,15 @@ func (c *cli) run() (int, error) {
 	}
 	if c.interest != "" && search != explore.SearchPriority {
 		return 1, fmt.Errorf("-interest requires -search=priority")
+	}
+	if c.distWorkers > 0 && (c.shortest || c.resumeFrm != "") {
+		return 1, fmt.Errorf("-dist-workers does not compose with -shortest or -resume")
+	}
+	if c.distWorkers < 0 {
+		return 1, fmt.Errorf("-dist-workers must be >= 0")
+	}
+	if (c.distSlice != 0 || c.distLease != 0) && c.distWorkers == 0 {
+		return 1, fmt.Errorf("-dist-slice and -dist-lease require -dist-workers")
 	}
 
 	unit, how, err := c.prepare(string(src))
@@ -233,12 +263,13 @@ func (c *cli) run() (int, error) {
 		Timeout:         c.timeout,
 		Obs:             reg,
 	}
+	var interest []string
 	if c.interest != "" {
-		names := strings.Split(c.interest, ",")
-		for i := range names {
-			names[i] = strings.TrimSpace(names[i])
+		interest = strings.Split(c.interest, ",")
+		for i := range interest {
+			interest[i] = strings.TrimSpace(interest[i])
 		}
-		opt.Score = explore.InterestScore(names...)
+		opt.Score = explore.InterestScore(interest...)
 	}
 	if c.progress > 0 {
 		opt.ProgressEvery = c.progress
@@ -330,6 +361,38 @@ func (c *cli) run() (int, error) {
 		fmt.Fprintf(c.stdout, "resuming: %d work units, %d states already explored\n",
 			len(snap.Units), snap.Counters.States)
 		rep, err = explore.ResumeContext(ctx, unit, snap, opt)
+		if err != nil {
+			return 1, err
+		}
+	case c.distWorkers > 0:
+		exe, err := os.Executable()
+		if err != nil {
+			return 1, fmt.Errorf("dist-workers: locating own binary: %w", err)
+		}
+		prog := dist.Program{Source: string(src)}
+		if c.naive > 0 {
+			prog.Close = "naive"
+			prog.NaiveDomain = c.naive
+		}
+		if c.ckptFile != "" && c.ckptEvery > 0 {
+			// The distributed coordinator checkpoints on completed-path
+			// cadence rather than wall time; roughly one slice budget of
+			// paths between snapshots keeps a comparable rhythm.
+			opt.CheckpointEveryPaths = c.distSlice
+			if opt.CheckpointEveryPaths <= 0 {
+				opt.CheckpointEveryPaths = 4096
+			}
+		}
+		rep, err = dist.Run(ctx, prog, opt, dist.Config{
+			Workers:      c.distWorkers,
+			Command:      []string{exe, "-worker-mode"},
+			SliceStates:  c.distSlice,
+			LeaseTimeout: c.distLease,
+			Interest:     interest,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(c.stderr, format+"\n", args...)
+			},
+		})
 		if err != nil {
 			return 1, err
 		}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"syscall"
+	"testing"
+
+	"reclose/internal/jobs"
+	"reclose/internal/progs"
+)
+
+// TestDaemonDistJob exercises the whole distributed chain through the
+// daemon: a dist_workers request routes through jobs.Config.DistRun,
+// which re-execs this very test binary in -worker-mode (the
+// VERISOFTD_ARGS override in the spawn env redirects the child gate
+// from the daemon args to the worker flag). The result must look
+// exactly like an in-process attempt's.
+func TestDaemonDistJob(t *testing.T) {
+	dir := t.TempDir()
+	c := startChild(t, "-addr", "localhost:0", "-data", dir, "-workers", "1", "-dist-slice", "64")
+
+	v := submit(t, c.base, jobs.Request{Source: progs.Philosophers(3), DistWorkers: 2})
+	got := pollUntilDone(t, c.base, v.ID)
+	if got.Result == nil || !got.Result.Complete {
+		t.Fatalf("result = %+v, want a complete report", got.Result)
+	}
+	if got.Result.Deadlocks == 0 {
+		t.Error("philosophers should deadlock at least once")
+	}
+
+	// The dist counters must surface in the daemon's registry.
+	resp, err := http.Get(c.base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if doc.Counters["dist.batches"] == 0 {
+		t.Errorf("dist.batches = 0, want > 0 (counters = %v)", doc.Counters)
+	}
+
+	if err := c.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := c.waitExit(t); code != 0 {
+		t.Fatalf("drain exit code = %d, want 0", code)
+	}
+}

@@ -44,6 +44,8 @@ import (
 	"syscall"
 	"time"
 
+	"reclose/internal/dist"
+	"reclose/internal/explore"
 	"reclose/internal/faultinject"
 	"reclose/internal/jobs"
 	"reclose/internal/obs"
@@ -73,6 +75,9 @@ type daemon struct {
 	drainTimeout time.Duration
 	faultRules   string
 	faultSeed    int64
+	distSlice    int64
+	distLease    time.Duration
+	workerMode   bool
 }
 
 func newDaemon(stdout, stderr io.Writer) *daemon {
@@ -97,6 +102,9 @@ func newDaemon(stdout, stderr io.Writer) *daemon {
 	fs.DurationVar(&d.drainTimeout, "drain-timeout", 30*time.Second, "how long graceful shutdown waits for running jobs to park")
 	fs.StringVar(&d.faultRules, "fault-rules", "", "JSON array of fault-injection rules (see internal/faultinject); empty = off")
 	fs.Int64Var(&d.faultSeed, "fault-seed", 1, "seed for probabilistic fault-injection rules")
+	fs.Int64Var(&d.distSlice, "dist-slice", 0, "per-batch state budget for distributed attempts (0 = default 4096)")
+	fs.DurationVar(&d.distLease, "dist-lease", 0, "lease timeout for distributed attempt workers (0 = default 60s)")
+	fs.BoolVar(&d.workerMode, "worker-mode", false, "run as a distributed exploration worker over stdin/stdout (spawned by dist_workers attempts, not for interactive use)")
 	d.fs = fs
 	return d
 }
@@ -120,6 +128,19 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 }
 
 func (d *daemon) run() (int, error) {
+	if d.workerMode {
+		// Worker mode: this process is one slot of a distributed
+		// attempt, speaking the frame protocol on stdin/stdout; the
+		// coordinator (another verisoftd, or a test harness) ships the
+		// program, options, and fault plan in the hello frame.
+		err := dist.WorkerMain(os.Stdin, os.Stdout, func(format string, args ...any) {
+			fmt.Fprintf(d.stderr, "verisoftd worker: "+format+"\n", args...)
+		})
+		if err != nil {
+			return 1, err
+		}
+		return 0, nil
+	}
 	var plan *faultinject.Plan
 	if d.faultRules != "" {
 		p, err := faultinject.Decode(d.faultSeed, []byte(d.faultRules))
@@ -132,6 +153,38 @@ func (d *daemon) run() (int, error) {
 
 	logger := log.New(d.stderr, "verisoftd: ", log.LstdFlags)
 	reg := obs.New()
+
+	// Distributed attempts respawn this very binary in -worker-mode.
+	// The VERISOFTD_ARGS override keeps the spawn working when the
+	// daemon itself is a re-execed test binary (whose TestMain routes
+	// argv through that variable).
+	exe, err := os.Executable()
+	if err != nil {
+		return 1, fmt.Errorf("locating own binary: %w", err)
+	}
+	distRun := func(ctx context.Context, req *jobs.Request, opt explore.Options, snap *explore.Snapshot) (*explore.Report, error) {
+		if opt.Obs == nil {
+			// Untraced attempts surface the dist.* counters on the
+			// daemon registry; traced ones keep their trace registry.
+			opt.Obs = reg
+		}
+		return dist.Run(ctx, dist.Program{
+			Source:      req.Source,
+			Close:       req.Close,
+			NaiveDomain: req.NaiveDomain,
+		}, opt, dist.Config{
+			Workers:      req.DistWorkers,
+			Command:      []string{exe, "-worker-mode"},
+			Env:          []string{"VERISOFTD_ARGS=-worker-mode"},
+			SliceStates:  d.distSlice,
+			LeaseTimeout: d.distLease,
+			Resume:       snap,
+			FaultSeed:    d.faultSeed,
+			FaultRules:   d.faultRules,
+			Logf:         logger.Printf,
+		})
+	}
+
 	mgr, err := jobs.Open(jobs.Config{
 		DataDir:               d.dataDir,
 		Workers:               d.workers,
@@ -145,9 +198,10 @@ func (d *daemon) run() (int, error) {
 			Cap:  d.backoffCap,
 			Seed: d.backoffSeed,
 		},
-		Obs:   reg,
-		Fault: plan,
-		Logf:  logger.Printf,
+		Obs:     reg,
+		Fault:   plan,
+		Logf:    logger.Printf,
+		DistRun: distRun,
 	})
 	if err != nil {
 		return 1, err

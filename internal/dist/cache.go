@@ -1,0 +1,79 @@
+package dist
+
+import (
+	"reclose/internal/statecache"
+)
+
+// Owner maps a fingerprint routing hash to the worker slot that owns
+// its range: the 64-bit hash space is split into workers equal
+// contiguous ranges by fixed-point multiplication of the high 32 bits
+// (the low bits already pick shards inside a worker's local cache, so
+// using the high bits keeps the two partitions independent). Both
+// sides of the protocol compute this, so it must stay deterministic
+// and version-stable.
+func Owner(hash uint64, workers int) int {
+	if workers <= 1 {
+		return 0
+	}
+	return int((hash >> 32) * uint64(workers) >> 32)
+}
+
+// cacheRouter is the worker-side face of the partitioned state cache.
+// For hashes the worker owns, own is authoritative (Visit semantics:
+// membership answer plus insert). For foreign hashes it consults a
+// positive read-through memo first — "visited" is monotone, so a
+// memoized prune can never go stale — and otherwise asks the owner
+// through the coordinator via query; a query that fails or times out
+// degrades to "not visited", which re-explores a subtree but never
+// loses one.
+type cacheRouter struct {
+	slot    int
+	workers int
+	own     *statecache.Cache
+	memo    *statecache.Cache
+	// query performs a blocking remote visit at the owner; ok=false
+	// means the route failed and the answer must degrade to a miss.
+	query func(hash uint64, key []byte, depth int) (pruned, ok bool)
+}
+
+func newCacheRouter(slot, workers int, shards int, maxBytes int64,
+	query func(hash uint64, key []byte, depth int) (bool, bool)) *cacheRouter {
+	r := &cacheRouter{
+		slot:    slot,
+		workers: workers,
+		own:     statecache.New(statecache.Config{Shards: shards, MaxBytes: maxBytes}),
+		query:   query,
+	}
+	if workers > 1 {
+		r.memo = statecache.New(statecache.Config{Shards: shards, MaxBytes: maxBytes})
+	}
+	return r
+}
+
+// visit is the explore.Options.CacheVisit implementation.
+func (r *cacheRouter) visit(hash uint64, key []byte, depth int) bool {
+	if Owner(hash, r.workers) == r.slot {
+		return r.own.VisitPrehashed(hash, key, depth)
+	}
+	// LookupPrehashed probes without inserting: the memo only ever
+	// holds remote-confirmed prunes, so a hit here is a hit at the
+	// owner too (at this depth or shallower).
+	if r.memo.LookupPrehashed(hash, key, depth) {
+		return true
+	}
+	pruned, ok := r.query(hash, key, depth)
+	if !ok {
+		return false
+	}
+	if pruned {
+		r.memo.VisitPrehashed(hash, key, depth)
+	}
+	return pruned
+}
+
+// answer serves a membership query routed here because this worker
+// owns the hash. Visit semantics on the authoritative cache: the
+// querying worker's visit inserts exactly as a local one would.
+func (r *cacheRouter) answer(hash uint64, key []byte, depth int) bool {
+	return r.own.VisitPrehashed(hash, key, depth)
+}

@@ -1,0 +1,471 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"reclose/internal/explore"
+	"reclose/internal/fiveess"
+	"reclose/internal/obs"
+	"reclose/internal/progs"
+)
+
+// TestMain doubles as the worker binary: the coordinator respawns the
+// test executable with RECLOSE_DIST_WORKER=1 and the process becomes a
+// real protocol worker over its stdin/stdout — the tests below
+// exercise actual multi-process runs, not an in-process simulation.
+func TestMain(m *testing.M) {
+	if os.Getenv("RECLOSE_DIST_WORKER") == "1" {
+		err := WorkerMain(os.Stdin, os.Stdout, func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "worker: "+format+"\n", args...)
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// workerConfig spawns workers by re-executing this test binary.
+func workerConfig(workers int) Config {
+	return Config{
+		Workers:     workers,
+		Command:     []string{os.Args[0]},
+		Env:         []string{"RECLOSE_DIST_WORKER=1"},
+		SliceStates: 512,
+		BatchUnits:  8,
+	}
+}
+
+// fiveessSmall is a depth-bounded 5ESS switch with the injected
+// lock-ordering deadlock: ~14k states, 512 deadlock incidents — big
+// enough that every worker count splits it into many slices, small
+// enough that the full equivalence grid stays fast.
+func fiveessSmall() (Program, explore.Options) {
+	src := fiveess.Source(fiveess.Config{
+		Handlers: 2, Lines: 1, Features: 2, Chain: 1, Trunks: 2,
+		InjectDeadlock: true,
+	})
+	return Program{Source: src}, explore.Options{MaxDepth: 9, MaxIncidents: 1 << 20}
+}
+
+// distDigest renders what a distributed strict-mode run must reproduce
+// exactly from the in-process engine: every counter except
+// Replays/ReplaySteps (slicing re-replays unit prefixes — the same
+// allowance checkpoint/resume has), coverage, and every sample with
+// its decision sequence.
+func distDigest(rep *explore.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "states=%d transitions=%d paths=%d maxdepth=%d\n",
+		rep.States, rep.Transitions, rep.Paths, rep.MaxDepth)
+	fmt.Fprintf(&b, "terminated=%d deadlocks=%d violations=%d traps=%d divergences=%d depth-hits=%d sleep-prunes=%d cache-prunes=%d internal-errors=%d\n",
+		rep.Terminated, rep.Deadlocks, rep.Violations, rep.Traps, rep.Divergences,
+		rep.DepthHits, rep.SleepPrunes, rep.CachePrunes, rep.InternalErrors)
+	fmt.Fprintf(&b, "por: backtracks=%d sleep-blocked=%d pruned=%d\n",
+		rep.PorBacktracks, rep.PorSleepBlocked, rep.PorDynamicPruned)
+	fmt.Fprintf(&b, "coverage=%d/%d\n", rep.OpsCovered, rep.OpsTotal)
+	lines := make([]string, 0, len(rep.Samples))
+	for _, in := range rep.Samples {
+		var l strings.Builder
+		fmt.Fprintf(&l, "%s depth=%d msg=%q decisions=", in.Kind, in.Depth, in.Msg)
+		for _, d := range in.Decisions {
+			fmt.Fprintf(&l, "%s;", d)
+		}
+		lines = append(lines, l.String())
+	}
+	// Workers race for frontier units, so merged sample order varies
+	// with the schedule; the multiset may not.
+	sort.Strings(lines)
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// cacheDigest is the weaker contract cached configurations are held to
+// (which duplicate route gets pruned is schedule-dependent): terminal
+// and incident leaf counters plus the incident multiset without
+// decision sequences.
+func cacheDigest(rep *explore.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "terminated=%d deadlocks=%d violations=%d traps=%d divergences=%d\n",
+		rep.Terminated, rep.Deadlocks, rep.Violations, rep.Traps, rep.Divergences)
+	lines := make([]string, 0, len(rep.Samples))
+	for _, in := range rep.Samples {
+		lines = append(lines, fmt.Sprintf("%s depth=%d msg=%q", in.Kind, in.Depth, in.Msg))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// incidentSet renders the distinct incidents of a report — what no
+// sound pruning or search order may ever change.
+func incidentSet(rep *explore.Report) string {
+	seen := map[string]bool{}
+	for _, in := range rep.Samples {
+		seen[fmt.Sprintf("%s|%d|%s", in.Kind, in.Depth, in.Msg)] = true
+	}
+	lines := make([]string, 0, len(seen))
+	for s := range seen {
+		lines = append(lines, s)
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+func mustOracle(t *testing.T, prog Program, opt explore.Options) *explore.Report {
+	t.Helper()
+	unit, err := prog.Compile()
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	rep, err := explore.Explore(unit, opt)
+	if err != nil {
+		t.Fatalf("oracle Explore: %v", err)
+	}
+	return rep
+}
+
+func mustRun(t *testing.T, prog Program, opt explore.Options, cfg Config) *explore.Report {
+	t.Helper()
+	rep, err := Run(context.Background(), prog, opt, cfg)
+	if err != nil {
+		t.Fatalf("dist Run: %v", err)
+	}
+	return rep
+}
+
+// TestDistEquivalence is the tentpole contract: a multi-process run —
+// real worker subprocesses, the wire protocol, bounded slices, the
+// deterministic merge — produces results indistinguishable from the
+// in-process engine at any worker count. Strict (uncached) configs
+// must match the sequential oracle on every counter and every incident
+// decision sequence; cache-partitioned configs are held to the cached
+// contract (terminal/incident counters and incident multiset equal to
+// a sequential cached run, distinct incident set equal to the
+// stateless run).
+func TestDistEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process equivalence grid is not short")
+	}
+	prog, base := fiveessSmall()
+	stateless := mustOracle(t, prog, base)
+	strictWant := distDigest(stateless)
+
+	cachedOpt := base
+	cachedOpt.StateCache = true
+	cachedOpt.CacheShards = 1
+	seqCached := mustOracle(t, prog, cachedOpt)
+	cachedWant := cacheDigest(seqCached)
+	incidentWant := incidentSet(stateless)
+
+	for _, workers := range []int{1, 2, 4} {
+		for _, spill := range []bool{false, true} {
+			opt := base
+			opt.SnapshotSpill = spill
+			name := fmt.Sprintf("strict/w%d/spill=%v", workers, spill)
+			t.Run(name, func(t *testing.T) {
+				rep := mustRun(t, prog, opt, workerConfig(workers))
+				if rep.Incomplete {
+					t.Fatalf("distributed run reported incomplete: cause %v", rep.Cause)
+				}
+				if got := distDigest(rep); got != strictWant {
+					t.Errorf("distributed digest diverged from oracle:\n got:\n%s\nwant:\n%s", got, strictWant)
+				}
+			})
+		}
+		for _, shards := range []int{1, 8} {
+			opt := base
+			opt.StateCache = true
+			opt.CacheShards = shards
+			name := fmt.Sprintf("cache/w%d/shards=%d", workers, shards)
+			t.Run(name, func(t *testing.T) {
+				rep := mustRun(t, prog, opt, workerConfig(workers))
+				if rep.Incomplete {
+					t.Fatalf("distributed run reported incomplete: cause %v", rep.Cause)
+				}
+				if got := cacheDigest(rep); got != cachedWant {
+					t.Errorf("distributed cache digest diverged from sequential cached oracle:\n got:\n%s\nwant:\n%s", got, cachedWant)
+				}
+				if got := incidentSet(rep); got != incidentWant {
+					t.Errorf("distributed incident set diverged from stateless oracle:\n got:\n%s\nwant:\n%s", got, incidentWant)
+				}
+				if rep.CachePrunes == 0 {
+					t.Errorf("cache-partitioned run never pruned; the partition is not being exercised")
+				}
+			})
+		}
+	}
+}
+
+// TestDistEquivalenceDynamicPOR extends the contract to dynamic POR,
+// whose mid-slice cuts ship stack-continuation units (backtrack sets,
+// seals) across the wire: the distributed search must find exactly the
+// incident set of the stateless oracle — the same relaxation DPOR
+// itself is held to.
+func TestDistEquivalenceDynamicPOR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process equivalence grid is not short")
+	}
+	prog := Program{Source: progs.Philosophers(4)}
+	oracle := mustOracle(t, prog, explore.Options{MaxIncidents: 1 << 20})
+	want := incidentSet(oracle)
+	opt := explore.Options{POR: explore.PORDynamic, MaxIncidents: 1 << 20}
+	for _, workers := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("w%d", workers), func(t *testing.T) {
+			cfg := workerConfig(workers)
+			cfg.SliceStates = 48 // force many mid-path stack-unit cuts
+			rep := mustRun(t, prog, opt, cfg)
+			if rep.Incomplete {
+				t.Fatalf("distributed run reported incomplete: cause %v", rep.Cause)
+			}
+			if got := incidentSet(rep); got != want {
+				t.Errorf("distributed dynamic-POR incident set diverged:\n got:\n%s\nwant:\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestDistMaxStatesResume checks the truncation cut: a distributed run
+// stopped by a global MaxStates budget must report an exact resumable
+// snapshot — finishing it in-process lands on the sequential oracle's
+// digest, the same contract checkpoint/resume has.
+func TestDistMaxStatesResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	prog := Program{Source: progs.Philosophers(4)}
+	base := explore.Options{MaxIncidents: 1 << 20}
+	oracle := mustOracle(t, prog, base)
+	want := distDigest(oracle)
+
+	opt := base
+	opt.MaxStates = 150
+	cfg := workerConfig(2)
+	cfg.SliceStates = 32
+	rep := mustRun(t, prog, opt, cfg)
+	if !rep.Incomplete || rep.Cause != explore.StopMaxStates {
+		t.Fatalf("truncated run: Incomplete=%v Cause=%v, want incomplete StopMaxStates", rep.Incomplete, rep.Cause)
+	}
+	snap := rep.WireSnapshot()
+	if snap == nil || len(snap.Units) == 0 {
+		t.Fatalf("truncated distributed run has no pending units to resume")
+	}
+	unit, err := prog.Compile()
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	rest, err := explore.Resume(unit, snap, base)
+	if err != nil {
+		t.Fatalf("in-process Resume of distributed snapshot: %v", err)
+	}
+	if got := distDigest(rest); got != want {
+		t.Errorf("resume of distributed truncation diverged from oracle:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestWorkerCrashRecovery kills real worker processes mid-batch and
+// asserts the lease machinery recovers without losing or duplicating
+// work: the final report is identical to an undisturbed distributed
+// run and to the in-process oracle. Three seeded schedules cover the
+// failure surface: a panic before the slice runs (the batch dies
+// unstarted), a panic after the slice computes but before the result
+// ships (the nastier half of exactly-once — the coordinator must not
+// count the lost result AND must re-explore its units), and a hang
+// that the lease timeout resolves by SIGKILLing the worker.
+func TestWorkerCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills worker subprocesses")
+	}
+	prog, opt := fiveessSmall()
+	want := distDigest(mustOracle(t, prog, opt))
+
+	schedules := []struct {
+		name  string
+		rules string
+		seed  int64
+		lease time.Duration
+	}{
+		{
+			name:  "panic-before-slice",
+			rules: `[{"point":"dist.worker.batch","action":"panic","count":1}]`,
+		},
+		{
+			name:  "panic-before-result",
+			rules: `[{"point":"dist.worker.result","action":"panic","count":1}]`,
+		},
+		{
+			name: "random-panics-seeded",
+			// Both points armed probabilistically: whichever subset
+			// fires, the merge must come out identical.
+			rules: `[{"point":"dist.worker.batch","action":"panic","prob":0.5,"count":2},` +
+				`{"point":"dist.worker.result","action":"panic","prob":0.5,"count":2}]`,
+			seed: 42,
+		},
+		{
+			name:  "hang-until-lease-timeout",
+			rules: `[{"point":"dist.worker.batch","action":"sleep","sleep_ms":20000,"count":1}]`,
+			lease: 750 * time.Millisecond,
+		},
+	}
+	for _, sc := range schedules {
+		t.Run(sc.name, func(t *testing.T) {
+			reg := obs.New()
+			o := opt
+			o.Obs = reg
+			cfg := workerConfig(2)
+			cfg.FaultSeed = sc.seed
+			cfg.FaultRules = sc.rules
+			if sc.lease > 0 {
+				cfg.LeaseTimeout = sc.lease
+			}
+			cfg.Logf = t.Logf
+			rep := mustRun(t, prog, o, cfg)
+			if rep.Incomplete {
+				t.Fatalf("crash-recovery run reported incomplete: cause %v", rep.Cause)
+			}
+			if got := distDigest(rep); got != want {
+				t.Errorf("post-crash merge diverged from oracle:\n got:\n%s\nwant:\n%s", got, want)
+			}
+			deaths := reg.Counter(MetricWorkerDeaths).Load()
+			respawns := reg.Counter(MetricWorkerRespawns).Load()
+			if sc.name != "random-panics-seeded" && deaths == 0 {
+				t.Errorf("fault schedule never killed a worker; the recovery path was not exercised")
+			}
+			if deaths != respawns {
+				t.Errorf("deaths=%d respawns=%d; every death must respawn in uncached mode", deaths, respawns)
+			}
+			t.Logf("deaths=%d respawns=%d reassigned=%d", deaths, respawns,
+				reg.Counter(MetricUnitsReassigned).Load())
+		})
+	}
+}
+
+// TestWorkerCrashRecoveryCached covers the cache-partitioned death
+// path: a dead range owner invalidates other workers' prunes, so the
+// coordinator restarts the whole run — and the restarted run must
+// still land on the cached contract.
+func TestWorkerCrashRecoveryCached(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills worker subprocesses")
+	}
+	prog, base := fiveessSmall()
+	stateless := mustOracle(t, prog, base)
+	cachedOpt := base
+	cachedOpt.StateCache = true
+	cachedOpt.CacheShards = 1
+	want := cacheDigest(mustOracle(t, prog, cachedOpt))
+
+	reg := obs.New()
+	opt := base
+	opt.StateCache = true
+	opt.CacheShards = 8
+	opt.Obs = reg
+	cfg := workerConfig(2)
+	cfg.FaultRules = `[{"point":"dist.worker.batch","action":"panic","after":1,"count":1}]`
+	cfg.Logf = t.Logf
+	rep := mustRun(t, prog, opt, cfg)
+	if rep.Incomplete {
+		t.Fatalf("restarted cached run reported incomplete: cause %v", rep.Cause)
+	}
+	if got := cacheDigest(rep); got != want {
+		t.Errorf("restarted cached run diverged from sequential cached oracle:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	if got, wantSet := incidentSet(rep), incidentSet(stateless); got != wantSet {
+		t.Errorf("restarted cached run incident set diverged:\n got:\n%s\nwant:\n%s", got, wantSet)
+	}
+	if reg.Counter(MetricRestarts).Load() == 0 {
+		t.Errorf("cached worker death did not trigger a full restart")
+	}
+}
+
+// TestDistStopOnViolation checks that a worker-detected violation
+// aborts the whole fleet the way the in-process engine aborts its
+// workers: the report is incomplete with the violation merged.
+func TestDistStopOnViolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	prog := Program{Source: progs.AssertViolation}
+	opt := explore.Options{StopOnViolation: true, MaxIncidents: 1 << 20}
+	cfg := workerConfig(2)
+	cfg.SliceStates = 16
+	rep := mustRun(t, prog, opt, cfg)
+	if rep.Violations == 0 {
+		t.Fatalf("stop-on-violation run found no violation")
+	}
+	if !rep.Incomplete || rep.Cause != explore.StopViolation {
+		t.Errorf("Incomplete=%v Cause=%v, want incomplete StopViolation", rep.Incomplete, rep.Cause)
+	}
+}
+
+// TestDistWorkerStats checks the per-worker accounting: unit/state/path
+// totals across workers must sum to the report's, because they are
+// measured as merge deltas.
+func TestDistWorkerStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	prog, opt := fiveessSmall()
+	rep := mustRun(t, prog, opt, workerConfig(2))
+	if len(rep.WorkerStats) != 2 {
+		t.Fatalf("got %d worker stats, want 2", len(rep.WorkerStats))
+	}
+	var states, paths int64
+	for _, ws := range rep.WorkerStats {
+		states += ws.States
+		paths += ws.Paths
+	}
+	if states != rep.States || paths != rep.Paths {
+		t.Errorf("worker stats sum to states=%d paths=%d, report says %d/%d",
+			states, paths, rep.States, rep.Paths)
+	}
+}
+
+// TestOwnerPartition pins the range-routing function both sides of the
+// protocol must agree on: total (every hash lands in [0, workers)),
+// deterministic, covering every slot, and degenerate at workers=1.
+func TestOwnerPartition(t *testing.T) {
+	if Owner(0, 1) != 0 || Owner(^uint64(0), 1) != 0 {
+		t.Fatalf("workers=1 must own everything")
+	}
+	for _, workers := range []int{1, 2, 3, 4, 7, 16} {
+		hit := make([]bool, workers)
+		for i := 0; i < 1<<14; i++ {
+			h := uint64(i) * 0x9e3779b97f4a7c15
+			o := Owner(h, workers)
+			if o < 0 || o >= workers {
+				t.Fatalf("Owner(%#x, %d) = %d out of range", h, workers, o)
+			}
+			if o != Owner(h, workers) {
+				t.Fatalf("Owner not deterministic")
+			}
+			hit[o] = true
+		}
+		for slot, ok := range hit {
+			if !ok {
+				t.Errorf("workers=%d: slot %d owns no hashes in the probe set", workers, slot)
+			}
+		}
+	}
+	// Range boundaries: the low and high extremes belong to the first
+	// and last slots.
+	if Owner(0, 8) != 0 {
+		t.Errorf("hash 0 must belong to slot 0")
+	}
+	if Owner(^uint64(0), 8) != 7 {
+		t.Errorf("hash max must belong to the last slot")
+	}
+}

@@ -1,0 +1,104 @@
+package dist
+
+import (
+	"reclose/internal/obs"
+)
+
+// Metric names registered on the coordinator's registry. Worker
+// processes have no route to this registry; everything observable
+// about them flows through the coordinator (batches, deaths, cache
+// queries are coordinator-routed), so the counters live here.
+const (
+	MetricBatches         = "dist.batches"
+	MetricUnitsLeased     = "dist.units.leased"
+	MetricUnitsReassigned = "dist.units.reassigned"
+	MetricWorkerDeaths    = "dist.worker.deaths"
+	MetricWorkerRespawns  = "dist.worker.respawns"
+	MetricRestarts        = "dist.restarts"
+	MetricCacheQueries    = "dist.cache.remote.queries"
+	MetricCacheHits       = "dist.cache.remote.hits"
+	MetricLeases          = "dist.leases.outstanding" // gauge
+)
+
+// distMetrics bundles the coordinator's instruments; every field is
+// nil — and every call free — when the registry is nil (the obs
+// nil-receiver contract).
+type distMetrics struct {
+	batches    *obs.Counter
+	leased     *obs.Counter
+	reassigned *obs.Counter
+	deaths     *obs.Counter
+	respawns   *obs.Counter
+	restarts   *obs.Counter
+	cacheQ     *obs.Counter
+	cacheHit   *obs.Counter
+	leases     *obs.Gauge
+	sink       *obs.Sink
+}
+
+func newDistMetrics(reg *obs.Registry) *distMetrics {
+	return &distMetrics{
+		batches:    reg.Counter(MetricBatches),
+		leased:     reg.Counter(MetricUnitsLeased),
+		reassigned: reg.Counter(MetricUnitsReassigned),
+		deaths:     reg.Counter(MetricWorkerDeaths),
+		respawns:   reg.Counter(MetricWorkerRespawns),
+		restarts:   reg.Counter(MetricRestarts),
+		cacheQ:     reg.Counter(MetricCacheQueries),
+		cacheHit:   reg.Counter(MetricCacheHits),
+		leases:     reg.Gauge(MetricLeases),
+		sink:       reg.Sink(),
+	}
+}
+
+func (m *distMetrics) emitStart(workers int, cacheMode bool) {
+	m.sink.Emit("dist_start",
+		obs.F("workers", workers),
+		obs.F("cache_partitioned", cacheMode))
+}
+
+func (m *distMetrics) emitBatch(slot int, id uint64, units int, budget int64) {
+	m.batches.Inc()
+	m.leased.Add(int64(units))
+	m.leases.Add(1)
+	m.sink.Emit("dist_batch",
+		obs.F("slot", slot),
+		obs.F("batch", id),
+		obs.F("units", units),
+		obs.F("budget", budget))
+}
+
+func (m *distMetrics) emitResult(slot int, id uint64) {
+	m.leases.Add(-1)
+	m.sink.Emit("dist_result", obs.F("slot", slot), obs.F("batch", id))
+}
+
+func (m *distMetrics) emitDeath(slot int, reassigned int, reason string) {
+	m.deaths.Inc()
+	m.reassigned.Add(int64(reassigned))
+	m.sink.Emit("dist_worker_death",
+		obs.F("slot", slot),
+		obs.F("reassigned", reassigned),
+		obs.F("reason", reason))
+}
+
+func (m *distMetrics) emitRespawn(slot int) {
+	m.respawns.Inc()
+	m.sink.Emit("dist_worker_respawn", obs.F("slot", slot))
+}
+
+func (m *distMetrics) emitRestart() {
+	m.restarts.Inc()
+	m.sink.Emit("dist_restart")
+}
+
+func (m *distMetrics) emitStop(states, paths int64) {
+	m.sink.Emit("dist_stop", obs.F("states", states), obs.F("paths", paths))
+}
+
+func (m *distMetrics) noteCacheQuery(pruned bool) {
+	m.cacheQ.Inc()
+	if pruned {
+		m.cacheHit.Inc()
+	}
+}

@@ -1,0 +1,186 @@
+// Package dist distributes a state-space search across worker OS
+// processes. The coordinator owns the frontier of serialized work
+// units (explore.WireUnit), leases batches to workers over a
+// length-prefixed JSON protocol on the worker's stdin/stdout, and
+// folds the returned slice reports through explore.Merger — the same
+// deterministic merge the in-process drivers use — so final counters
+// and incident multisets match the in-process engine at any worker
+// count. The state cache is partitioned by fingerprint hash range:
+// each worker owns a range and answers membership for it; foreign
+// lookups route through the coordinator to the owner, and any failed
+// or timed-out lookup degrades to "not visited" — pruning weakens,
+// soundness never does. See DESIGN.md §15.
+package dist
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ProtocolVersion is carried in every hello; a worker rejects any
+// other version, so a coordinator never drives a worker built from a
+// different wire format.
+const ProtocolVersion = 1
+
+// MaxFrame bounds one frame's payload (64 MiB). A length prefix past
+// the bound is rejected before any allocation, so a corrupt or
+// hostile peer cannot make the reader allocate unbounded memory.
+const MaxFrame = 64 << 20
+
+// Message types.
+const (
+	// MsgHello is the coordinator's first frame to a fresh worker:
+	// program, options, cache-routing table, fault plan.
+	MsgHello = "hello"
+	// MsgReady is the worker's reply to hello: compiled and waiting.
+	MsgReady = "ready"
+	// MsgBatch leases a batch of work units to a worker.
+	MsgBatch = "batch"
+	// MsgResult returns a finished slice: the report snapshot (its
+	// Units are the batch's unexplored remainder) plus cause/complete.
+	MsgResult = "result"
+	// MsgCacheQuery asks whether a state was visited; sent worker →
+	// coordinator (who routes it to the owner) and coordinator → owner.
+	MsgCacheQuery = "cache_query"
+	// MsgCacheReply answers a cache query along the reverse route.
+	MsgCacheReply = "cache_reply"
+	// MsgShutdown asks a worker to drain and exit 0.
+	MsgShutdown = "shutdown"
+	// MsgError reports a fatal worker-side failure (compile error,
+	// malformed batch); the coordinator treats the worker as dead.
+	MsgError = "error"
+)
+
+// Hello is the session-opening payload: everything a worker process
+// needs to reconstruct the search environment byte-compatibly.
+type Hello struct {
+	Version int         `json:"version"`
+	Program Program     `json:"program"`
+	Options WireOptions `json:"options"`
+	// Workers and Slot are the cache routing table: fingerprint hash
+	// ranges are split across Workers slots and this worker owns Slot.
+	Workers int `json:"workers"`
+	Slot    int `json:"slot"`
+	// FaultSeed/FaultRules arm a faultinject.Plan inside the worker
+	// (dist.worker.* points); empty rules mean no plan.
+	FaultSeed  int64  `json:"fault_seed,omitempty"`
+	FaultRules string `json:"fault_rules,omitempty"`
+}
+
+// WireOptions is the serializable subset of explore.Options a worker
+// slice honors. Callback options (Score, OnLeaf, Checkpoint, Obs)
+// cannot cross a process boundary: Interest reconstructs the one score
+// function the CLI can express; the rest stay coordinator-side.
+type WireOptions struct {
+	Engine        string   `json:"engine,omitempty"`
+	MaxDepth      int      `json:"max_depth,omitempty"`
+	POR           string   `json:"por,omitempty"`
+	NoSleep       bool     `json:"no_sleep,omitempty"`
+	Search        string   `json:"search,omitempty"`
+	Interest      []string `json:"interest,omitempty"`
+	StateCache    bool     `json:"state_cache,omitempty"`
+	CacheShards   int      `json:"cache_shards,omitempty"`
+	MaxCacheBytes int64    `json:"max_cache_bytes,omitempty"`
+	MaxIncidents  int      `json:"max_incidents,omitempty"`
+	Workers       int      `json:"workers,omitempty"`
+	SpillDepth    int      `json:"spill_depth,omitempty"`
+	SnapshotSpill bool     `json:"snapshot_spill,omitempty"`
+	StopOnFirst   bool     `json:"stop_on_first,omitempty"` // StopOnViolation
+}
+
+// Message is the single frame envelope; Type selects which fields are
+// meaningful. Snapshots travel as raw JSON so the codec layer never
+// re-encodes them (and the fuzz target exercises the nesting).
+type Message struct {
+	Type  string `json:"type"`
+	Hello *Hello `json:"hello,omitempty"`
+
+	// MsgReady.
+	PID int `json:"pid,omitempty"`
+
+	// MsgBatch / MsgResult: lease id and snapshot. A batch snapshot
+	// carries zero counters plus the leased units and MaxStates is the
+	// slice's state budget; a result snapshot carries the slice's
+	// counter deltas plus leftover units, with Cause/Complete saying
+	// how the slice stopped.
+	Batch     uint64          `json:"batch,omitempty"`
+	Snapshot  json.RawMessage `json:"snapshot,omitempty"`
+	MaxStates int64           `json:"max_states,omitempty"`
+	Cause     int             `json:"cause,omitempty"`
+	Complete  bool            `json:"complete,omitempty"`
+
+	// MsgCacheQuery / MsgCacheReply. Key is the raw fingerprint bytes
+	// (JSON base64 via []byte); Hash is the 64-bit routing hash, exact
+	// across Go JSON round-trips only because it is re-encoded from an
+	// integer literal — both ends are this codec.
+	Seq    uint64 `json:"seq,omitempty"`
+	Hash   uint64 `json:"hash,omitempty"`
+	Key    []byte `json:"key,omitempty"`
+	Depth  int    `json:"depth,omitempty"`
+	Pruned bool   `json:"pruned,omitempty"`
+
+	// MsgError.
+	Err string `json:"err,omitempty"`
+}
+
+// validTypes gates decoding: an unknown type is a protocol error, not
+// a silently-ignored frame.
+var validTypes = map[string]bool{
+	MsgHello: true, MsgReady: true, MsgBatch: true, MsgResult: true,
+	MsgCacheQuery: true, MsgCacheReply: true, MsgShutdown: true, MsgError: true,
+}
+
+// WriteFrame writes one message as a 4-byte big-endian length prefix
+// followed by the JSON payload.
+func WriteFrame(w io.Writer, m *Message) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("dist: encode %s frame: %w", m.Type, err)
+	}
+	if len(data) > MaxFrame {
+		return fmt.Errorf("dist: %s frame is %d bytes, limit %d", m.Type, len(data), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadFrame reads and validates one message. Every malformed input —
+// truncated header or payload, oversized or zero length, broken JSON,
+// unknown type — returns an error; ReadFrame never panics. io.EOF is
+// returned bare only at a clean frame boundary, so callers can tell a
+// closed peer from a torn frame.
+func ReadFrame(r io.Reader) (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("dist: truncated frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, fmt.Errorf("dist: zero-length frame")
+	}
+	if n > MaxFrame {
+		return nil, fmt.Errorf("dist: frame of %d bytes exceeds limit %d", n, MaxFrame)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, fmt.Errorf("dist: truncated frame payload: %w", err)
+	}
+	var m Message
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("dist: malformed frame: %w", err)
+	}
+	if !validTypes[m.Type] {
+		return nil, fmt.Errorf("dist: unknown frame type %q", m.Type)
+	}
+	return &m, nil
+}

@@ -1,0 +1,191 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"reclose/internal/explore"
+	"reclose/internal/interp"
+)
+
+// sampleMessages is one frame of every protocol type with realistic
+// payloads — the round-trip suite and the fuzz seed corpus share it.
+func sampleMessages() []*Message {
+	return []*Message{
+		{Type: MsgHello, Hello: &Hello{
+			Version: ProtocolVersion,
+			Program: Program{Source: "process p() { halt; }", Close: "auto", NaiveDomain: 4},
+			Options: WireOptions{
+				Engine: "bytecode", MaxDepth: 500, POR: "dynamic", Search: "priority",
+				Interest: []string{"ch", "lock"}, StateCache: true, CacheShards: 8,
+				MaxIncidents: 1 << 20,
+			},
+			Workers: 4, Slot: 2,
+			FaultSeed:  42,
+			FaultRules: `[{"point":"dist.worker.batch","action":"panic","count":1}]`,
+		}},
+		{Type: MsgReady, PID: 12345},
+		{Type: MsgBatch, Batch: 7, MaxStates: 4096,
+			Snapshot: json.RawMessage(`{"version":3,"processes":2,"site_bits":6,"units":[{"root":true}]}`)},
+		{Type: MsgResult, Batch: 7, Complete: true, Cause: int(explore.StopMaxStates),
+			Snapshot: json.RawMessage(`{"version":3,"processes":2,"site_bits":6,"states":12}`)},
+		{Type: MsgCacheQuery, Seq: 99, Hash: 0xdeadbeefcafe, Key: []byte{1, 2, 3, 0xff}, Depth: 17},
+		{Type: MsgCacheReply, Seq: 99, Pruned: true},
+		{Type: MsgShutdown},
+		{Type: MsgError, Err: "dist: batch 7: malformed snapshot"},
+	}
+}
+
+// TestFrameRoundTrip checks every message type survives the wire, and
+// that frames are self-delimiting (many on one stream decode in
+// order, then clean EOF).
+func TestFrameRoundTrip(t *testing.T) {
+	msgs := sampleMessages()
+	var buf bytes.Buffer
+	for _, m := range msgs {
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Fatalf("WriteFrame(%s): %v", m.Type, err)
+		}
+	}
+	r := bytes.NewReader(buf.Bytes())
+	for i, want := range msgs {
+		got, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("ReadFrame #%d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("frame %d (%s) changed across the wire:\n got %+v\nwant %+v", i, want.Type, got, want)
+		}
+	}
+	if _, err := ReadFrame(r); err != io.EOF {
+		t.Errorf("stream end: got %v, want io.EOF", err)
+	}
+}
+
+// TestFrameErrors pins the decode failure modes the fuzz target
+// explores: every malformed input is an error, never a panic, and a
+// partial frame is not a clean EOF (the coordinator must tell a
+// mid-frame crash from an orderly close).
+func TestFrameErrors(t *testing.T) {
+	prefix := func(n uint32) []byte {
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], n)
+		return b[:]
+	}
+	cases := map[string][]byte{
+		"zero-length":     prefix(0),
+		"oversized":       prefix(MaxFrame + 1),
+		"truncated-body":  append(prefix(100), []byte(`{"type":"ready"`)...),
+		"short-prefix":    {0, 0},
+		"malformed-json":  append(prefix(9), []byte(`{"type":!`)...),
+		"unknown-type":    append(prefix(17), []byte(`{"type":"bogus!"}`)...),
+		"not-json-object": append(prefix(4), []byte(`[1ic`)...),
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			m, err := ReadFrame(bytes.NewReader(data))
+			if err == nil {
+				t.Fatalf("decoded %+v from malformed input", m)
+			}
+			if err == io.EOF {
+				t.Fatalf("malformed input reported clean EOF")
+			}
+		})
+	}
+	big := &Message{Type: MsgError, Err: strings.Repeat("x", MaxFrame)}
+	if err := WriteFrame(io.Discard, big); err == nil {
+		t.Errorf("WriteFrame accepted an oversize frame")
+	}
+}
+
+// FuzzDistProtocol fuzzes the wire decoder with arbitrary bytes: it
+// must never panic and never mis-decode — any frame it accepts must
+// re-encode and decode to the same message.
+func FuzzDistProtocol(f *testing.F) {
+	for _, m := range sampleMessages() {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, m); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	// Malformed seeds: truncations and a lying length prefix.
+	var buf bytes.Buffer
+	WriteFrame(&buf, &Message{Type: MsgReady, PID: 1})
+	whole := buf.Bytes()
+	f.Add(whole[:2])
+	f.Add(whole[:len(whole)-3])
+	lying := append([]byte(nil), whole...)
+	binary.BigEndian.PutUint32(lying[:4], MaxFrame+1)
+	f.Add(lying)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			if m != nil {
+				t.Fatalf("error %v returned alongside a message", err)
+			}
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteFrame(&out, m); err != nil {
+			t.Fatalf("accepted frame did not re-encode: %v", err)
+		}
+		back, err := ReadFrame(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded frame did not decode: %v", err)
+		}
+		if !reflect.DeepEqual(back, m) {
+			t.Fatalf("frame unstable across re-encode:\n first %+v\n again %+v", m, back)
+		}
+	})
+}
+
+// TestOptionsRoundTrip checks the option projection both processes
+// must agree on, including the legacy NoPOR spelling mapping onto the
+// "off" wire form.
+func TestOptionsRoundTrip(t *testing.T) {
+	cases := []explore.Options{
+		{},
+		{Engine: interp.EngineSlots, MaxDepth: 123, NoSleep: true},
+		{POR: explore.PORDynamic, Search: explore.SearchPriority, MaxIncidents: 7},
+		{NoPOR: true, StateCache: true, CacheShards: 8, MaxCacheBytes: 1 << 20},
+		{SnapshotSpill: true, SpillDepth: 5, Workers: 3, StopOnViolation: true},
+	}
+	for i, opt := range cases {
+		w := EncodeOptions(opt, nil)
+		data, err := json.Marshal(w)
+		if err != nil {
+			t.Fatalf("case %d: marshal: %v", i, err)
+		}
+		var back WireOptions
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("case %d: unmarshal: %v", i, err)
+		}
+		got, err := DecodeOptions(back)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		// Re-encoding the decoded options must be a fixed point; this
+		// is the property the worker and coordinator actually rely on.
+		if again := EncodeOptions(got, nil); !reflect.DeepEqual(again, w) {
+			t.Errorf("case %d: options drifted across the wire:\n sent %+v\n back %+v", i, w, again)
+		}
+	}
+	if _, err := DecodeOptions(WireOptions{Engine: "valves"}); err == nil {
+		t.Errorf("DecodeOptions accepted an unknown engine")
+	}
+	w := EncodeOptions(explore.Options{Search: explore.SearchPriority}, []string{"ch"})
+	got, err := DecodeOptions(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Score == nil {
+		t.Errorf("interest list did not reconstruct a Score function")
+	}
+}

@@ -121,6 +121,12 @@ type snapUnit struct {
 	Root    bool              `json:"root,omitempty"`
 	Toss    bool              `json:"toss,omitempty"`
 	Cont    bool              `json:"cont,omitempty"`
+	// Score carries the priority-search interest score across the wire;
+	// omitempty keeps static-search snapshots byte-identical to the
+	// pre-distributed format. Dropping it was a real bug: a resumed or
+	// remotely executed priority search re-ranked restored units at the
+	// default score instead of the one the search had computed.
+	Score float64 `json:"score,omitempty"`
 	// Stack serializes a dynamic-POR stack-continuation unit; when
 	// non-empty, Options/Objs/From are unused.
 	Stack []snapFrame `json:"stack,omitempty"`
@@ -347,6 +353,7 @@ func snapFromUnit(u *workUnit) snapUnit {
 		Root:    u.root,
 		Toss:    u.toss,
 		Cont:    u.cont,
+		Score:   u.score,
 	}
 	for i := range u.stack {
 		f := &u.stack[i]
@@ -409,6 +416,7 @@ func unitFromSnap(su *snapUnit) (*workUnit, error) {
 		root:    su.Root,
 		toss:    su.Toss,
 		cont:    su.Cont,
+		score:   su.Score,
 	}
 	sleep, err := sleepFromSnap(su.Sleep)
 	if err != nil {

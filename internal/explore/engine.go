@@ -530,7 +530,7 @@ func (e *engine) runPath() {
 			e.leaf(LeafDepth, "depth bound reached")
 			return
 		}
-		if e.cache != nil {
+		if e.cache != nil || e.opt.CacheVisit != nil {
 			// The cache key is the full fingerprint plus the sleep-set
 			// context: what gets expanded from here is a function of
 			// both, so only a visit with an identical key covers this
@@ -556,7 +556,11 @@ func (e *engine) runPath() {
 				if len(e.fpBuf) > fpLen {
 					h = interp.Mix64(h, statecache.FNV1a(e.fpBuf[fpLen:]))
 				}
-				pruned = e.cache.VisitPrehashed(h, e.fpBuf, depth)
+				if e.opt.CacheVisit != nil {
+					pruned = e.opt.CacheVisit(h, e.fpBuf, depth)
+				} else {
+					pruned = e.cache.VisitPrehashed(h, e.fpBuf, depth)
+				}
 			} else {
 				pruned = e.cache.Visit(e.fpBuf, depth)
 			}

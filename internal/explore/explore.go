@@ -123,6 +123,18 @@ type Options struct {
 	// clock-wise (second chance). Eviction only degrades pruning — a
 	// forgotten state is re-explored on revisit — never soundness.
 	MaxCacheBytes int64
+	// CacheVisit, when non-nil together with StateCache, replaces the
+	// run-local visited-state set with an external one: the engine
+	// computes the routing hash and full fingerprint key exactly as it
+	// would for the in-process cache, then asks CacheVisit whether the
+	// state was already visited (true = prune). The distributed layer
+	// uses this to route membership to the worker that owns the
+	// fingerprint's hash range. The callback may be invoked from
+	// multiple worker goroutines; it must be safe for concurrent use
+	// and, like eviction, may answer false for a visited state (pruning
+	// degrades, soundness does not) but must never answer true for an
+	// unvisited one.
+	CacheVisit func(hash uint64, key []byte, depth int) bool
 	// MaxIncidents bounds the recorded incident samples per kind;
 	// counters are exact regardless. Default 16.
 	MaxIncidents int
@@ -693,9 +705,11 @@ func newMachine(res *interp.Resolution, opt Options) (interp.Machine, error) {
 
 // newStateCache builds the search's shared visited-state set, or nil
 // when StateCache is off. Both drivers construct exactly one cache per
-// run and attach it to every engine.
+// run and attach it to every engine. An external CacheVisit supplants
+// the in-process cache entirely: the engine still hashes states, but
+// membership lives wherever the callback says it does.
 func newStateCache(opt Options) *statecache.Cache {
-	if !opt.StateCache {
+	if !opt.StateCache || opt.CacheVisit != nil {
 		return nil
 	}
 	return statecache.New(statecache.Config{

@@ -48,6 +48,20 @@ const (
 	// PointJournalWrite fires before any journal record write: error
 	// rules simulate a full or failing disk.
 	PointJournalWrite Point = "jobs.journal.write"
+	// PointDistWorkerBatch fires in a distributed worker process as it
+	// starts a leased batch, outside the per-path recovery: panic rules
+	// kill the whole worker process mid-lease, which is exactly the
+	// death the coordinator's lease reassignment must survive.
+	PointDistWorkerBatch Point = "dist.worker.batch"
+	// PointDistWorkerResult fires in a distributed worker just before
+	// it sends a finished slice result: a panic here loses a computed
+	// result after the work was done — the nastier half of the
+	// exactly-once contract.
+	PointDistWorkerResult Point = "dist.worker.result"
+	// PointDistDeath fires on the coordinator as it handles a worker
+	// death, before reassigning the leased units: sleep rules widen the
+	// reassignment window, error rules simulate respawn failure.
+	PointDistDeath Point = "dist.coordinator.death"
 )
 
 // Action is what a rule does when it fires.

@@ -1,0 +1,100 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"reclose/internal/explore"
+)
+
+// TestManagerDistAttempt checks the distributed-attempt seam: a
+// dist_workers request routes through Config.DistRun with the compiled
+// options and resume snapshot, and the returned report lands in the
+// job result exactly like an in-process one. The fake runner proxies
+// to the in-process engine — the real subprocess runner is
+// internal/dist's to test.
+func TestManagerDistAttempt(t *testing.T) {
+	var calls atomic.Int64
+	var gotWorkers atomic.Int64
+	m, err := Open(Config{
+		DataDir: t.TempDir(),
+		Workers: 1,
+		DistRun: func(ctx context.Context, req *Request, opt explore.Options, snap *explore.Snapshot) (*explore.Report, error) {
+			calls.Add(1)
+			gotWorkers.Store(int64(req.DistWorkers))
+			unit, err := req.compile()
+			if err != nil {
+				return nil, err
+			}
+			if snap != nil {
+				return explore.ResumeContext(ctx, unit, snap, opt)
+			}
+			return explore.ExploreContext(ctx, unit, opt)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drain(t, m)
+
+	req := philReq()
+	req.DistWorkers = 2
+	v, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, m, v.ID, StateDone)
+	if got.Result == nil || !got.Result.Complete {
+		t.Fatalf("result = %+v, want complete", got.Result)
+	}
+	if got.Result.Deadlocks == 0 {
+		t.Error("philosophers should deadlock at least once")
+	}
+	if calls.Load() == 0 {
+		t.Fatal("DistRun was never invoked")
+	}
+	if gotWorkers.Load() != 2 {
+		t.Errorf("DistRun saw dist_workers=%d, want 2", gotWorkers.Load())
+	}
+}
+
+// TestManagerDistAttemptUnconfigured pins the failure mode: asking for
+// distributed attempts on a server with no runner fails the job
+// permanently (retrying cannot help) with a clear error.
+func TestManagerDistAttemptUnconfigured(t *testing.T) {
+	m, err := Open(Config{DataDir: t.TempDir(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drain(t, m)
+	req := philReq()
+	req.DistWorkers = 2
+	v, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, m, v.ID, StateFailed)
+	if got.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (permanent errors must not retry)", got.Attempts)
+	}
+	if !strings.Contains(got.Error, "distributed runner") {
+		t.Errorf("error %q does not explain the missing runner", got.Error)
+	}
+}
+
+// TestRequestDistWorkersValidation bounds the new field like the other
+// resource knobs.
+func TestRequestDistWorkersValidation(t *testing.T) {
+	for _, n := range []int{-1, maxRequestDistWorkers + 1} {
+		data := fmt.Sprintf(`{"source":"process p() { halt; }","dist_workers":%d}`, n)
+		if _, err := ParseRequest([]byte(data)); err == nil {
+			t.Errorf("dist_workers=%d was admitted", n)
+		}
+	}
+	if _, err := ParseRequest([]byte(`{"source":"process p() { halt; }","dist_workers":4}`)); err != nil {
+		t.Errorf("dist_workers=4 rejected: %v", err)
+	}
+}

@@ -55,6 +55,10 @@ const (
 	MaxPriority = 9
 	// maxRequestWorkers bounds the per-job explore worker count.
 	maxRequestWorkers = 64
+	// maxRequestDistWorkers bounds the per-job distributed worker
+	// process count — OS processes, so the cap is far tighter than the
+	// in-process worker cap.
+	maxRequestDistWorkers = 16
 	// maxNaiveDomain bounds the -naive closing domain.
 	maxNaiveDomain = 64
 	// maxRequestIncidents bounds the per-job incident sample budget.
@@ -97,6 +101,11 @@ type Request struct {
 	// Workers is the explore worker count for this job (0 =
 	// sequential).
 	Workers int `json:"workers,omitempty"`
+	// DistWorkers distributes attempts across this many worker OS
+	// processes (0 = in-process). Requires a server configured with a
+	// distributed runner (Config.DistRun); the merged result obeys the
+	// same determinism contract as in-process attempts.
+	DistWorkers int `json:"dist_workers,omitempty"`
 	// NoPOR / NoSleep disable the partial-order reductions.
 	NoPOR   bool `json:"no_por,omitempty"`
 	NoSleep bool `json:"no_sleep,omitempty"`
@@ -166,6 +175,9 @@ func (r *Request) validate() error {
 	}
 	if r.Workers < 0 || r.Workers > maxRequestWorkers {
 		return fmt.Errorf("jobs: workers %d outside [0,%d]", r.Workers, maxRequestWorkers)
+	}
+	if r.DistWorkers < 0 || r.DistWorkers > maxRequestDistWorkers {
+		return fmt.Errorf("jobs: dist_workers %d outside [0,%d]", r.DistWorkers, maxRequestDistWorkers)
 	}
 	por, err := explore.ParsePOR(r.POR)
 	if err != nil {

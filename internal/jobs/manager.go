@@ -51,6 +51,13 @@ type Config struct {
 	// Fault is the fault-injection plan threaded through the worker
 	// pool, the journal, and the explore engines. Nil disables.
 	Fault *faultinject.Plan
+	// DistRun runs one distributed exploration attempt for a request
+	// with DistWorkers > 0. The manager stays ignorant of process
+	// spawning — the host (verisoftd) supplies the runner, typically
+	// internal/dist with its own binary in -worker-mode. snap, when
+	// non-nil, is the attempt's resume checkpoint. Nil DistRun rejects
+	// dist_workers requests at attempt time as a permanent error.
+	DistRun func(ctx context.Context, req *Request, opt explore.Options, snap *explore.Snapshot) (*explore.Report, error)
 	// Logf logs operational events (default: discard).
 	Logf func(format string, args ...any)
 }
@@ -667,9 +674,16 @@ func (m *Manager) runAttempt(ctx context.Context, j *Job) (out attemptOutcome) {
 	}
 
 	var rep *explore.Report
-	if snap != nil {
+	switch {
+	case j.Req.DistWorkers > 0:
+		if m.cfg.DistRun == nil {
+			out.permErr = fmt.Errorf("jobs: dist_workers requested but this server has no distributed runner")
+			return out
+		}
+		rep, err = m.cfg.DistRun(ctx, &j.Req, opt, snap)
+	case snap != nil:
 		rep, err = explore.ResumeContext(ctx, j.unit, snap, opt)
-	} else {
+	default:
 		rep, err = explore.ExploreContext(ctx, j.unit, opt)
 	}
 	if err != nil {

@@ -68,6 +68,15 @@ func (g *Gauge) Set(v int64) {
 	}
 }
 
+// Add adjusts the gauge by delta (negative to decrease) — the up/down
+// form used for occupancy-style values maintained from several sites,
+// like outstanding distributed leases. No-op on a nil receiver.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
 // SetMax raises the gauge to v if v is larger (a lock-free high-water
 // mark). No-op on a nil receiver.
 func (g *Gauge) SetMax(v int64) {

@@ -24,6 +24,7 @@ func TestNilInstruments(t *testing.T) {
 	var g *Gauge
 	g.Set(7)
 	g.SetMax(7)
+	g.Add(3)
 	if got := g.Load(); got != 0 {
 		t.Errorf("nil Gauge.Load() = %d, want 0", got)
 	}
@@ -80,6 +81,21 @@ func TestGaugeSetMax(t *testing.T) {
 		if got := g.Load(); got != step.want {
 			t.Fatalf("after SetMax(%d): got %d, want %d", step.set, got, step.want)
 		}
+	}
+}
+
+func TestGaugeAdd(t *testing.T) {
+	var g Gauge
+	g.Add(4)
+	g.Add(-1)
+	g.Add(-1)
+	if got := g.Load(); got != 2 {
+		t.Fatalf("after +4 -1 -1: got %d, want 2", got)
+	}
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("Add after Set: got %d, want 7", got)
 	}
 }
 

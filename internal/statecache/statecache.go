@@ -231,6 +231,28 @@ func (c *Cache) VisitPrehashed(h uint64, key []byte, depth int) bool {
 	return false
 }
 
+// LookupPrehashed reports whether the state identified by key would be
+// pruned at the given depth — an entry with an identical key at a
+// recorded depth at most depth exists — WITHOUT mutating the cache: no
+// insert, no depth lowering, no reference bit, no counter. It is the
+// membership probe behind read-through layers (the distributed cache
+// router memoizes positive answers from remote owners); because
+// "visited" is monotone, a stale positive can never arise, and a
+// negative simply falls through to the authoritative Visit at the
+// owner.
+func (c *Cache) LookupPrehashed(h uint64, key []byte, depth int) bool {
+	s := &c.shards[h&c.mask]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, pos := range s.index[h] {
+		sl := &s.slots[pos]
+		if bytes.Equal(sl.key, key) && int32(depth) >= sl.depth {
+			return true
+		}
+	}
+	return false
+}
+
 // evictOne advances the clock hand to the next unreferenced live slot
 // and evicts it, clearing reference bits along the way. It reports
 // false only when the shard holds no live entries. Called with the

@@ -14,7 +14,7 @@ cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-5}"
 BENCHTIME="${BENCHTIME:-1s}"
-PATTERN='BenchmarkInterpreter|BenchmarkForkVsReplay|BenchmarkParallelExplore|BenchmarkFiveESSExplore|BenchmarkEngineCompare|BenchmarkShardedCache|BenchmarkDPOR'
+PATTERN='BenchmarkInterpreter|BenchmarkForkVsReplay|BenchmarkParallelExplore|BenchmarkFiveESSExplore|BenchmarkEngineCompare|BenchmarkShardedCache|BenchmarkDPOR|BenchmarkDistExplore'
 
 go test -run '^$' -bench "$PATTERN" -benchmem \
 	-count="$COUNT" -benchtime="$BENCHTIME" -timeout=60m . \

@@ -24,20 +24,28 @@ go test -count=1 -timeout=10m -race -run 'TestEngineEquivalence|TestDifferential
 # watching the shared frontier heap and per-entry backtrack folds.
 go test -count=1 -timeout=10m -race -run 'TestDPOR|TestPrioritySearch|TestStrictModesUnchanged|TestWideMask' ./internal/explore/
 
+# Distributed-exploration race leg: coordinator/worker subprocesses,
+# the equivalence grid against the in-process engine (workers × spill
+# × cache shards), and the worker-crash lease-recovery tests, all with
+# the race detector watching the coordinator's event loop.
+go test -count=1 -timeout=10m -race ./internal/dist/
+
 # Job-server race leg: the daemon's queue/retry/journal machinery plus
 # the fault-injection plan it is tested with, including the 50-seed
 # crash-recovery equivalence run, all under the race detector.
 go test -count=1 -timeout=10m -race ./internal/jobs/... ./internal/faultinject/... ./internal/atomicio/...
 
 # Daemon smoke: a real verisoftd subprocess — boot, submit a job over
-# HTTP, poll to the result, drain with SIGTERM, exit 0.
-go test -count=1 -timeout=10m -run 'TestDaemonSmoke' ./cmd/verisoftd/
+# HTTP, poll to the result, drain with SIGTERM, exit 0 — plus the
+# distributed variant that re-execs worker subprocesses.
+go test -count=1 -timeout=10m -run 'TestDaemonSmoke|TestDaemonDistJob' ./cmd/verisoftd/
 
 go test -fuzz=FuzzLexer -fuzztime=5s ./internal/lexer/
 go test -fuzz=FuzzParser -fuzztime=5s ./internal/parser/
 go test -fuzz=FuzzCheckpointDecode -fuzztime=5s ./internal/explore/
 go test -fuzz=FuzzBytecodeLockstep -fuzztime=5s ./internal/interp/
 go test -fuzz=FuzzJobRequest -fuzztime=5s ./internal/jobs/
+go test -fuzz=FuzzDistProtocol -fuzztime=5s ./internal/dist/
 
 # Bench smoke: one iteration of the interpreter and snapshot-vs-replay
 # benchmarks (catches bit-rot in the perf harness without paying for a
