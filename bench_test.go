@@ -19,6 +19,7 @@ import (
 	"reclose/internal/explore"
 	"reclose/internal/fiveess"
 	"reclose/internal/interp"
+	"reclose/internal/leaderelect"
 	"reclose/internal/mgenv"
 	"reclose/internal/obs"
 	"reclose/internal/parser"
@@ -704,4 +705,36 @@ func BenchmarkShortestWitness(b *testing.B) {
 		}
 		b.ReportMetric(float64(depth), "witness-depth")
 	})
+}
+
+// BenchmarkLiveness measures the non-progress cycle search: the clean
+// election ring with liveness off vs. on (the cost of the blue stack
+// and progress bookkeeping on an incident-free workload) and the
+// seeded deferral variant (the cost of actually finding livelocks,
+// with the red-search counters carried as metrics).
+func BenchmarkLiveness(b *testing.B) {
+	clean := mustCloseB(b, leaderelect.Source(leaderelect.Config{Nodes: 3}))
+	seeded := mustCloseB(b, leaderelect.Source(leaderelect.Config{Nodes: 3, SeedLivelock: true}))
+	for _, c := range []struct {
+		name string
+		unit *cfg.Unit
+		opt  explore.Options
+	}{
+		{"clean/off", clean, explore.Options{MaxDepth: 200}},
+		{"clean/on", clean, explore.Options{MaxDepth: 200, Liveness: true}},
+		{"seeded/on", seeded, explore.Options{MaxDepth: 120, Liveness: true}},
+		{"seeded/on+cache", seeded, explore.Options{MaxDepth: 120, Liveness: true, StateCache: true}},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			var livelocks, red int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep := exploreB(b, c.unit, c.opt)
+				livelocks = rep.Livelocks
+				red = rep.RedSearches
+			}
+			b.ReportMetric(float64(livelocks), "livelocks")
+			b.ReportMetric(float64(red), "red-searches")
+		})
+	}
 }

@@ -85,6 +85,7 @@ type cli struct {
 	cacheShards int
 	cacheMem    int64
 	stopFirst   bool
+	liveness    bool
 	samples     int
 	replay      bool
 	shortest    bool
@@ -128,6 +129,7 @@ func newCLI(stdout, stderr io.Writer) *cli {
 	fs.IntVar(&c.cacheShards, "cache-shards", 0, "lock shards in the state cache, rounded up to a power of two (0 = default 16; requires -state-cache)")
 	fs.Int64Var(&c.cacheMem, "cache-mem", 0, "approximate state-cache memory budget in bytes; over budget, cold entries are evicted (0 = unbounded; requires -state-cache)")
 	fs.BoolVar(&c.stopFirst, "stop-on-violation", false, "stop at the first assertion violation or runtime error")
+	fs.BoolVar(&c.liveness, "liveness", false, "detect non-progress cycles (livelock) with a nested DFS; progress is declared with the MiniC `progress` label, defaulting to every visible op (forces -por=static)")
 	fs.IntVar(&c.samples, "samples", 4, "incident samples to print")
 	fs.BoolVar(&c.replay, "replay", false, "replay the first incident step by step after the search")
 	fs.BoolVar(&c.shortest, "shortest", false, "find a minimal-depth incident by iterative deepening instead of a full search")
@@ -256,6 +258,7 @@ func (c *cli) run() (int, error) {
 		CacheShards:     c.cacheShards,
 		MaxCacheBytes:   c.cacheMem,
 		StopOnViolation: c.stopFirst,
+		Liveness:        c.liveness,
 		MaxIncidents:    c.samples,
 		Workers:         c.workers,
 		SpillDepth:      c.spillDepth,
@@ -418,9 +421,15 @@ func (c *cli) run() (int, error) {
 		}
 	}
 	verdict := "no deadlocks, violations, or errors found"
+	if c.liveness {
+		verdict = "no deadlocks, violations, livelocks, or errors found"
+	}
 	if rep.Incidents() > 0 {
 		verdict = fmt.Sprintf("FOUND: %d deadlock(s), %d violation(s), %d error(s), %d divergence(s), %d internal error(s)",
 			rep.Deadlocks, rep.Violations, rep.Traps, rep.Divergences, rep.InternalErrors)
+		if c.liveness {
+			verdict += fmt.Sprintf(", %d livelock(s)", rep.Livelocks)
+		}
 	}
 	fmt.Fprintf(c.stdout, "coverage: %d/%d visible operations exercised\n", rep.OpsCovered, rep.OpsTotal)
 	fmt.Fprintln(c.stdout, verdict)

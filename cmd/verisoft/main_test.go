@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"reclose/internal/leaderelect"
 	"reclose/internal/progs"
 )
 
@@ -299,5 +300,29 @@ func TestCLIPORFlags(t *testing.T) {
 	// -no-por combined with the agreeing -por=off spelling is fine.
 	if code := realMain([]string{"-no-por", "-por", "off", prog}, &out, &errb); code != 3 {
 		t.Errorf("-no-por -por=off: exit = %d, want 3", code)
+	}
+}
+
+// TestCLILiveness runs -liveness end to end: the seeded leader-election
+// livelock exits 3 with a livelock-aware verdict, and the same program
+// without the flag reports no livelocks (the verdict line must not
+// mention them either).
+func TestCLILiveness(t *testing.T) {
+	prog := writeProg(t, leaderelect.Source(leaderelect.Config{Nodes: 3, SeedLivelock: true}))
+
+	var out, errb bytes.Buffer
+	code := realMain([]string{"-liveness", "-depth", "120", prog}, &out, &errb)
+	if code != 3 {
+		t.Fatalf("exit code = %d, want 3 (livelock found)\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "livelock(s)") {
+		t.Errorf("verdict does not count livelocks:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	code = realMain([]string{"-depth", "40", "-max-states", "50000", prog}, &out, &errb)
+	if strings.Contains(out.String(), "livelock") {
+		t.Errorf("liveness-off output mentions livelocks (code %d):\n%s", code, out.String())
 	}
 }

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"testing"
+
+	"reclose/internal/core"
+	"reclose/internal/explore"
+	"reclose/internal/interp"
+)
+
+// TestElevatorSmoke wires the example into `go test`: the correct
+// controller must verify clean and the interlock bug must produce a
+// violation witness — the example's "BUG NOT FOUND (unexpected)" path
+// is a CI failure here, not just a printed apology. Pinned to the
+// default bytecode engine the example itself runs on.
+func TestElevatorSmoke(t *testing.T) {
+	run := func(src string) *explore.Report {
+		t.Helper()
+		closed, _, err := core.CloseSource(src)
+		if err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		rep, err := explore.Explore(closed, explore.Options{Engine: interp.EngineBytecode})
+		if err != nil {
+			t.Fatalf("explore: %v", err)
+		}
+		return rep
+	}
+
+	good := run(controller(true))
+	if good.Violations != 0 {
+		t.Errorf("correct controller violates safety: %s", good)
+	}
+
+	bad := run(controller(false))
+	in := bad.FirstIncident(explore.LeafViolation)
+	if in == nil {
+		t.Fatalf("BUG NOT FOUND: interlock bug produced no violation: %s", bad)
+	}
+	// The counterexample the example prints must replay.
+	closed, _, err := core.CloseSource(controller(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, out, err := explore.Replay(closed, in.Decisions, nil); err != nil || out == nil {
+		t.Errorf("counterexample does not replay to an outcome: out=%v err=%v", out, err)
+	}
+}

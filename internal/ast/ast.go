@@ -184,9 +184,15 @@ type ContinueStmt struct {
 }
 
 // CallStmt invokes a user procedure or a builtin visible operation.
+// Progress marks the call as a progress-labeled visible operation for
+// liveness checking: a cycle in the closed system's state graph is a
+// livelock only if it executes no progress-labeled operation. It is
+// written in source as the contextual keyword `progress` prefixing a
+// builtin call statement.
 type CallStmt struct {
-	Name *Ident
-	Args []Expr
+	Name     *Ident
+	Args     []Expr
+	Progress bool
 }
 
 // ReturnStmt terminates the current procedure.

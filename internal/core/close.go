@@ -382,7 +382,7 @@ func transformCall(n *cfg.Node, pr *dataflow.ProcResult, u *cfg.Unit,
 	removed map[string]map[int]bool, st *Stats) *ast.CallStmt {
 
 	cs := n.CallStmt()
-	out := &ast.CallStmt{Name: cs.Name}
+	out := &ast.CallStmt{Name: cs.Name, Progress: cs.Progress}
 
 	if b, ok := sem.Builtins[cs.Name.Name]; ok {
 		for i, a := range cs.Args {

@@ -72,6 +72,7 @@ func EncodeOptions(opt explore.Options, interest []string) WireOptions {
 		SpillDepth:    opt.SpillDepth,
 		SnapshotSpill: opt.SnapshotSpill,
 		StopOnFirst:   opt.StopOnViolation,
+		Liveness:      opt.Liveness,
 	}
 }
 
@@ -105,6 +106,7 @@ func DecodeOptions(w WireOptions) (explore.Options, error) {
 		SpillDepth:      w.SpillDepth,
 		SnapshotSpill:   w.SnapshotSpill,
 		StopOnViolation: w.StopOnFirst,
+		Liveness:        w.Liveness,
 	}
 	if len(w.Interest) > 0 {
 		opt.Score = explore.InterestScore(w.Interest...)

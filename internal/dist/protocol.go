@@ -88,6 +88,7 @@ type WireOptions struct {
 	SpillDepth    int      `json:"spill_depth,omitempty"`
 	SnapshotSpill bool     `json:"snapshot_spill,omitempty"`
 	StopOnFirst   bool     `json:"stop_on_first,omitempty"` // StopOnViolation
+	Liveness      bool     `json:"liveness,omitempty"`
 }
 
 // Message is the single frame envelope; Type selects which fields are

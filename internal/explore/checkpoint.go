@@ -99,6 +99,12 @@ type snapCounters struct {
 	PorBacktracks    int64 `json:"por_backtracks,omitempty"`
 	PorSleepBlocked  int64 `json:"por_sleep_blocked,omitempty"`
 	PorDynamicPruned int64 `json:"por_dynamic_pruned,omitempty"`
+	// The liveness counters are zero outside Options.Liveness runs;
+	// omitempty keeps liveness-off snapshots byte-identical to the
+	// pre-liveness format.
+	Livelocks   int64 `json:"livelocks,omitempty"`
+	RedSearches int64 `json:"red_searches,omitempty"`
+	RedStates   int64 `json:"red_states,omitempty"`
 }
 
 // snapDecision is one recorded decision.
@@ -155,6 +161,9 @@ type snapIncident struct {
 	Msg       string         `json:"msg"`
 	Depth     int            `json:"depth"`
 	Decisions []snapDecision `json:"decisions,omitempty"`
+	// CycleStart is the lasso stem/cycle split of a livelock sample;
+	// omitempty keeps liveness-off snapshots byte-identical.
+	CycleStart int `json:"cycle_start,omitempty"`
 }
 
 // Encode renders the snapshot as versioned, human-readable JSON.
@@ -213,16 +222,20 @@ func buildSnapshot(rep *Report, units []*workUnit) *Snapshot {
 			PorBacktracks:         rep.PorBacktracks,
 			PorSleepBlocked:       rep.PorSleepBlocked,
 			PorDynamicPruned:      rep.PorDynamicPruned,
+			Livelocks:             rep.Livelocks,
+			RedSearches:           rep.RedSearches,
+			RedStates:             rep.RedStates,
 		},
 		Coverage: hex.EncodeToString(covBytes(rep.cov)),
 		Cache:    rep.cacheSum,
 	}
 	for _, in := range rep.Samples {
 		s.Samples = append(s.Samples, snapIncident{
-			Kind:      in.Kind.String(),
-			Msg:       in.Msg,
-			Depth:     in.Depth,
-			Decisions: snapFromDecisions(in.Decisions),
+			Kind:       in.Kind.String(),
+			Msg:        in.Msg,
+			Depth:      in.Depth,
+			Decisions:  snapFromDecisions(in.Decisions),
+			CycleStart: in.CycleStart,
 		})
 	}
 	for _, u := range units {
@@ -305,6 +318,9 @@ func restoreSnapshot(u *cfg.Unit, snap *Snapshot) (*restoredState, error) {
 		PorBacktracks:         c.PorBacktracks,
 		PorSleepBlocked:       c.PorSleepBlocked,
 		PorDynamicPruned:      c.PorDynamicPruned,
+		Livelocks:             c.Livelocks,
+		RedSearches:           c.RedSearches,
+		RedStates:             c.RedStates,
 	}
 	for i, si := range snap.Samples {
 		kind, ok := leafKindFromString(si.Kind)
@@ -312,10 +328,11 @@ func restoreSnapshot(u *cfg.Unit, snap *Snapshot) (*restoredState, error) {
 			return nil, fmt.Errorf("explore: snapshot sample %d has unknown kind %q", i, si.Kind)
 		}
 		in := &Incident{
-			Kind:      kind,
-			Msg:       si.Msg,
-			Depth:     si.Depth,
-			Decisions: decisionsFromSnap(si.Decisions),
+			Kind:       kind,
+			Msg:        si.Msg,
+			Depth:      si.Depth,
+			Decisions:  decisionsFromSnap(si.Decisions),
+			CycleStart: si.CycleStart,
 		}
 		// Rebuild the trace by replaying the decisions; a failed replay
 		// (stale snapshot) leaves the trace empty rather than failing

@@ -1,0 +1,253 @@
+package explore
+
+// Liveness: non-progress cycle (livelock) detection over the stateful
+// search, a nested-DFS layered on the engine's replay-based DFS.
+//
+// A livelock is a cycle in the closed system's state graph that
+// executes no progress-labeled visible operation: the system runs
+// forever without ever doing the thing the program declared as useful
+// work. Progress is declared in MiniC with the contextual `progress`
+// label on a builtin call (`progress send(out, v);`). A unit with no
+// labels treats every visible operation as progress (the interpreter
+// bakes the default into the compiled ops), so existing programs need
+// no edits and only cycles of pure internal computation — spinning
+// without touching any object — are reported.
+//
+// The search has the two classic halves of nested DFS, adapted to the
+// stateless engine:
+//
+//   - Blue (on-stack) check: the engine keeps the full fingerprint of
+//     every state on the current path in a statecache.StackSet. A fresh
+//     state whose fingerprint already sits on the stack closes a cycle;
+//     if the segment between the two occurrences contains no progress
+//     transition (an O(1) query over per-depth progress counters), the
+//     path itself is a lasso — stem = decisions up to the first
+//     occurrence, cycle = the rest — and it ends in a LeafLivelock
+//     incident whose Decisions replay the whole lasso.
+//
+//   - Red (nested) search: when the state cache prunes a revisit, the
+//     cycle may close through states explored on an earlier path — a
+//     cross edge the blue check cannot see. A bounded fork-per-edge DFS
+//     follows only non-progress transitions from the pruned state,
+//     looking for any on-stack state whose on-path suffix is also
+//     progress-free; reaching one exhibits a lasso whose cycle runs
+//     partly over the blue path and partly over the red extension.
+//
+// Replay-based backtracking makes the live stack cheap to maintain:
+// the engine re-executes a path's unchanged prefix on every backtrack,
+// so entries below the change point stay valid and only the replayed
+// transition's progress bit needs refreshing; truncation at the fresh
+// state's depth drops whatever the backtrack abandoned.
+//
+// POR interaction (the cycle proviso): reduction can defer the
+// transition that would close a cycle past the depth the detector
+// inspects, so liveness runs force the strict static oracle —
+// withDefaults degrades PORDynamic to PORStatic, and the dynamic
+// driver's seals/backtrack machinery never runs. Static persistent
+// sets and sleep sets remain active; they can hide cycles that only
+// close under a pruned interleaving (the ignoring problem, documented
+// in docs/DESIGN.md) — run with POR: POROff / NoSleep for the
+// exhaustive graph. SnapshotSpill is forced off so spilled units
+// rebuild their stem (and with it the live stack) by replay.
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"reclose/internal/interp"
+)
+
+// liveMeta is the per-depth progress bookkeeping parallel to the
+// engine's live StackSet.
+type liveMeta struct {
+	// progressOut records that the transition taken out of this state
+	// on the current path is progress-labeled; refreshed on every
+	// replay, since a backtrack changes the deepest choice.
+	progressOut bool
+	// progCount is the number of progress transitions among the path's
+	// transitions into this state (monotone nondecreasing with depth).
+	progCount int
+	// decIdx is the number of decisions (scheduling and toss) consumed
+	// to reach this state — the lasso's stem/cycle split point.
+	decIdx int
+}
+
+// lassoSample carries a pending livelock witness from detection to
+// recordSample: the full decision sequence (stem then cycle) and the
+// index where the cycle starts.
+type lassoSample struct {
+	decisions  []Decision
+	cycleStart int
+}
+
+// redStateBudget bounds the states one red search may expand. The red
+// search is launched per cache-pruned state; the budget keeps a dense
+// pruned frontier from turning detection quadratic. A cycle beyond the
+// budget is missed (detection under-approximates), never misreported.
+const redStateBudget = 4096
+
+// liveNoteReplay records or refreshes the live-stack entry for the
+// state a replayed scheduling transition leaves from: p is the chosen
+// process, depth the state's scheduling depth, decIdx the decisions
+// consumed to reach it. Called before the Step, while the machine
+// still sits at the state.
+func (e *engine) liveNoteReplay(p, depth, decIdx int) {
+	if depth >= e.liveStack.Len() {
+		e.liveFp = e.sys.AppendFingerprint(e.liveFp[:0])
+		e.liveStack.Push(depth, e.sys.StateHash(), e.liveFp)
+		e.liveMetaSet(depth, decIdx)
+	}
+	e.liveMeta[depth].progressOut = e.sys.ProcProgress(p)
+}
+
+// liveMetaSet initializes the meta entry for a newly recorded state.
+func (e *engine) liveMetaSet(depth, decIdx int) {
+	for len(e.liveMeta) <= depth {
+		e.liveMeta = append(e.liveMeta, liveMeta{})
+	}
+	e.liveMeta[depth] = liveMeta{progCount: e.progCountAt(depth), decIdx: decIdx}
+}
+
+// progCountAt is the number of progress transitions among the first
+// depth transitions of the current path, derived from the parent
+// state's bookkeeping (the state at depth itself may not be recorded
+// yet).
+func (e *engine) progCountAt(depth int) int {
+	if depth == 0 {
+		return 0
+	}
+	m := &e.liveMeta[depth-1]
+	if m.progressOut {
+		return m.progCount + 1
+	}
+	return m.progCount
+}
+
+// liveCheck runs the on-stack (blue) cycle test at a fresh state and
+// records the state on the live stack. It reports true when the path
+// ended in a livelock leaf.
+func (e *engine) liveCheck(depth int) bool {
+	e.liveStack.Truncate(depth)
+	e.liveFp = e.sys.AppendFingerprint(e.liveFp[:0])
+	h := e.sys.StateHash()
+	if i, ok := e.liveStack.Lookup(h, e.liveFp); ok {
+		if e.progCountAt(depth)-e.liveMeta[i].progCount == 0 {
+			e.leafLivelock(i, nil, nil)
+			return true
+		}
+		// A cycle containing progress is benign. Fall through: with a
+		// state cache the revisit prunes right after; without one the
+		// depth bound cuts the unrolling.
+	}
+	e.liveStack.Push(depth, h, e.liveFp)
+	e.liveMetaSet(depth, len(e.base)+len(e.stack))
+	return false
+}
+
+// leafLivelock ends the current path with a livelock incident whose
+// decisions replay the whole lasso: the current path's decisions
+// (stem + the blue part of the cycle), extended by the red search's
+// decisions when the cycle closes through a pruned region. i is the
+// live-stack depth the cycle closes into.
+func (e *engine) leafLivelock(i int, redDecs []Decision, redTrace []interp.Event) {
+	decs := e.pathDecisions()
+	decs = append(decs, redDecs...)
+	for _, ev := range redTrace {
+		e.pushTrace(ev)
+	}
+	cs := e.liveMeta[i].decIdx
+	msg := fmt.Sprintf("non-progress cycle: %d-decision cycle closing to depth %d (stem %d decisions)",
+		len(decs)-cs, i, cs)
+	e.lasso = &lassoSample{decisions: decs, cycleStart: cs}
+	e.leaf(LeafLivelock, msg)
+	e.lasso = nil
+}
+
+// redSearch runs the nested (red) half of the search at a cache-pruned
+// state: the blue DFS stops here because the state was fully explored
+// on an earlier path, but a non-progress cycle through it may still
+// close into the current path over that earlier territory. A bounded
+// fork-per-edge DFS follows only non-progress transitions from the
+// pruned state, looking for an on-stack state whose on-path suffix is
+// also progress-free. Toss choices inside the red region always take
+// outcome 0 (recorded, so the witness replays); toss-dependent cycles
+// beyond that are missed, never misreported. Reports true when the
+// path ended in a livelock leaf.
+func (e *engine) redSearch(depth int) bool {
+	// progCount is monotone along the stack, so the on-stack states
+	// whose suffix to here is progress-free form exactly the suffix
+	// [minIdx..depth].
+	pc := e.liveMeta[depth].progCount
+	minIdx := sort.Search(depth+1, func(i int) bool {
+		return e.liveMeta[i].progCount >= pc
+	})
+	remaining := e.opt.MaxDepth - depth
+	if remaining <= 0 {
+		return false
+	}
+	e.rep.RedSearches++
+	budget := redStateBudget
+	seen := make(map[uint64][][]byte)
+	var decs []Decision
+	var trace []interp.Event
+	ch := interp.ChooserFunc(func(bound int) (int, bool) {
+		decs = append(decs, Decision{Toss: true, Value: 0})
+		return 0, true
+	})
+	var dfs func(m interp.Machine, rd int) bool
+	dfs = func(m interp.Machine, rd int) bool {
+		if rd >= remaining {
+			return false
+		}
+		for _, p := range m.AppendEnabled(nil) {
+			if budget <= 0 {
+				return false
+			}
+			if m.ProcProgress(p) {
+				continue
+			}
+			budget--
+			e.rep.RedStates++
+			nd, nt := len(decs), len(trace)
+			decs = append(decs, Decision{Value: p})
+			fm := m.ForkMachine()
+			ev, out := fm.Step(p, ch)
+			trace = append(trace, ev)
+			if out == nil {
+				fp := fm.AppendFingerprint(nil)
+				h := fm.StateHash()
+				if i, ok := e.liveStack.Lookup(h, fp); ok && i >= minIdx {
+					e.leafLivelock(i, decs, trace)
+					return true
+				}
+				if !redSeen(seen, h, fp) {
+					seen[h] = append(seen[h], fp)
+					if dfs(fm, rd+1) {
+						return true
+					}
+				}
+			}
+			// An abnormal outcome inside the red region ends that red
+			// branch only: the region was already explored by the blue
+			// search, which reported (or will report) the incident.
+			decs = decs[:nd]
+			trace = trace[:nt]
+		}
+		return false
+	}
+	return dfs(e.sys, 0)
+}
+
+// redSeen reports whether the red search already expanded a state with
+// this fingerprint (hash prefilter, byte-exact confirm). The set is
+// per-invocation: red reachability is judged against the current blue
+// stack, which differs per path, so red visits cannot be shared.
+func redSeen(seen map[uint64][][]byte, h uint64, fp []byte) bool {
+	for _, k := range seen[h] {
+		if bytes.Equal(k, fp) {
+			return true
+		}
+	}
+	return false
+}

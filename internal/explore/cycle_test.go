@@ -1,0 +1,345 @@
+package explore_test
+
+import (
+	"bytes"
+	"testing"
+
+	"reclose/internal/cfg"
+	"reclose/internal/core"
+	"reclose/internal/explore"
+	"reclose/internal/interp"
+)
+
+// livelockSpin is a closed single-process program that spins forever on
+// a semaphore without ever reaching its progress-labeled send: every
+// wait/signal round trip returns to the same state, a textbook
+// non-progress cycle.
+const livelockSpin = `
+sem m = 1;
+chan out[1];
+
+proc p() {
+    var done = 0;
+    while (done == 0) {
+        wait(m);
+        signal(m);
+    }
+    progress send(out, 0);
+}
+
+process p;
+`
+
+// livelockCrossPath forks on a toss: outcome 0 enters the spin loop
+// directly, outcome 1 takes a detour through one extra wait/signal pair
+// first. With the state cache on, the second path's arrival at the loop
+// head is pruned (the first path cached it), so only the nested red
+// search can close its cycle.
+const livelockCrossPath = `
+sem m = 1;
+chan out[1];
+
+proc p() {
+    var x = VS_toss(1);
+    if (x == 1) {
+        wait(m);
+        signal(m);
+    }
+    x = 0;
+    var done = 0;
+    while (done == 0) {
+        wait(m);
+        signal(m);
+    }
+    progress send(out, 0);
+}
+
+process p;
+`
+
+// livelockTwoProc pairs an eternal non-progress spinner with a worker
+// that performs labeled progress and terminates: the livelock cycle
+// schedules only the spinner.
+const livelockTwoProc = `
+sem m = 1;
+chan out[2];
+
+proc spinner() {
+    var done = 0;
+    while (done == 0) {
+        wait(m);
+        signal(m);
+    }
+}
+
+proc worker() {
+    var i = 0;
+    while (i < 2) {
+        progress send(out, i);
+        i = i + 1;
+    }
+}
+
+process spinner;
+process worker;
+`
+
+func compileClosed(t testing.TB, src string) *cfg.Unit {
+	t.Helper()
+	u, err := core.CompileSource(src)
+	if err != nil {
+		t.Fatalf("CompileSource: %v", err)
+	}
+	if u.IsOpen() {
+		t.Fatal("test program unexpectedly open")
+	}
+	return u
+}
+
+// verifyLasso replays a livelock incident's decision sequence and
+// checks the witness contract: the stem and the full lasso end in the
+// same state (the cycle closes), the cycle is non-empty, and no cycle
+// transition executes a progress-labeled operation.
+func verifyLasso(t *testing.T, u *cfg.Unit, in *explore.Incident) {
+	t.Helper()
+	if in.Kind != explore.LeafLivelock {
+		t.Fatalf("incident kind = %v, want livelock", in.Kind)
+	}
+	if in.CycleStart < 0 || in.CycleStart >= len(in.Decisions) {
+		t.Fatalf("cycle split %d out of range of %d decisions", in.CycleStart, len(in.Decisions))
+	}
+	stemSys, out, err := explore.Replay(u, in.Decisions[:in.CycleStart], nil)
+	if err != nil || out != nil {
+		t.Fatalf("stem replay: err=%v out=%v", err, out)
+	}
+	fullSys, out, err := explore.Replay(u, in.Decisions, nil)
+	if err != nil || out != nil {
+		t.Fatalf("lasso replay: err=%v out=%v", err, out)
+	}
+	stem := stemSys.AppendFingerprint(nil)
+	full := fullSys.AppendFingerprint(nil)
+	if !bytes.Equal(stem, full) {
+		t.Errorf("lasso does not close: stem state != cycle-end state\nincident: %s", in)
+	}
+
+	// Re-execute by hand to check every cycle transition is
+	// progress-free at the moment it fires.
+	sys, err := interp.NewSystem(u)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	pos := 0
+	ch := interp.ChooserFunc(func(bound int) (int, bool) {
+		if pos >= len(in.Decisions) || !in.Decisions[pos].Toss {
+			return 0, false
+		}
+		v := in.Decisions[pos].Value
+		pos++
+		return v, true
+	})
+	if out := sys.Init(ch); out != nil {
+		t.Fatalf("Init outcome: %v", out)
+	}
+	for pos < len(in.Decisions) {
+		d := in.Decisions[pos]
+		inCycle := pos >= in.CycleStart
+		pos++
+		if d.Toss {
+			t.Fatalf("unconsumed toss decision at %d", pos-1)
+		}
+		if inCycle && sys.ProcProgress(d.Value) {
+			t.Errorf("cycle transition at decision %d runs progress-labeled P%d", pos-1, d.Value)
+		}
+		if _, out := sys.Step(d.Value, ch); out != nil {
+			t.Fatalf("replay outcome at decision %d: %v", pos-1, out)
+		}
+	}
+}
+
+// TestLivelockBlueDetected finds the seeded spin livelock through the
+// on-stack (blue) check and validates its lasso witness end to end.
+func TestLivelockBlueDetected(t *testing.T) {
+	u := compileClosed(t, livelockSpin)
+	rep, err := explore.Explore(u, explore.Options{Liveness: true, MaxDepth: 40})
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	if rep.Livelocks == 0 {
+		t.Fatalf("no livelock found: %s", rep)
+	}
+	in := rep.FirstIncident(explore.LeafLivelock)
+	if in == nil {
+		t.Fatal("no livelock sample recorded")
+	}
+	verifyLasso(t, u, in)
+	if rep.Incidents() == 0 {
+		t.Error("Incidents() does not count livelocks")
+	}
+}
+
+// TestLivelockOffSilent pins the off switch: without Options.Liveness
+// the same program reports nothing new and unrolls to the depth bound.
+func TestLivelockOffSilent(t *testing.T) {
+	u := compileClosed(t, livelockSpin)
+	rep, err := explore.Explore(u, explore.Options{MaxDepth: 40})
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	if rep.Livelocks != 0 {
+		t.Errorf("livelocks reported with liveness off: %s", rep)
+	}
+	if rep.DepthHits == 0 {
+		t.Errorf("spin program should hit the depth bound: %s", rep)
+	}
+}
+
+// TestLivelockProgressCycleBenign labels the spin loop's wait as
+// progress: the cycle now makes progress and is not a livelock.
+func TestLivelockProgressCycleBenign(t *testing.T) {
+	src := `
+sem m = 1;
+chan out[1];
+
+proc p() {
+    var done = 0;
+    while (done == 0) {
+        progress wait(m);
+        signal(m);
+    }
+    send(out, 0);
+}
+
+process p;
+`
+	u := compileClosed(t, src)
+	rep, err := explore.Explore(u, explore.Options{Liveness: true, MaxDepth: 40})
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	if rep.Livelocks != 0 {
+		t.Errorf("progress-making cycle reported as livelock: %s", rep)
+	}
+}
+
+// TestLivelockDefaultAnyVisibleOp pins the unlabeled default: with no
+// `progress` labels anywhere, every visible operation counts as
+// progress, so the same spin cycle is benign and existing programs need
+// no edits to stay quiet under -liveness.
+func TestLivelockDefaultAnyVisibleOp(t *testing.T) {
+	src := `
+sem m = 1;
+chan out[1];
+
+proc p() {
+    var done = 0;
+    while (done == 0) {
+        wait(m);
+        signal(m);
+    }
+    send(out, 0);
+}
+
+process p;
+`
+	u := compileClosed(t, src)
+	rep, err := explore.Explore(u, explore.Options{Liveness: true, MaxDepth: 40})
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	if rep.Livelocks != 0 {
+		t.Errorf("unlabeled program reported a livelock: %s", rep)
+	}
+}
+
+// TestLivelockRedSearch drives the nested (red) half: the cross-path
+// variant's second route reaches the cached loop head, gets pruned, and
+// only the red search can exhibit its cycle. Both witnesses must
+// replay.
+func TestLivelockRedSearch(t *testing.T) {
+	u := compileClosed(t, livelockCrossPath)
+	rep, err := explore.Explore(u, explore.Options{
+		Liveness:   true,
+		StateCache: true,
+		MaxDepth:   40,
+	})
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	if rep.Livelocks < 2 {
+		t.Fatalf("want a blue and a red livelock, got %d: %s", rep.Livelocks, rep)
+	}
+	if rep.RedSearches == 0 || rep.RedStates == 0 {
+		t.Errorf("red search never ran: searches=%d states=%d", rep.RedSearches, rep.RedStates)
+	}
+	n := 0
+	for _, in := range rep.Samples {
+		if in.Kind == explore.LeafLivelock {
+			verifyLasso(t, u, in)
+			n++
+		}
+	}
+	if n < 2 {
+		t.Errorf("only %d livelock samples recorded", n)
+	}
+}
+
+// TestLivelockPORDynamicSameVerdict is the POR-vs-liveness contract:
+// requesting dynamic POR with liveness degrades to the strict static
+// oracle (the cycle proviso), so the two configurations must produce
+// the same verdict — here, byte-identical reports.
+func TestLivelockPORDynamicSameVerdict(t *testing.T) {
+	u := compileClosed(t, livelockTwoProc)
+	stat, err := explore.Explore(u, explore.Options{
+		Liveness: true, POR: explore.PORStatic, MaxDepth: 60,
+	})
+	if err != nil {
+		t.Fatalf("static: %v", err)
+	}
+	dyn, err := explore.Explore(u, explore.Options{
+		Liveness: true, POR: explore.PORDynamic, MaxDepth: 60,
+	})
+	if err != nil {
+		t.Fatalf("dynamic: %v", err)
+	}
+	if stat.Livelocks == 0 {
+		t.Fatalf("static oracle found no livelock: %s", stat)
+	}
+	if got, want := dyn.String(), stat.String(); got != want {
+		t.Errorf("dynamic-POR liveness report differs from static:\n--- static ---\n%s\n--- dynamic ---\n%s", want, got)
+	}
+}
+
+// TestLivelockParallelWorkers checks the verdict survives the parallel
+// driver: every worker count finds the seeded livelock.
+func TestLivelockParallelWorkers(t *testing.T) {
+	u := compileClosed(t, livelockTwoProc)
+	for _, workers := range []int{0, 2, 4} {
+		rep, err := explore.Explore(u, explore.Options{
+			Liveness: true, Workers: workers, MaxDepth: 60,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if rep.Livelocks == 0 {
+			t.Errorf("workers=%d: no livelock found: %s", workers, rep)
+		}
+	}
+}
+
+// TestLivelockEngines checks detection across interpreter tiers; the
+// fingerprints that drive the on-stack check must agree between the
+// bytecode, slots, and reference machines.
+func TestLivelockEngines(t *testing.T) {
+	u := compileClosed(t, livelockSpin)
+	for _, eng := range []interp.EngineKind{interp.EngineBytecode, interp.EngineSlots, interp.EngineRef} {
+		rep, err := explore.Explore(u, explore.Options{
+			Liveness: true, Engine: eng, MaxDepth: 40,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", eng, err)
+		}
+		if rep.Livelocks == 0 {
+			t.Errorf("%v: no livelock found: %s", eng, rep)
+		}
+	}
+}

@@ -134,6 +134,19 @@ type engine struct {
 	dporLast    []int
 	dporTouched []int
 
+	// Liveness cycle detection (Options.Liveness on a unit with
+	// progress labels; cycle.go). liveStack holds the fingerprints of
+	// the states on the current path — nil when detection is off, which
+	// is the per-state on/off test; liveMeta is its per-depth progress
+	// bookkeeping; liveDepth counts scheduling steps during prefix
+	// replay; lasso carries a pending livelock witness into
+	// recordSample.
+	liveStack *statecache.StackSet
+	liveMeta  []liveMeta
+	liveFp    []byte
+	liveDepth int
+	lasso     *lassoSample
+
 	// met is the search's shared observability instruments (noMetrics
 	// when disabled — never nil); metCur tracks how much of e.rep has
 	// been flushed into it. Flushes happen at path boundaries only, so
@@ -180,6 +193,9 @@ type engine struct {
 // search.
 func newEngine(sys interp.Machine, opt Options, fps *footprintTable, sites *siteTable) *engine {
 	e := &engine{sys: sys, opt: opt, footprint: fps, sites: sites, met: noMetrics}
+	if opt.Liveness {
+		e.liveStack = statecache.NewStackSet()
+	}
 	e.ch = e.chooser()
 	e.reset()
 	return e
@@ -204,6 +220,9 @@ func (e *engine) reset() {
 	e.snapRoot = nil
 	e.snapTrace = nil
 	e.stack = e.stack[:0]
+	if e.liveStack != nil {
+		e.liveStack.Truncate(0)
+	}
 	e.stop = false
 	e.cause = StopNone
 	e.midPath = false
@@ -424,6 +443,7 @@ func (e *engine) runPath() {
 	e.pendingSleep = e.baseSleep
 	e.pathEnded = false
 	e.midPath = false
+	e.liveDepth = 0
 	e.dporBegin()
 
 	if e.snapRoot == nil {
@@ -440,6 +460,10 @@ func (e *engine) runPath() {
 			d := e.base[e.baseIdx]
 			if d.Toss {
 				panic(&ReplayMismatchError{Want: "scheduling decision in prefix", Got: d.String()})
+			}
+			if e.liveStack != nil {
+				e.liveNoteReplay(d.Value, e.liveDepth, e.baseIdx)
+				e.liveDepth++
 			}
 			e.baseIdx++
 			e.cover(d.Value)
@@ -462,6 +486,10 @@ func (e *engine) runPath() {
 			e.replayIdx++
 			p := en.choice()
 			e.pendingSleep = childSleep(en)
+			if e.liveStack != nil {
+				e.liveNoteReplay(p, e.liveDepth, len(e.base)+e.replayIdx-1)
+				e.liveDepth++
+			}
 			if e.opt.POR == PORDynamic {
 				e.dporTrack(e.replayIdx-1, p, en.objs[en.cursor])
 			}
@@ -530,6 +558,12 @@ func (e *engine) runPath() {
 			e.leaf(LeafDepth, "depth bound reached")
 			return
 		}
+		// The blue (on-stack) cycle test runs before the cache: an
+		// on-path revisit is a cycle the cache would otherwise prune
+		// into silence (cycle.go).
+		if e.liveStack != nil && e.liveCheck(depth) {
+			return
+		}
 		if e.cache != nil || e.opt.CacheVisit != nil {
 			// The cache key is the full fingerprint plus the sleep-set
 			// context: what gets expanded from here is a function of
@@ -565,6 +599,12 @@ func (e *engine) runPath() {
 				pruned = e.cache.Visit(e.fpBuf, depth)
 			}
 			if pruned {
+				// A pruned revisit can still sit on a non-progress cycle
+				// that closes through the earlier exploration — the red
+				// half of the nested DFS chases it (cycle.go).
+				if e.liveStack != nil && e.redSearch(depth) {
+					return
+				}
 				// Stateful-DPOR soundness: the pruned subtree can no
 				// longer insert backtrack points into this path's
 				// ancestors, so seal them to their statically complete
@@ -620,6 +660,10 @@ func (e *engine) runPath() {
 
 		p := en.choice()
 		e.pendingSleep = childSleep(en)
+		if e.liveStack != nil {
+			e.liveMeta[depth].progressOut = e.sys.ProcProgress(p)
+			e.liveDepth = depth + 1
+		}
 		if e.opt.POR == PORDynamic {
 			e.dporTrack(len(e.stack)-1, p, en.objs[en.cursor])
 		}
@@ -680,6 +724,11 @@ func (e *engine) appendPathDecisions(dst []Decision) []Decision {
 // search would.
 func (e *engine) prepareUnit(u *workUnit) {
 	e.met.noteClaim(u)
+	if e.liveStack != nil {
+		// The live stack describes the previous unit's path; the new
+		// unit's base replay rebuilds it from scratch.
+		e.liveStack.Truncate(0)
+	}
 	e.base = u.prefix
 	e.baseSched = 0
 	for _, d := range u.prefix {
@@ -1103,9 +1152,11 @@ func (e *engine) leaf(kind LeafKind, msg string) {
 		r.CachePrunes++
 	case LeafInternalError:
 		r.InternalErrors++
+	case LeafLivelock:
+		r.Livelocks++
 	}
 	interesting := kind == LeafDeadlock || kind == LeafViolation || kind == LeafTrap ||
-		kind == LeafDivergence || kind == LeafInternalError
+		kind == LeafDivergence || kind == LeafInternalError || kind == LeafLivelock
 	if interesting {
 		e.noteIncident()
 		e.recordSample(kind, msg)
@@ -1148,6 +1199,13 @@ func (e *engine) recordSample(kind LeafKind, msg string) {
 		Kind: kind, Msg: msg, Depth: e.schedDepth(),
 		Trace:     append([]interp.Event(nil), e.trace...),
 		Decisions: e.pathDecisions(),
+	}
+	if e.lasso != nil {
+		// A livelock witness replays the whole lasso: the path's
+		// decisions extended by the red search's, with the stem/cycle
+		// split recorded (cycle.go).
+		in.Decisions = e.lasso.decisions
+		in.CycleStart = e.lasso.cycleStart
 	}
 	if full {
 		// Parallel bounded insert: replace the largest sample if the

@@ -84,6 +84,22 @@ type Options struct {
 	NoPOR bool
 	// NoSleep disables sleep sets.
 	NoSleep bool
+	// Liveness enables non-progress cycle (livelock) detection: a
+	// nested DFS over the stateful search that reports any reachable
+	// cycle executing no progress-labeled visible operation as a
+	// LeafLivelock incident with a replayable lasso witness (stem +
+	// cycle; Incident.CycleStart marks the split). Progress is declared
+	// in MiniC with the `progress` label on a builtin call; a unit with
+	// no labels treats every visible operation as progress, so nothing
+	// is ever reported and detection is skipped entirely. Liveness
+	// forces the strict static oracle — PORDynamic degrades to
+	// PORStatic (reduction can defer cycle-closing transitions past the
+	// detector) and SnapshotSpill is disabled so spilled units rebuild
+	// the live stack by replay. Static persistent sets and sleep sets
+	// stay active and can hide cycles only closable under a pruned
+	// interleaving; run with NoPOR/NoSleep for the exhaustive graph.
+	// See cycle.go and docs/DESIGN.md.
+	Liveness bool
 	// Search selects the frontier discipline: SearchDFS (default) is
 	// the classic LIFO depth-first order; SearchPriority explores the
 	// best-scored pending subtree first, under Score (DefaultScore when
@@ -259,6 +275,17 @@ func (opt Options) withDefaults() Options {
 	if opt.ProgressEvery <= 0 {
 		opt.ProgressEvery = time.Second
 	}
+	// Liveness runs under the strict static oracle: dynamic POR's
+	// backtrack-set reduction can defer the transition that closes a
+	// cycle past the detector (the cycle proviso), and snapshot spill
+	// would hand workers a state without the stem that rebuilds the
+	// live stack — replay mode recomputes it uniformly.
+	if opt.Liveness {
+		if opt.POR == PORDynamic {
+			opt.POR = PORStatic
+		}
+		opt.SnapshotSpill = false
+	}
 	return opt
 }
 
@@ -276,6 +303,7 @@ const (
 	LeafSleepPruned                   // all enabled transitions in the sleep set
 	LeafCachePruned                   // state fingerprint already visited (StateCache)
 	LeafInternalError                 // engine/interpreter panic isolated to one path
+	LeafLivelock                      // non-progress cycle detected (Options.Liveness)
 )
 
 // String names the leaf kind.
@@ -299,6 +327,8 @@ func (k LeafKind) String() string {
 		return "cache-pruned"
 	case LeafInternalError:
 		return "internal-error"
+	case LeafLivelock:
+		return "livelock"
 	}
 	return "unknown"
 }
@@ -306,7 +336,7 @@ func (k LeafKind) String() string {
 // leafKindFromString is the inverse of LeafKind.String, used when
 // decoding checkpoint snapshots.
 func leafKindFromString(s string) (LeafKind, bool) {
-	for k := LeafTerminated; k <= LeafInternalError; k++ {
+	for k := LeafTerminated; k <= LeafLivelock; k++ {
 		if k.String() == s {
 			return k, true
 		}
@@ -361,12 +391,22 @@ type Incident struct {
 	// Decisions is the full decision sequence reaching the incident; it
 	// can be re-executed deterministically with Replay.
 	Decisions []Decision
+	// CycleStart, for a LeafLivelock incident, is the index in
+	// Decisions where the lasso's cycle begins: Decisions[:CycleStart]
+	// is the stem, Decisions[CycleStart:] the non-progress cycle
+	// (replaying the cycle's decisions again from the loop state
+	// re-traverses the loop). Zero for every other kind.
+	CycleStart int
 }
 
 // String renders the incident with its trace.
 func (in *Incident) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s at depth %d: %s\n", in.Kind, in.Depth, in.Msg)
+	if in.Kind == LeafLivelock {
+		fmt.Fprintf(&b, "  lasso: stem %d decisions, cycle %d decisions\n",
+			in.CycleStart, len(in.Decisions)-in.CycleStart)
+	}
 	for _, ev := range in.Trace {
 		fmt.Fprintf(&b, "  %s\n", ev)
 	}
@@ -407,6 +447,14 @@ type Report struct {
 	DepthHits   int64
 	SleepPrunes int64
 	CachePrunes int64
+	// Liveness counters (zero unless Options.Liveness ran on a unit
+	// with progress labels): Livelocks counts paths ending in a
+	// detected non-progress cycle; RedSearches counts nested (red)
+	// searches launched at cache-pruned states, RedStates the states
+	// they expanded (cycle.go).
+	Livelocks   int64
+	RedSearches int64
+	RedStates   int64
 	// Dynamic-POR counters (zero outside POR == PORDynamic):
 	// PorBacktracks counts backtrack points inserted at earlier
 	// decision points when a dependent transition executed;
@@ -460,9 +508,9 @@ func (r *Report) String() string {
 }
 
 // Incidents returns the total number of deadlocks, violations, traps,
-// divergences, and internal errors.
+// divergences, livelocks, and internal errors.
 func (r *Report) Incidents() int64 {
-	return r.Deadlocks + r.Violations + r.Traps + r.Divergences + r.InternalErrors
+	return r.Deadlocks + r.Violations + r.Traps + r.Divergences + r.InternalErrors + r.Livelocks
 }
 
 // Summary renders the one-line run summary printed by cmd/verisoft and
@@ -695,7 +743,7 @@ func newMachine(res *interp.Resolution, opt Options) (interp.Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	if opt.StateCache && opt.testCacheHash == nil {
+	if (opt.StateCache || opt.Liveness) && opt.testCacheHash == nil {
 		if s, ok := m.(*interp.System); ok && s.Engine() == interp.EngineBytecode {
 			s.SetStateHashing(true)
 		}

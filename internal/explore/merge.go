@@ -50,6 +50,9 @@ func (a *accum) add(r *Report) {
 	t.DepthHits += r.DepthHits
 	t.SleepPrunes += r.SleepPrunes
 	t.CachePrunes += r.CachePrunes
+	t.Livelocks += r.Livelocks
+	t.RedSearches += r.RedSearches
+	t.RedStates += r.RedStates
 	t.PorBacktracks += r.PorBacktracks
 	t.PorSleepBlocked += r.PorSleepBlocked
 	t.PorDynamicPruned += r.PorDynamicPruned

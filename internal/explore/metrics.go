@@ -48,6 +48,12 @@ const (
 	MetricPorDynamicPruned = "explore.por.dynamic_pruned"
 	MetricFrontierPriority = "explore.frontier.priority"
 
+	// Liveness counters (Options.Liveness runs only; mirror the
+	// Report's Livelocks/RedSearches/RedStates fields exactly).
+	MetricLivelocks   = "explore.livelocks"
+	MetricRedSearches = "explore.liveness.red_searches"
+	MetricRedStates   = "explore.liveness.red_states"
+
 	MetricInterpForks  = "interp.forks"
 	MetricInterpFrames = "interp.frames"
 	// Bytecode-engine instruments: instructions dispatched, StateHash
@@ -111,6 +117,10 @@ type exploreMetrics struct {
 	porSleepBlocked  *obs.Counter
 	porDynamicPruned *obs.Counter
 
+	livelocks   *obs.Counter
+	redSearches *obs.Counter
+	redStates   *obs.Counter
+
 	pathDepth        *obs.Histogram
 	unitPrefixLen    *obs.Histogram
 	frontierPriority *obs.Histogram
@@ -155,6 +165,10 @@ func newExploreMetrics(reg *obs.Registry) *exploreMetrics {
 		porBacktracks:    reg.Counter(MetricPorBacktracks),
 		porSleepBlocked:  reg.Counter(MetricPorSleepBlocked),
 		porDynamicPruned: reg.Counter(MetricPorDynamicPruned),
+
+		livelocks:   reg.Counter(MetricLivelocks),
+		redSearches: reg.Counter(MetricRedSearches),
+		redStates:   reg.Counter(MetricRedStates),
 
 		pathDepth:        reg.Histogram(MetricPathDepth),
 		unitPrefixLen:    reg.Histogram(MetricUnitPrefixLen),
@@ -201,6 +215,9 @@ type metricsCursor struct {
 	porBacktracks    int64
 	porSleepBlocked  int64
 	porDynamicPruned int64
+	livelocks        int64
+	redSearches      int64
+	redStates        int64
 }
 
 // flushReport adds the not-yet-flushed part of a partial report,
@@ -219,6 +236,9 @@ func (m *exploreMetrics) flushReport(r *Report, cur *metricsCursor) {
 	m.porBacktracks.Add(r.PorBacktracks - cur.porBacktracks)
 	m.porSleepBlocked.Add(r.PorSleepBlocked - cur.porSleepBlocked)
 	m.porDynamicPruned.Add(r.PorDynamicPruned - cur.porDynamicPruned)
+	m.livelocks.Add(r.Livelocks - cur.livelocks)
+	m.redSearches.Add(r.RedSearches - cur.redSearches)
+	m.redStates.Add(r.RedStates - cur.redStates)
 	m.depthMax.SetMax(int64(r.MaxDepth))
 	cur.states = r.States
 	cur.transitions = r.Transitions
@@ -229,6 +249,9 @@ func (m *exploreMetrics) flushReport(r *Report, cur *metricsCursor) {
 	cur.porBacktracks = r.PorBacktracks
 	cur.porSleepBlocked = r.PorSleepBlocked
 	cur.porDynamicPruned = r.PorDynamicPruned
+	cur.livelocks = r.Livelocks
+	cur.redSearches = r.RedSearches
+	cur.redStates = r.RedStates
 }
 
 // observePriority records one priority-frontier push (priority mode
@@ -260,6 +283,9 @@ func (m *exploreMetrics) addRestored(r *Report) {
 	m.porBacktracks.Add(r.PorBacktracks)
 	m.porSleepBlocked.Add(r.PorSleepBlocked)
 	m.porDynamicPruned.Add(r.PorDynamicPruned)
+	m.livelocks.Add(r.Livelocks)
+	m.redSearches.Add(r.RedSearches)
+	m.redStates.Add(r.RedStates)
 	m.depthMax.SetMax(int64(r.MaxDepth))
 	m.resumes.Inc()
 }
@@ -299,6 +325,7 @@ func (m *exploreMetrics) emitRunStart(opt Options, resumed bool) {
 		obs.F("workers", opt.Workers),
 		obs.F("spill_depth", opt.SpillDepth),
 		obs.F("snapshot_spill", opt.SnapshotSpill),
+		obs.F("liveness", opt.Liveness),
 		obs.F("max_depth", opt.MaxDepth),
 		obs.F("max_states", opt.MaxStates),
 		obs.F("resumed", resumed),

@@ -94,12 +94,35 @@ func Replay(u *cfg.Unit, decisions []Decision, observe func(ReplayStep)) (*inter
 //
 // It returns nil (with the final report) if no incident exists within
 // opt.MaxDepth (default 64 for this function).
+//
+// Minimality holds only for the strict static DFS. Iterative deepening
+// proves "no incident at depth < d" by running a complete search at
+// each smaller bound, and that premise needs the bounded search to be
+// exhaustive: dynamic POR computes its backtrack sets assuming the
+// search runs to completion, so a depth cutoff can hide a shallower
+// incident from a reduced run (the ignoring problem), and the priority
+// frontier reorders expansion without changing what a truncated search
+// covers. Under Search == SearchPriority or POR == PORDynamic the
+// function therefore degrades to the weaker some-witness contract — one
+// stop-on-first search at the full bound — instead of pretending to a
+// minimality it cannot deliver (TestShortestWitnessSomeWitnessModes).
 func ShortestWitness(u *cfg.Unit, opt Options) (*Incident, *Report, error) {
 	limit := opt.MaxDepth
 	if limit <= 0 {
 		limit = 64
 	}
 	opt.StopOnIncident = true
+	if opt.Search == SearchPriority || opt.POR == PORDynamic {
+		opt.MaxDepth = limit
+		rep, err := Explore(u, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(rep.Samples) > 0 {
+			return rep.Samples[0], rep, nil
+		}
+		return nil, rep, nil
+	}
 	var last *Report
 	for d := 1; d <= limit; d++ {
 		opt.MaxDepth = d

@@ -73,6 +73,9 @@ type Machine interface {
 	ProcStatus(i int) Status
 	ProcAt(i int) (proc string, node int)
 	ProcPendingOp(i int) (op, object string, ok bool)
+	// ProcProgress reports whether process i's pending visible
+	// operation carries a `progress` label (liveness checking).
+	ProcProgress(i int) bool
 
 	// State identity and snapshotting.
 	AppendFingerprint(dst []byte) []byte
@@ -149,6 +152,10 @@ func (s *System) ProcAt(i int) (string, int) { return s.Procs[i].At() }
 // ProcPendingOp returns process i's pending visible operation.
 func (s *System) ProcPendingOp(i int) (string, string, bool) { return s.Procs[i].PendingOp() }
 
+// ProcProgress reports whether process i's pending visible operation is
+// progress-labeled.
+func (s *System) ProcProgress(i int) bool { return s.Procs[i].PendingProgress() }
+
 // ForkMachine returns Fork through the Machine interface.
 func (s *System) ForkMachine() Machine { return s.Fork() }
 
@@ -166,6 +173,17 @@ func (s *RefSystem) ProcAt(i int) (string, int) { return s.Procs[i].At() }
 
 // ProcPendingOp returns process i's pending visible operation.
 func (s *RefSystem) ProcPendingOp(i int) (string, string, bool) { return s.Procs[i].PendingOp() }
+
+// ProcProgress reports whether process i's pending visible operation is
+// progress-labeled (or any visible operation, in an unlabeled unit).
+func (s *RefSystem) ProcProgress(i int) bool {
+	p := s.Procs[i]
+	if s.allProgress {
+		_, _, ok := p.PendingOp()
+		return ok
+	}
+	return p.PendingProgress()
+}
 
 // AppendEnabled appends the indices of all enabled processes to dst in
 // ascending order.
@@ -229,6 +247,7 @@ func (s *RefSystem) ForkMachine() Machine {
 		objSeq:       s.objSeq,
 		graphs:       s.graphs,
 		MaxInvisible: s.MaxInvisible,
+		allProgress:  s.allProgress,
 	}
 	type framePair struct{ old, new *refFrame }
 	var pairs []framePair

@@ -25,6 +25,9 @@ type RefSystem struct {
 	objects map[string]comm.Object
 	objSeq  []string // deterministic object order
 	graphs  map[string]*refGraphInfo
+	// allProgress mirrors Resolution.allProgress: no `progress` labels
+	// in the unit means every visible operation counts as progress.
+	allProgress bool
 
 	// MaxInvisible bounds the invisible operations inside one
 	// transition; exceeding it reports divergence.
@@ -77,6 +80,13 @@ func (p *RefProc) PendingOp() (op, object string, ok bool) {
 	return cs.Name.Name, obj, true
 }
 
+// PendingProgress reports whether the process's pending visible
+// operation carries a `progress` label.
+func (p *RefProc) PendingProgress() bool {
+	return p.status == Running && p.cur != nil && p.cur.Kind == cfg.NCall &&
+		p.cur.CallStmt().Progress
+}
+
 // NewRefSystem builds a reference System for a closed unit, with the
 // same validity checks as NewSystem.
 func NewRefSystem(u *cfg.Unit) (*RefSystem, error) {
@@ -90,6 +100,7 @@ func NewRefSystem(u *cfg.Unit) (*RefSystem, error) {
 		Unit:         u,
 		graphs:       make(map[string]*refGraphInfo, len(u.Procs)),
 		MaxInvisible: DefaultMaxInvisible,
+		allProgress:  !HasProgressLabels(u),
 	}
 	for name, g := range u.Procs {
 		s.graphs[name] = &refGraphInfo{g: g, slots: cfg.BuildSlotTable(g)}

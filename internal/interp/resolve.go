@@ -64,6 +64,9 @@ type visOp struct {
 	// violation is the precomputed VS_assert violation message (the
 	// reference formats it with ast.FormatExpr on every failure).
 	violation string
+	// progress mirrors the source `progress` label for liveness
+	// checking (ast.CallStmt.Progress).
+	progress bool
 }
 
 // callOp describes a compiled user-procedure call.
@@ -126,6 +129,11 @@ type Resolution struct {
 	objNames []string // sorted object names; the dense object order
 	objIdx   map[string]int
 	objSpecs []cfg.ObjectSpec // aligned with objNames
+	// allProgress is set when the unit declares no `progress` labels:
+	// every visible operation then counts as progress for liveness
+	// checking, so unlabeled programs only report cycles that execute
+	// no visible operation at all.
+	allProgress bool
 
 	// Bytecode module, compiled on first use (ensureBytecode) and then
 	// shared — like the rest of the resolution — by every System.
@@ -136,6 +144,24 @@ type Resolution struct {
 
 // Unit returns the unit the resolution was compiled from.
 func (r *Resolution) Unit() *cfg.Unit { return r.unit }
+
+// HasProgressLabels reports whether any visible-operation node of the
+// unit carries a `progress` label. Without labels, liveness checking
+// treats every visible operation as progress (the default documented
+// on ast.CallStmt.Progress), so existing programs need no edits.
+func HasProgressLabels(u *cfg.Unit) bool {
+	for _, g := range u.Procs {
+		for _, n := range g.Nodes {
+			if n.Kind != cfg.NCall {
+				continue
+			}
+			if cs := n.CallStmt(); cs != nil && cs.Progress {
+				return true
+			}
+		}
+	}
+	return false
+}
 
 // Resolve compiles a closed unit for execution. Open units are
 // rejected, exactly as NewSystem rejects them. The resolution captures
@@ -149,9 +175,10 @@ func Resolve(u *cfg.Unit) (*Resolution, error) {
 		return nil, fmt.Errorf("interp: unit declares no processes")
 	}
 	r := &Resolution{
-		unit:   u,
-		procs:  make(map[string]*procCode, len(u.Procs)),
-		objIdx: make(map[string]int, len(u.Objects)),
+		unit:        u,
+		procs:       make(map[string]*procCode, len(u.Procs)),
+		objIdx:      make(map[string]int, len(u.Objects)),
+		allProgress: !HasProgressLabels(u),
 	}
 	r.objSpecs = append([]cfg.ObjectSpec(nil), u.Objects...)
 	sort.Slice(r.objSpecs, func(i, j int) bool { return r.objSpecs[i].Name < r.objSpecs[j].Name })
@@ -242,7 +269,7 @@ func (r *Resolution) compileCall(pc *procCode, n *cfg.Node, p *nodeProg) {
 // descriptor assumes both.
 func (r *Resolution) compileVisible(pc *procCode, n *cfg.Node, cs *ast.CallStmt, b sem.Builtin) *visOp {
 	name := cs.Name.Name
-	vis := &visOp{opName: name, objIdx: -1}
+	vis := &visOp{opName: name, objIdx: -1, progress: cs.Progress || r.allProgress}
 	if name == "VS_assert" {
 		vis.op = opAssert
 		vis.arg = pc.compileExpr(cs.Args[0])

@@ -86,6 +86,14 @@ func (p *Proc) PendingOp() (op, object string, ok bool) {
 	return vis.opName, vis.objName, true
 }
 
+// PendingProgress reports whether the process's pending visible
+// operation carries a `progress` label. A terminated or mid-invisible
+// process has no pending operation and reports false.
+func (p *Proc) PendingProgress() bool {
+	vis := p.pendingVis()
+	return vis != nil && vis.progress
+}
+
 // pendingVis returns the compiled visible operation the process is
 // stopped at, or nil.
 func (p *Proc) pendingVis() *visOp {

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 
 	"reclose/internal/obs"
 )
@@ -39,8 +40,9 @@ func NewHandler(m *Manager, reg *obs.Registry) http.Handler {
 		switch {
 		case errors.Is(err, ErrSaturated):
 			// Load shed: the queue is full and nothing outranked the
-			// request. Retry-After reflects a plausible drain interval.
-			w.Header().Set("Retry-After", "1")
+			// request. Retry-After estimates when a slot frees — queue
+			// depth over the recent drain rate, floored at one second.
+			w.Header().Set("Retry-After", strconv.FormatInt(m.RetryAfterSeconds(), 10))
 			httpError(w, http.StatusTooManyRequests, err.Error())
 			return
 		case errors.Is(err, ErrDraining):

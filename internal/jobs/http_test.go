@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -48,43 +49,42 @@ func postJob(t *testing.T, srv *httptest.Server, body string) (*http.Response, *
 	return resp, nil
 }
 
-// pollDone polls GET /jobs/{id} until the job is done (API-level
-// submit→poll→result smoke, mirrored by the daemon smoke test).
-func pollDone(t *testing.T, srv *httptest.Server, id string) *View {
+// pollDone waits event-driven for the job to finish (no wall-clock
+// polling loop), then reads its final view through the HTTP API so the
+// submit→poll→result path stays covered end to end.
+func pollDone(t *testing.T, m *Manager, srv *httptest.Server, id string) *View {
 	t.Helper()
-	deadline := time.Now().Add(30 * time.Second)
-	for time.Now().Before(deadline) {
-		resp, err := http.Get(srv.URL + "/jobs/" + id)
-		if err != nil {
-			t.Fatal(err)
-		}
-		var v View
-		err = json.NewDecoder(resp.Body).Decode(&v)
-		resp.Body.Close()
-		if err != nil {
-			t.Fatal(err)
-		}
-		if v.State == StateDone {
-			return &v
-		}
-		if v.State.terminal() {
-			t.Fatalf("job %s: %s (%s)", id, v.State, v.Error)
-		}
-		time.Sleep(5 * time.Millisecond)
+	got, ok := m.AwaitState(id, 30*time.Second, StateDone)
+	if got == nil {
+		t.Fatalf("job %s vanished", id)
 	}
-	t.Fatalf("job %s never finished", id)
-	return nil
+	if !ok {
+		t.Fatalf("job %s never finished: %s (%s)", id, got.State, got.Error)
+	}
+	resp, err := http.Get(srv.URL + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v View
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.State != StateDone {
+		t.Fatalf("job %s: GET shows %s after done", id, v.State)
+	}
+	return &v
 }
 
 func TestHTTPSubmitPollResult(t *testing.T) {
 	reg := obs.New()
-	_, srv := newTestServer(t, Config{Workers: 1, Obs: reg})
+	m, srv := newTestServer(t, Config{Workers: 1, Obs: reg})
 	body, _ := json.Marshal(Request{Source: progs.Philosophers(3)})
 	resp, v := postJob(t, srv, string(body))
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("POST /jobs = %d, want 202", resp.StatusCode)
 	}
-	got := pollDone(t, srv, v.ID)
+	got := pollDone(t, m, srv, v.ID)
 	if got.Result == nil || got.Result.Deadlocks == 0 {
 		t.Fatalf("result = %+v, want deadlocks", got.Result)
 	}
@@ -160,8 +160,15 @@ func TestHTTPSaturationReturns429(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("saturated POST = %d, want 429", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Error("429 without Retry-After")
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	// The header is computed from queue depth and drain rate, floored
+	// at one second — never zero, never garbage.
+	secs, err := strconv.ParseInt(ra, 10, 64)
+	if err != nil || secs < 1 || secs > maxRetryAfterSeconds {
+		t.Errorf("Retry-After = %q, want an integer in [1,%d]", ra, maxRetryAfterSeconds)
 	}
 }
 
@@ -189,10 +196,10 @@ func TestHTTPCancel(t *testing.T) {
 }
 
 func TestHTTPTraceStream(t *testing.T) {
-	_, srv := newTestServer(t, Config{Workers: 1})
+	m, srv := newTestServer(t, Config{Workers: 1})
 	body, _ := json.Marshal(Request{Source: progs.Philosophers(3), Trace: true})
 	_, v := postJob(t, srv, string(body))
-	pollDone(t, srv, v.ID)
+	pollDone(t, m, srv, v.ID)
 	resp, err := http.Get(fmt.Sprintf("%s/jobs/%s/trace", srv.URL, v.ID))
 	if err != nil {
 		t.Fatal(err)
@@ -242,7 +249,7 @@ func TestHTTPHealthz(t *testing.T) {
 // contradictory mode spellings must be rejected at admission, and the
 // agreeing no_por + por=off combination must be accepted.
 func TestHTTPPORModes(t *testing.T) {
-	_, srv := newTestServer(t, Config{Workers: 1})
+	m, srv := newTestServer(t, Config{Workers: 1})
 	src := progs.Philosophers(3)
 	for _, req := range []Request{
 		{Source: src, POR: "dynamic", Search: "priority"},
@@ -253,7 +260,7 @@ func TestHTTPPORModes(t *testing.T) {
 		if resp.StatusCode != http.StatusAccepted {
 			t.Fatalf("POST /jobs (por=%q search=%q) = %d, want 202", req.POR, req.Search, resp.StatusCode)
 		}
-		got := pollDone(t, srv, v.ID)
+		got := pollDone(t, m, srv, v.ID)
 		if got.Result == nil || got.Result.Deadlocks == 0 {
 			t.Fatalf("por=%q search=%q: result = %+v, want deadlocks", req.POR, req.Search, got.Result)
 		}

@@ -119,6 +119,11 @@ type Request struct {
 	// the same-incident-set contract rather than same-order
 	// determinism).
 	Search string `json:"search,omitempty"`
+	// Liveness turns on non-progress cycle detection (livelock search).
+	// Liveness runs under the strict static reduction, so combining it
+	// with por="dynamic" is rejected at admission rather than silently
+	// downgraded.
+	Liveness bool `json:"liveness,omitempty"`
 	// MaxIncidents bounds recorded incident samples (0 = default 16).
 	MaxIncidents int `json:"max_incidents,omitempty"`
 	// Trace streams the job's obs events to a JSONL file under the
@@ -189,6 +194,9 @@ func (r *Request) validate() error {
 	if _, err := explore.ParseSearch(r.Search); err != nil {
 		return fmt.Errorf("jobs: %w", err)
 	}
+	if r.Liveness && por == explore.PORDynamic {
+		return fmt.Errorf("jobs: liveness runs under the strict static reduction; por=%q contradicts it", r.POR)
+	}
 	if r.MaxIncidents < 0 || r.MaxIncidents > maxRequestIncidents {
 		return fmt.Errorf("jobs: max_incidents %d outside [0,%d]", r.MaxIncidents, maxRequestIncidents)
 	}
@@ -236,11 +244,14 @@ type Result struct {
 	Paths       int64 `json:"paths"`
 	MaxDepth    int   `json:"max_depth"`
 
-	Terminated     int64 `json:"terminated"`
-	Deadlocks      int64 `json:"deadlocks"`
-	Violations     int64 `json:"violations"`
-	Traps          int64 `json:"traps"`
-	Divergences    int64 `json:"divergences"`
+	Terminated  int64 `json:"terminated"`
+	Deadlocks   int64 `json:"deadlocks"`
+	Violations  int64 `json:"violations"`
+	Traps       int64 `json:"traps"`
+	Divergences int64 `json:"divergences"`
+	// Livelocks counts non-progress cycles; zero (and absent from the
+	// JSON) unless the request set "liveness".
+	Livelocks      int64 `json:"livelocks,omitempty"`
 	DepthHits      int64 `json:"depth_hits"`
 	SleepPrunes    int64 `json:"sleep_prunes"`
 	CachePrunes    int64 `json:"cache_prunes"`
@@ -270,6 +281,7 @@ func resultFromReport(rep *explore.Report) *Result {
 		Violations:     rep.Violations,
 		Traps:          rep.Traps,
 		Divergences:    rep.Divergences,
+		Livelocks:      rep.Livelocks,
 		DepthHits:      rep.DepthHits,
 		SleepPrunes:    rep.SleepPrunes,
 		CachePrunes:    rep.CachePrunes,

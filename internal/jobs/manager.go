@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sync"
@@ -60,6 +61,10 @@ type Config struct {
 	DistRun func(ctx context.Context, req *Request, opt explore.Options, snap *explore.Snapshot) (*explore.Report, error)
 	// Logf logs operational events (default: discard).
 	Logf func(format string, args ...any)
+	// Clock supplies the current time (default time.Now). Tests inject
+	// a stepped clock — the same seam the obs golden tests use — to pin
+	// time-derived outputs like the Retry-After estimate.
+	Clock func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +82,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
 	}
 	return c
 }
@@ -101,6 +109,13 @@ type Manager struct {
 	killed   bool
 	runningN int
 	timers   map[string]*time.Timer
+	// stateRev bumps and stateWake closes-and-reopens on every job
+	// state transition; tests wait on it instead of polling the table.
+	stateRev  uint64
+	stateWake chan struct{}
+	// drains holds the Clock timestamps of recent queue pops, newest
+	// last, for the Retry-After drain-rate estimate.
+	drains []time.Time
 
 	wg sync.WaitGroup
 }
@@ -126,6 +141,7 @@ func Open(cfg Config) (*Manager, error) {
 		baseCancel: cancel,
 		jobs:       make(map[string]*Job),
 		timers:     make(map[string]*time.Timer),
+		stateWake:  make(chan struct{}),
 	}
 	m.met.queueCap.Set(int64(cfg.QueueCap))
 	m.met.workers.Set(int64(cfg.Workers))
@@ -188,12 +204,56 @@ func (m *Manager) recover() error {
 }
 
 // save persists a job's record unless the manager has been killed
-// (crash simulation). Callers hold m.mu.
+// (crash simulation). Callers hold m.mu. Every job mutation routes
+// through here, so saving doubles as the state-change broadcast.
 func (m *Manager) save(j *Job) error {
+	m.wakeStateWaiters()
 	if m.killed {
 		return errKilled
 	}
 	return m.jn.save(recordFromJob(j))
+}
+
+// wakeStateWaiters wakes every AwaitState waiter (m.mu held); they
+// re-check their predicate and sleep again if it still does not hold.
+func (m *Manager) wakeStateWaiters() {
+	m.stateRev++
+	close(m.stateWake)
+	m.stateWake = make(chan struct{})
+}
+
+// AwaitState blocks until the job reaches one of the wanted states or
+// any terminal state, returning its view at that moment and whether a
+// wanted state was reached. The wait is event-driven — state
+// transitions wake it — with timeout as a watchdog only, so callers
+// (the package's own tests foremost) never poll the wall clock.
+func (m *Manager) AwaitState(id string, timeout time.Duration, want ...State) (*View, bool) {
+	watchdog := time.NewTimer(timeout)
+	defer watchdog.Stop()
+	for {
+		m.mu.Lock()
+		j, ok := m.jobs[id]
+		if !ok {
+			m.mu.Unlock()
+			return nil, false
+		}
+		v := j.view()
+		wake := m.stateWake
+		m.mu.Unlock()
+		for _, w := range want {
+			if v.State == w {
+				return v, true
+			}
+		}
+		if v.State.terminal() {
+			return v, false
+		}
+		select {
+		case <-wake:
+		case <-watchdog.C:
+			return v, false
+		}
+	}
 }
 
 // noteJournalError accounts a failed journal write; the in-memory
@@ -352,6 +412,60 @@ func (m *Manager) Draining() bool {
 // QueueDepth returns the current admission-queue occupancy.
 func (m *Manager) QueueDepth() int { return m.q.depth() }
 
+// drainWindow bounds how many recent queue pops feed the Retry-After
+// drain-rate estimate; maxRetryAfterSeconds caps the advice so a stalled
+// pool never tells clients to go away for minutes.
+const (
+	drainWindow          = 32
+	maxRetryAfterSeconds = 60
+)
+
+// noteDrain records one queue pop against the configured clock.
+func (m *Manager) noteDrain() {
+	now := m.cfg.Clock()
+	m.mu.Lock()
+	m.drains = append(m.drains, now)
+	if len(m.drains) > drainWindow {
+		m.drains = m.drains[len(m.drains)-drainWindow:]
+	}
+	m.mu.Unlock()
+}
+
+// RetryAfterSeconds estimates how long a load-shed client should wait
+// before resubmitting: the current queue depth divided by the recent
+// drain rate (pops per second over the recorded window), floored at 1
+// and capped at maxRetryAfterSeconds. With no drain history yet — a
+// queue that filled before a single pop — it answers the floor.
+func (m *Manager) RetryAfterSeconds() int64 {
+	m.mu.Lock()
+	drains := append([]time.Time(nil), m.drains...)
+	m.mu.Unlock()
+	return retryAfterEstimate(m.q.depth(), drains)
+}
+
+// retryAfterEstimate is the pure computation behind RetryAfterSeconds:
+// depth / (pops per second across the drain window), floor 1, cap
+// maxRetryAfterSeconds.
+func retryAfterEstimate(depth int, drains []time.Time) int64 {
+	var rate float64
+	if n := len(drains); n >= 2 {
+		if window := drains[n-1].Sub(drains[0]).Seconds(); window > 0 {
+			rate = float64(n-1) / window
+		}
+	}
+	if rate <= 0 || depth <= 0 {
+		return 1
+	}
+	secs := int64(math.Ceil(float64(depth) / rate))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > maxRetryAfterSeconds {
+		secs = maxRetryAfterSeconds
+	}
+	return secs
+}
+
 // ShedCount returns how many queued jobs eviction has shed.
 func (m *Manager) ShedCount() int64 { return m.q.shedCount() }
 
@@ -425,6 +539,7 @@ func (m *Manager) worker() {
 		if err != nil {
 			return
 		}
+		m.noteDrain()
 		m.met.noteQueueDepth(m.q.depth())
 		m.runJob(j)
 	}
@@ -739,6 +854,7 @@ func (m *Manager) exploreOptions(j *Job, snap *explore.Snapshot) (explore.Option
 		NoSleep:      j.Req.NoSleep,
 		POR:          por,
 		Search:       search,
+		Liveness:     j.Req.Liveness,
 		MaxIncidents: j.Req.MaxIncidents,
 		Workers:      j.Req.Workers,
 		Fault:        m.cfg.Fault,

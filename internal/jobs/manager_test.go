@@ -12,28 +12,23 @@ import (
 	"reclose/internal/progs"
 )
 
-// waitState polls until the job reaches a terminal state or any of the
-// wanted states, with a generous deadline (the host is a 1-CPU box).
+// waitState blocks until the job reaches one of the wanted states. The
+// wait is event-driven (AwaitState wakes on every state transition), so
+// there is no wall-clock polling loop to flake on a loaded box; the
+// generous timeout is a watchdog only.
 func waitState(t *testing.T, m *Manager, id string, want ...State) *View {
 	t.Helper()
-	deadline := time.Now().Add(30 * time.Second)
-	for time.Now().Before(deadline) {
-		v, ok := m.Get(id)
-		if !ok {
-			t.Fatalf("job %s vanished", id)
-		}
-		for _, w := range want {
-			if v.State == w {
-				return v
-			}
-		}
+	v, ok := m.AwaitState(id, 30*time.Second, want...)
+	if v == nil {
+		t.Fatalf("job %s vanished", id)
+	}
+	if !ok {
 		if v.State.terminal() {
 			t.Fatalf("job %s terminal in %s (error %q), want one of %v", id, v.State, v.Error, want)
 		}
-		time.Sleep(5 * time.Millisecond)
+		t.Fatalf("job %s never reached %v (stuck in %s)", id, want, v.State)
 	}
-	t.Fatalf("job %s never reached %v", id, want)
-	return nil
+	return v
 }
 
 func drain(t *testing.T, m *Manager) {

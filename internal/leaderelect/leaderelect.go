@@ -1,0 +1,124 @@
+// Package leaderelect generates a parameterized ring leader-election
+// workload in MiniC, in the style of internal/fiveess: an open reactive
+// program whose environment interface is closed automatically before
+// exploration.
+//
+// The protocol is Chang–Roberts over a unidirectional ring of Nodes
+// processes. Node 0 injects its own id; every node forwards the token,
+// bumping it to its own id when it is a candidate and the token carries
+// a smaller id. A node receiving its own id has won a full lap against
+// every candidate and announces itself leader — the announcement is the
+// progress-labeled operation of the family. Candidacy is decided by the
+// environment (one `cand` event per node), so the closed system
+// explores every candidate subset with node 0 always standing, which
+// guarantees an election on every path.
+//
+// SeedLivelock arms the classic election livelock: the winning node
+// consults an environment `mood` event before announcing and may defer,
+// re-circulating its own id unchanged. A path on which it defers at
+// every opportunity drives the ring through an endless token lap that
+// announces nothing and returns to an identical state — a non-progress
+// cycle the liveness search (explore.Options.Liveness) must report,
+// with a lasso witness that replays the deferral lap.
+package leaderelect
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config parameterizes the generated election ring.
+type Config struct {
+	// Nodes is the ring size (minimum 2).
+	Nodes int
+	// SeedLivelock makes the would-be leader consult the environment
+	// before announcing and allows it to defer forever.
+	SeedLivelock bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes < 2 {
+		c.Nodes = 2
+	}
+	return c
+}
+
+// Source generates the MiniC source of the election ring. The stop
+// sentinel is Nodes (one past the largest id).
+func Source(cfg Config) string {
+	cfg = cfg.withDefaults()
+	n := cfg.Nodes
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+
+	w("// Ring leader election (Chang-Roberts), nodes=%d livelock=%t", n, cfg.SeedLivelock)
+	w("")
+	for i := 0; i < n; i++ {
+		w("chan ring%d[1];", i)
+	}
+	w("chan elected[1];")
+	w("chan cand[1];")
+	w("env chan elected;")
+	w("env chan cand;")
+	if cfg.SeedLivelock {
+		w("chan mood[1];")
+		w("env chan mood;")
+	}
+	w("")
+
+	for i := 0; i < n; i++ {
+		next := (i + 1) % n
+		w("proc node%d() {", i)
+		if i == 0 {
+			// Node 0 always stands, so every candidate subset elects.
+			w("    var w = 0;")
+			w("    send(ring%d, 0);", next)
+		} else {
+			w("    var w;")
+			w("    recv(cand, w);")
+		}
+		w("    var c;")
+		if cfg.SeedLivelock {
+			w("    var md;")
+		}
+		w("    var run = 1;")
+		w("    while (run == 1) {")
+		w("        recv(ring%d, c);", i)
+		w("        if (c == %d) {", n)
+		w("            send(ring%d, c);", next)
+		w("            run = 0;")
+		w("        } else {")
+		w("            if (c == %d) {", i)
+		if cfg.SeedLivelock {
+			w("                recv(mood, md);")
+			w("                if (md %% 2 == 0) {")
+			w("                    progress send(elected, %d);", i)
+			w("                    send(ring%d, %d);", next, n)
+			w("                    run = 0;")
+			w("                } else {")
+			w("                    send(ring%d, c);", next)
+			w("                }")
+		} else {
+			w("                progress send(elected, %d);", i)
+			w("                send(ring%d, %d);", next, n)
+			w("                run = 0;")
+		}
+		w("            } else {")
+		w("                if (w %% 2 == 0) {")
+		w("                    if (c < %d) {", i)
+		w("                        c = %d;", i)
+		w("                    }")
+		w("                }")
+		w("                send(ring%d, c);", next)
+		w("            }")
+		w("        }")
+		w("    }")
+		w("}")
+		w("")
+	}
+
+	for i := 0; i < n; i++ {
+		w("process node%d;", i)
+	}
+	return b.String()
+}

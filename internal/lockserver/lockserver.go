@@ -1,0 +1,141 @@
+// Package lockserver generates a parameterized central lock-server
+// workload in MiniC, in the style of internal/fiveess: an open reactive
+// program closed automatically before exploration.
+//
+// A server process owns a logical lock and serves grant requests in
+// arrival order over a shared request channel; each client repeatedly
+// acquires the lock, performs its critical-section work — an audit
+// record labeled `progress`, the liveness obligation of the family —
+// and releases. The work payload comes from the environment, so the
+// closed system explores every payload class. The clean configuration
+// terminates on every path with no incidents.
+//
+// GreedyClient arms a seeded livelock: client 0 turns into a spinner
+// that acquires and releases forever without ever doing labeled work,
+// and the server serves forever. Once the polite clients are done, the
+// greedy client and the server settle into an acquire/release cycle
+// that returns to an identical state without progress — a non-progress
+// cycle for the liveness search to report.
+package lockserver
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config parameterizes the generated lock server.
+type Config struct {
+	// Clients is the number of client processes (minimum 1).
+	Clients int
+	// Rounds is the number of lock acquisitions per polite client.
+	Rounds int
+	// GreedyClient makes client 0 spin on acquire/release without
+	// progress and the server serve unboundedly (seeded livelock).
+	GreedyClient bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clients < 1 {
+		c.Clients = 1
+	}
+	// A greedy ring needs at least one polite client: the audit label it
+	// never executes is what makes its spinning a non-progress cycle.
+	if c.GreedyClient && c.Clients < 2 {
+		c.Clients = 2
+	}
+	if c.Rounds < 1 {
+		c.Rounds = 1
+	}
+	return c
+}
+
+// Source generates the MiniC source of the lock server.
+func Source(cfg Config) string {
+	cfg = cfg.withDefaults()
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+
+	polite := cfg.Clients
+	if cfg.GreedyClient {
+		polite--
+	}
+	grants := polite * cfg.Rounds
+
+	w("// Central lock server, clients=%d rounds=%d greedy=%t", cfg.Clients, cfg.Rounds, cfg.GreedyClient)
+	w("")
+	w("chan req[%d];", max(1, cfg.Clients))
+	w("chan rel[1];")
+	for i := 0; i < cfg.Clients; i++ {
+		w("chan grant%d[1];", i)
+	}
+	w("chan jobs[1];")
+	w("chan audit[1];")
+	w("env chan jobs;")
+	w("env chan audit;")
+	w("")
+
+	w("proc server() {")
+	w("    var id;")
+	w("    var x;")
+	if cfg.GreedyClient {
+		w("    var run = 1;")
+		w("    while (run == 1) {")
+	} else {
+		w("    var g = 0;")
+		w("    while (g < %d) {", grants)
+	}
+	w("        recv(req, id);")
+	w("        switch (id) {")
+	for i := 0; i < cfg.Clients; i++ {
+		w("        case %d:", i)
+		w("            send(grant%d, 1);", i)
+	}
+	w("        }")
+	w("        recv(rel, x);")
+	if !cfg.GreedyClient {
+		w("        g = g + 1;")
+	}
+	w("    }")
+	w("}")
+	w("")
+
+	for i := 0; i < cfg.Clients; i++ {
+		greedy := cfg.GreedyClient && i == 0
+		w("proc client%d() {", i)
+		w("    var g;")
+		if greedy {
+			w("    var spin = 1;")
+			w("    while (spin == 1) {")
+			w("        send(req, %d);", i)
+			w("        recv(grant%d, g);", i)
+			w("        send(rel, %d);", i)
+			w("    }")
+		} else {
+			w("    var v;")
+			w("    var r = 0;")
+			w("    while (r < %d) {", cfg.Rounds)
+			w("        recv(jobs, v);")
+			w("        send(req, %d);", i)
+			w("        recv(grant%d, g);", i)
+			w("        progress send(audit, v %% 2);")
+			w("        send(rel, %d);", i)
+			w("        r = r + 1;")
+			w("    }")
+		}
+		w("}")
+		w("")
+	}
+
+	w("process server;")
+	for i := 0; i < cfg.Clients; i++ {
+		w("process client%d;", i)
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -321,6 +321,23 @@ func (p *parser) parseVarStmt() ast.Stmt {
 // an identifier.
 func (p *parser) parseSimpleStmt() ast.Stmt {
 	name := p.parseIdent()
+	// `progress` is a contextual keyword: when it prefixes another
+	// identifier it labels the following call statement as a progress
+	// operation for liveness checking. `progress = 5;` and
+	// `progress(x);` still parse as an assignment and a call to a
+	// procedure named "progress".
+	if name.Name == "progress" && p.tok.Kind == token.IDENT {
+		stmt := p.parseSimpleStmt()
+		call, ok := stmt.(*ast.CallStmt)
+		if !ok {
+			if stmt != nil {
+				p.errorf(stmt.Pos(), "progress label requires a call statement")
+			}
+			return stmt
+		}
+		call.Progress = true
+		return call
+	}
 	switch p.tok.Kind {
 	case token.LPAREN:
 		p.next()

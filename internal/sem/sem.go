@@ -414,6 +414,11 @@ func (s *procScope) expr(e ast.Expr) {
 
 func (s *procScope) call(st *ast.CallStmt) {
 	name := st.Name.Name
+	if st.Progress {
+		if _, ok := Builtins[name]; !ok {
+			s.c.errorf(st.Pos(), "progress label requires a builtin visible operation, %q is a procedure call", name)
+		}
+	}
 	if b, ok := Builtins[name]; ok {
 		if len(st.Args) != b.Arity {
 			s.c.errorf(st.Pos(), "%s expects %d arguments, got %d", name, b.Arity, len(st.Args))

@@ -1,0 +1,95 @@
+package statecache
+
+import "bytes"
+
+// StackSet tracks the full fingerprints of the states on the current
+// DFS path, indexed by scheduling depth, and answers on-stack revisit
+// queries exactly (hash prefilter, byte-compare confirm). It is the
+// cycle-detection counterpart of Cache: the cache remembers states
+// visited anywhere in the search, the stack set remembers only the
+// states on the path currently being extended, which is what a
+// non-progress cycle must close back into.
+//
+// The explorer's stateless search re-executes a path's unchanged
+// prefix on every replay, so entries below the replay point stay valid
+// across backtracks; Push truncates any deeper stale entries before
+// recording, keeping the set consistent without a pop-per-backtrack
+// protocol. A StackSet belongs to one engine and is not safe for
+// concurrent use.
+type StackSet struct {
+	entries []stackEntry
+	// index maps fingerprint hash to the depths holding that hash.
+	// Truncation removes dead depths eagerly, so every index hit
+	// refers to a live entry.
+	index map[uint64][]int32
+}
+
+type stackEntry struct {
+	hash uint64
+	key  []byte // private copy; buffer reused across overwrites
+}
+
+// NewStackSet returns an empty stack set.
+func NewStackSet() *StackSet {
+	return &StackSet{index: make(map[uint64][]int32)}
+}
+
+// Len returns the number of states currently on the stack.
+func (s *StackSet) Len() int { return len(s.entries) }
+
+// Truncate discards every entry at depth >= n.
+func (s *StackSet) Truncate(n int) {
+	for i := len(s.entries) - 1; i >= n; i-- {
+		e := &s.entries[i]
+		chain := s.index[e.hash]
+		for j, d := range chain {
+			if int(d) == i {
+				chain[j] = chain[len(chain)-1]
+				chain = chain[:len(chain)-1]
+				break
+			}
+		}
+		if len(chain) == 0 {
+			delete(s.index, e.hash)
+		} else {
+			s.index[e.hash] = chain
+		}
+	}
+	if n < len(s.entries) {
+		s.entries = s.entries[:n]
+	}
+}
+
+// Push records the state with the given fingerprint hash and full
+// fingerprint at the given depth, truncating any deeper entries first.
+// The key bytes are copied. Depths must be pushed contiguously:
+// depth <= Len() is required.
+func (s *StackSet) Push(depth int, hash uint64, key []byte) {
+	s.Truncate(depth)
+	if depth != len(s.entries) {
+		panic("statecache: StackSet.Push depth gap")
+	}
+	var buf []byte
+	if depth < cap(s.entries) {
+		// Reuse the truncated entry's buffer to keep steady-state
+		// pushes allocation-free.
+		buf = s.entries[:depth+1][depth].key[:0]
+	}
+	s.entries = append(s.entries, stackEntry{hash: hash, key: append(buf, key...)})
+	s.index[hash] = append(s.index[hash], int32(depth))
+}
+
+// Lookup reports the depth of the on-stack state with the given
+// fingerprint, or ok == false if the state is not on the stack.
+func (s *StackSet) Lookup(hash uint64, key []byte) (depth int, ok bool) {
+	for _, d := range s.index[hash] {
+		if bytes.Equal(s.entries[d].key, key) {
+			return int(d), true
+		}
+	}
+	return 0, false
+}
+
+// Key returns the stored fingerprint at the given depth. The returned
+// slice aliases internal storage and is invalidated by Push/Truncate.
+func (s *StackSet) Key(depth int) []byte { return s.entries[depth].key }

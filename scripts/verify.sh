@@ -24,6 +24,12 @@ go test -count=1 -timeout=10m -race -run 'TestEngineEquivalence|TestDifferential
 # watching the shared frontier heap and per-entry backtrack folds.
 go test -count=1 -timeout=10m -race -run 'TestDPOR|TestPrioritySearch|TestStrictModesUnchanged|TestWideMask' ./internal/explore/
 
+# Liveness race leg: the nested-DFS cycle search over the shared
+# state cache (blue stack + red searches under parallel workers) and
+# the two seeded-livelock workload generators, plus the liveness-off
+# byte-identity contract the feature must not disturb.
+go test -count=1 -timeout=10m -race -run 'TestLivelock|TestSeededLivelock|TestCleanElection|TestCleanServer|TestGreedy' ./internal/explore/ ./internal/leaderelect/ ./internal/lockserver/
+
 # Distributed-exploration race leg: coordinator/worker subprocesses,
 # the equivalence grid against the in-process engine (workers × spill
 # × cache shards), and the worker-crash lease-recovery tests, all with
@@ -50,5 +56,5 @@ go test -fuzz=FuzzDistProtocol -fuzztime=5s ./internal/dist/
 # Bench smoke: one iteration of the interpreter and snapshot-vs-replay
 # benchmarks (catches bit-rot in the perf harness without paying for a
 # real measurement run), plus a syntax check of the bench driver.
-go test -run '^$' -bench 'BenchmarkInterpreter|BenchmarkForkVsReplay' -benchtime=1x .
+go test -run '^$' -bench 'BenchmarkInterpreter|BenchmarkForkVsReplay|BenchmarkLiveness' -benchtime=1x .
 sh -n scripts/bench.sh
